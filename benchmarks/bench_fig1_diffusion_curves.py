@@ -1,0 +1,47 @@
+"""Figure 1: retweet growth and susceptible users over time, hate vs non-hate.
+
+Paper shapes: (a) hateful tweets collect far more retweets and acquire
+them almost immediately, then stall; non-hate keeps spreading slowly.
+(b) hateful tweets end with fewer susceptible users (echo chambers).
+"""
+
+import numpy as np
+
+from benchmarks.common import get_dataset, run_once
+from repro.analysis import diffusion_curves
+from repro.utils.asciiplot import ascii_series
+
+
+def _curves():
+    return diffusion_curves(get_dataset().world, horizon_hours=200.0, n_points=21)
+
+
+def test_fig1_diffusion_curves(benchmark):
+    curves = run_once(benchmark, _curves)
+    rt, su = curves["retweets"], curves["susceptible"]
+    print()
+    print(
+        ascii_series(
+            {"hate": rt["hate"], "non-hate": rt["non_hate"]},
+            title="Fig 1a — avg cumulative retweets vs hours",
+        )
+    )
+    print()
+    print(
+        ascii_series(
+            {"hate": su["hate"], "non-hate": su["non_hate"]},
+            title="Fig 1b — avg susceptible users vs hours",
+        )
+    )
+    grid = curves["time"]
+    print()
+    for i in (0, 2, 5, 10, 20):
+        print(
+            f"t={grid[i]:6.0f}h  rt hate={rt['hate'][i]:7.2f} non={rt['non_hate'][i]:6.2f}"
+            f"  susc hate={su['hate'][i]:7.1f} non={su['non_hate'][i]:7.1f}"
+        )
+    # (a) hate retweeted in higher magnitude, acquired early.
+    assert rt["hate"][-1] > 2.0 * rt["non_hate"][-1]
+    assert rt["hate"][2] / rt["hate"][-1] > rt["non_hate"][2] / max(rt["non_hate"][-1], 1e-9)
+    # (b) hate creates fewer susceptible users by the horizon.
+    assert su["hate"][-1] < su["non_hate"][-1]

@@ -1,0 +1,34 @@
+"""Figure 2: hate fraction varies sharply across hashtags."""
+
+import numpy as np
+
+from benchmarks.common import get_dataset, run_once
+from repro.analysis import hashtag_hate_distribution
+from repro.utils.asciiplot import ascii_bars
+
+
+def _dist():
+    return hashtag_hate_distribution(get_dataset().world)
+
+
+def test_fig2_hashtag_hate_distribution(benchmark):
+    dist = run_once(benchmark, _dist)
+    tags = sorted(dist, key=lambda t: -dist[t]["hate_fraction"])
+    print()
+    print(
+        ascii_bars(
+            [t[:24] for t in tags],
+            [dist[t]["hate_fraction"] for t in tags],
+            title="Fig 2 — hateful tweet fraction per hashtag (0-1)",
+        )
+    )
+    fracs = np.array([dist[t]["hate_fraction"] for t in tags])
+    targets = np.array([dist[t]["target_pct_hate"] / 100.0 for t in tags])
+    # Spread across hashtags exists and tracks the paper's ordering.
+    assert fracs.max() - fracs.min() > 0.02
+    big = np.array([dist[t]["n_tweets"] >= 30 for t in tags])
+    if big.sum() >= 4:
+        gen_rank = np.argsort(np.argsort(fracs[big]))
+        tgt_rank = np.argsort(np.argsort(targets[big]))
+        rho = np.corrcoef(gen_rank, tgt_rank)[0, 1]
+        assert rho > 0.3

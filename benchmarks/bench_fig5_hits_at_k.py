@@ -1,0 +1,56 @@
+"""Figure 5: HITS@k of RETINA-S, RETINA-D, and TopoLSTM for k=1..100.
+
+Paper shape: RETINA leads at small k; the three models converge as k grows.
+"""
+
+from benchmarks.common import (
+    NEURAL_TRAIN_CAP,
+    get_cascade_splits,
+    get_retina_samples,
+    get_trained_retina,
+    retina_queries,
+    run_once,
+)
+from repro.core.retina import evaluate_ranking
+from repro.diffusion import TopoLSTM
+from repro.utils.tables import render_table
+
+KS = (1, 5, 10, 20, 50, 100)
+
+
+def _run():
+    out = {}
+    for mode, label in (("static", "RETINA-S"), ("dynamic", "RETINA-D")):
+        trainer = get_trained_retina(mode)
+        out[label] = evaluate_ranking(retina_queries(trainer), ks=KS)
+    train, _ = get_cascade_splits()
+    _, te = get_retina_samples()
+    topo = TopoLSTM(epochs=3, random_state=0).fit(train[:NEURAL_TRAIN_CAP])
+    q = [(s.labels.astype(int), topo.predict_proba(s.candidate_set)) for s in te]
+    out["TopoLSTM"] = evaluate_ranking(q, ks=KS)
+    return out
+
+
+def test_fig5_hits_at_k(benchmark):
+    results = run_once(benchmark, _run)
+    rows = [
+        [name] + [round(m[f"hits@{k}"], 3) for k in KS] for name, m in results.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["model"] + [f"HITS@{k}" for k in KS],
+            rows,
+            title="Fig 5 — HITS@k for retweeter prediction",
+        )
+    )
+    # Shape: curves converge at large k (all near their max by k=100).
+    for m in results.values():
+        assert m["hits@100"] >= m["hits@20"] - 1e-9
+    spread_small = max(m["hits@5"] for m in results.values()) - min(
+        m["hits@5"] for m in results.values()
+    )
+    spread_large = max(m["hits@100"] for m in results.values()) - min(
+        m["hits@100"] for m in results.values()
+    )
+    assert spread_large <= spread_small + 0.15

@@ -1,0 +1,45 @@
+"""Figure 8: predicted-to-actual retweet ratio per dynamic time window.
+
+Paper shape: the ratio is noisy in the first minutes after the root tweet
+and approaches 1 for later windows — early dynamics are uncertain, later
+growth is predictable.
+"""
+
+import numpy as np
+
+from benchmarks.common import get_retina_samples, get_trained_retina, run_once
+from repro.core.retina import DYNAMIC_INTERVAL_EDGES_MIN, predicted_to_actual_ratio
+from repro.utils.tables import render_table
+
+
+def _run():
+    trainer = get_trained_retina("dynamic")
+    _, te = get_retina_samples()
+    probas, labels = [], []
+    for s in te:
+        probas.append(trainer.predict_sample(s))
+        labels.append(s.interval_labels)
+    return predicted_to_actual_ratio(probas, labels)
+
+
+def test_fig8_predicted_to_actual_ratio(benchmark):
+    ratio = run_once(benchmark, _run)
+    edges = DYNAMIC_INTERVAL_EDGES_MIN
+    rows = [
+        [f"{edges[i]:.0f}-{edges[i + 1]:.0f} min", "-" if np.isnan(r) else round(float(r), 3)]
+        for i, r in enumerate(ratio)
+    ]
+    print()
+    print(
+        render_table(
+            ["window after root tweet", "predicted/actual"],
+            rows,
+            title="Fig 8 — dynamic-mode predicted vs actual retweets per window",
+        )
+    )
+    valid = ratio[~np.isnan(ratio)]
+    assert len(valid) >= 3
+    # Shape: later windows are closer to 1 than the earliest window.
+    early_err = abs(valid[0] - 1.0)
+    late_err = abs(valid[-1] - 1.0)
+    assert late_err <= early_err + 0.5

@@ -1,0 +1,46 @@
+"""Table II: per-hashtag dataset statistics.
+
+Regenerates the paper's Table II rows (tweets, average retweets, unique
+tweeting users, engaged users, %-hate) from the synthetic world and prints
+them against the paper's targets.  Absolute counts are scaled by
+``config.scale``; average retweets and hate rates should track the targets.
+"""
+
+from benchmarks.common import get_dataset, run_once
+from repro.utils.tables import render_table
+
+
+def _build():
+    ds = get_dataset()
+    return ds.world.hashtag_stats()
+
+
+def test_table2_dataset_stats(benchmark):
+    stats = run_once(benchmark, _build)
+    rows = [
+        [
+            s["tag"][:24],
+            s["tweets"],
+            round(s["avg_rt"], 2),
+            round(s["target_avg_rt"], 2),
+            s["users"],
+            s["users_all"],
+            round(s["pct_hate"], 2),
+            round(s["target_pct_hate"], 2),
+        ]
+        for s in stats
+    ]
+    print()
+    print(
+        render_table(
+            ["hashtag", "tweets", "avgRT", "avgRT(paper)", "users", "users-all", "%hate", "%hate(paper)"],
+            rows,
+            title="Table II — per-hashtag statistics (scaled world vs paper targets)",
+        )
+    )
+    # Shape assertions: generated stats track the paper's targets.
+    big = [s for s in stats if s["tweets"] >= 30]
+    hi = [s["pct_hate"] for s in big if s["target_pct_hate"] >= 5.0]
+    lo = [s["pct_hate"] for s in big if s["target_pct_hate"] < 1.0]
+    if hi and lo:
+        assert sum(hi) / len(hi) > sum(lo) / len(lo)

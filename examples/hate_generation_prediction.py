@@ -1,0 +1,72 @@
+"""Scenario: early-warning for hate generation on a trending hashtag.
+
+The paper's Section IV task: given a user and a contemporary hashtag,
+predict whether the user will post hateful content — the moderation
+use-case being to surface accounts likely to seed a hate campaign while a
+hashtag trends.
+
+This example trains the paper's best configuration (Decision Tree +
+downsampling), runs the Table V feature ablation, and then ranks the
+highest-risk (user, hashtag) pairs.
+
+Run:  python examples/hate_generation_prediction.py
+"""
+
+import numpy as np
+
+from repro.core.hategen import (
+    HateGenFeatureExtractor,
+    HateGenerationPipeline,
+    run_feature_ablation,
+)
+from repro.data import HateDiffusionDataset, SyntheticWorldConfig
+from repro.ml import StandardScaler, downsample_majority
+from repro.core.hategen.models import build_model
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    print("Generating world and extracting Sec. IV features ...")
+    dataset = HateDiffusionDataset.generate(
+        SyntheticWorldConfig(scale=0.04, n_hashtags=10, n_users=400, n_news=1200, seed=21)
+    )
+    train, test = dataset.hategen_split(random_state=0)
+    extractor = HateGenFeatureExtractor(dataset.world, doc2vec_epochs=6, random_state=0)
+    pipeline = HateGenerationPipeline(extractor, random_state=0)
+    X_tr, y_tr, X_te, y_te = pipeline.prepare(train, test)
+    print(f"  {len(y_tr)} train samples ({y_tr.sum()} hateful), dim={X_tr.shape[1]}")
+
+    # --------------------------------------------- Table IV configuration
+    print()
+    rows = []
+    for variant in ("none", "ds"):
+        result = pipeline.run("dectree", variant, X_tr, y_tr, X_te, y_te)
+        rows.append([variant, round(result.macro_f1, 3), round(result.accuracy, 3), round(result.auc, 3)])
+    print(render_table(["processing", "macro-F1", "ACC", "AUC"], rows,
+                       title="Decision Tree, raw vs downsampled (paper best: DS @ 0.65)"))
+
+    # -------------------------------------------------- Table V ablation
+    print()
+    ablation = run_feature_ablation(extractor, X_tr, y_tr, X_te, y_te, model_key="dectree")
+    rows = [[k, round(v["macro_f1"], 3), round(v["auc"], 3)] for k, v in ablation.items()]
+    print(render_table(["features", "macro-F1", "AUC"], rows, title="Feature ablation"))
+
+    # ------------------------------------------ risk-ranking application
+    print()
+    print("Highest-risk (user, hashtag) pairs in the test period:")
+    scaler = StandardScaler().fit(X_tr)
+    Xb, yb = downsample_majority(scaler.transform(X_tr), y_tr, random_state=0)
+    model = build_model("dectree", random_state=0).fit(Xb, yb)
+    scores = model.predict_proba(scaler.transform(X_te))[:, 1]
+    order = np.argsort(-scores)[:8]
+    for i in order:
+        tweet = test[i]
+        mark = "HATEFUL" if tweet.is_hate else "clean"
+        print(
+            f"  user {tweet.user_id:>4} on #{tweet.hashtag:<24} "
+            f"risk={scores[i]:.3f}  actual: {mark}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Empirical analyses backing the paper's Figures 1-3 and its
+echo-chamber interpretation."""
+
+from repro.analysis.diffusion_curves import diffusion_curves
+from repro.analysis.hashtag_hate import hashtag_hate_distribution
+from repro.analysis.user_topic import user_topic_hate_matrix
+from repro.analysis.echo_chamber import cascade_echo_metrics, echo_chamber_comparison
+
+__all__ = [
+    "diffusion_curves",
+    "hashtag_hate_distribution",
+    "user_topic_hate_matrix",
+    "cascade_echo_metrics",
+    "echo_chamber_comparison",
+]

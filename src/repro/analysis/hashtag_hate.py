@@ -1,0 +1,28 @@
+"""Figure 2: distribution of hateful vs non-hate tweets per hashtag."""
+
+from __future__ import annotations
+
+from repro.data.synthetic import SyntheticWorld
+
+__all__ = ["hashtag_hate_distribution"]
+
+
+def hashtag_hate_distribution(world: SyntheticWorld) -> dict[str, dict[str, float]]:
+    """Per hashtag: hate fraction, non-hate fraction, and tweet count.
+
+    The paper's Fig. 2 shows this fraction varying sharply across hashtags,
+    including hashtags sharing a theme (e.g. the Jamia trio).
+    """
+    out: dict[str, dict[str, float]] = {}
+    for spec in world.catalog:
+        tweets = [t for t in world.tweets if t.hashtag == spec.tag]
+        if not tweets:
+            continue
+        n_hate = sum(t.is_hate for t in tweets)
+        out[spec.tag] = {
+            "hate_fraction": n_hate / len(tweets),
+            "non_hate_fraction": 1.0 - n_hate / len(tweets),
+            "n_tweets": float(len(tweets)),
+            "target_pct_hate": spec.pct_hate,
+        }
+    return out

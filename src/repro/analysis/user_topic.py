@@ -1,0 +1,48 @@
+"""Figure 3: topic-dependence of per-user hatefulness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticWorld
+
+__all__ = ["user_topic_hate_matrix"]
+
+
+def user_topic_hate_matrix(
+    world: SyntheticWorld, *, n_users: int = 15, min_tweets: int = 3
+) -> dict:
+    """Hate ratio per (user, hashtag) for the most active hateful users.
+
+    Returns ``{"users": [...], "hashtags": [...], "matrix": (U, H) array}``
+    where a cell is the ratio of hateful to total tweets that user posted
+    on that hashtag (NaN when the user never used it).  The paper's Fig. 3
+    shows strong row-wise variation: the same user is hateful on some
+    topics and not others.
+    """
+    if n_users < 1:
+        raise ValueError(f"n_users must be >= 1, got {n_users}")
+    # Pool in-window tweets and history (both carry user/hashtag/hate).
+    pool = list(world.tweets)
+    for items in world.history.values():
+        pool.extend(items)
+    by_user: dict[int, list] = {}
+    for t in pool:
+        by_user.setdefault(t.user_id, []).append(t)
+    # Rank users by hateful tweet count, keep the most hateful ones.
+    hate_counts = {
+        uid: sum(t.is_hate for t in tweets) for uid, tweets in by_user.items()
+    }
+    chosen = [
+        uid
+        for uid, _ in sorted(hate_counts.items(), key=lambda kv: -kv[1])
+        if len(by_user[uid]) >= min_tweets
+    ][:n_users]
+    hashtags = [spec.tag for spec in world.catalog]
+    matrix = np.full((len(chosen), len(hashtags)), np.nan)
+    for i, uid in enumerate(chosen):
+        for j, tag in enumerate(hashtags):
+            tagged = [t for t in by_user[uid] if t.hashtag == tag]
+            if tagged:
+                matrix[i, j] = sum(t.is_hate for t in tagged) / len(tagged)
+    return {"users": chosen, "hashtags": hashtags, "matrix": matrix}

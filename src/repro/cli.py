@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Generate a synthetic world and print its Table II statistics.
+``analyze``
+    Print the Figure 1-3 analyses for a generated world.
+``train-retina``
+    Train RETINA on a generated world, report test metrics, and optionally
+    save the weights.
+``train-hategen``
+    Run the hate-generation pipeline (one model/variant) and report
+    metrics.
+
+All commands accept ``--seed``, ``--scale``, ``--users``, ``--hashtags``
+to control the world.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Hate is the New Infodemic' (ICDE 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_world_args(p):
+        p.add_argument("--seed", type=int, default=0, help="world RNG seed")
+        p.add_argument("--scale", type=float, default=0.03, help="Table II tweet-count scale")
+        p.add_argument("--users", type=int, default=300, help="number of users")
+        p.add_argument("--hashtags", type=int, default=10, help="number of hashtags")
+        p.add_argument("--news", type=int, default=1000, help="number of news articles")
+
+    g = sub.add_parser("generate", help="generate a world and print Table II stats")
+    add_world_args(g)
+
+    a = sub.add_parser("analyze", help="print Figure 1-3 analyses")
+    add_world_args(a)
+
+    r = sub.add_parser("train-retina", help="train RETINA and report metrics")
+    add_world_args(r)
+    r.add_argument("--mode", choices=("static", "dynamic"), default="static")
+    r.add_argument("--epochs", type=int, default=6)
+    r.add_argument("--no-exogenous", action="store_true", help="train the dagger variant")
+    r.add_argument("--save", type=str, default=None, help="path to save weights (.npz)")
+
+    h = sub.add_parser("train-hategen", help="run the hate-generation pipeline")
+    add_world_args(h)
+    h.add_argument("--model", default="dectree", help="model key (Table III)")
+    h.add_argument("--variant", default="ds", help="processing variant (Table IV)")
+    return parser
+
+
+def _make_dataset(args):
+    from repro.data import HateDiffusionDataset, SyntheticWorldConfig
+
+    config = SyntheticWorldConfig(
+        scale=args.scale,
+        n_hashtags=args.hashtags,
+        n_users=args.users,
+        n_news=args.news,
+        seed=args.seed,
+    )
+    return HateDiffusionDataset.generate(config)
+
+
+def _cmd_generate(args) -> int:
+    from repro.utils.tables import render_table
+
+    dataset = _make_dataset(args)
+    stats = dataset.world.hashtag_stats()
+    rows = [
+        [s["tag"][:24], s["tweets"], round(s["avg_rt"], 2), s["users"], round(s["pct_hate"], 2)]
+        for s in stats
+    ]
+    print(render_table(["hashtag", "tweets", "avgRT", "users", "%hate"], rows,
+                       title=f"Synthetic world (seed={args.seed}, scale={args.scale})"))
+    world = dataset.world
+    print(f"\ntotal: {len(world.tweets)} tweets, {len(world.users)} users, "
+          f"{world.network.n_follows} follows, {len(world.news)} news articles")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import diffusion_curves, echo_chamber_comparison, hashtag_hate_distribution
+    from repro.utils.asciiplot import ascii_bars, ascii_series
+
+    world = _make_dataset(args).world
+    curves = diffusion_curves(world, n_points=15)
+    print(ascii_series(curves["retweets"], title="Fig 1a — avg retweets over time"))
+    print()
+    print(ascii_series(curves["susceptible"], title="Fig 1b — avg susceptible users"))
+    print()
+    dist = hashtag_hate_distribution(world)
+    tags = sorted(dist, key=lambda t: -dist[t]["hate_fraction"])
+    print(ascii_bars([t[:22] for t in tags], [dist[t]["hate_fraction"] for t in tags],
+                     title="Fig 2 — hate fraction per hashtag"))
+    print()
+    echo = echo_chamber_comparison(world)
+    print("Echo-chamber metrics (hate vs non-hate cascades):")
+    for key in ("community_entropy", "internal_density", "audience_overlap"):
+        print(f"  {key:>20}: hate {echo['hate'][key]:.3f}  non-hate {echo['non_hate'][key]:.3f}")
+    return 0
+
+
+def _cmd_train_retina(args) -> int:
+    from repro.core.retina import (
+        RETINA,
+        RetinaFeatureExtractor,
+        RetinaTrainer,
+        evaluate_binary,
+        evaluate_ranking,
+    )
+
+    dataset = _make_dataset(args)
+    train, test = dataset.cascade_split(random_state=args.seed)
+    print(f"{len(train)} train / {len(test)} test cascades; extracting features ...")
+    extractor = RetinaFeatureExtractor(dataset.world, random_state=args.seed).fit(train)
+    edges = RetinaTrainer.default_interval_edges()
+    tr = extractor.build_samples(train, interval_edges_hours=edges, random_state=0)
+    te = extractor.build_samples(test, interval_edges_hours=edges, random_state=1)
+    model = RETINA(
+        user_dim=extractor.user_feature_dim,
+        tweet_dim=extractor.news_doc2vec_dim,
+        news_dim=extractor.news_doc2vec_dim,
+        mode=args.mode,
+        use_exogenous=not args.no_exogenous,
+        random_state=args.seed,
+    )
+    print(f"training RETINA-{args.mode[0].upper()} ({model.n_parameters()} parameters, "
+          f"{args.epochs} epochs) ...")
+    trainer = RetinaTrainer(model, epochs=args.epochs, random_state=args.seed).fit(tr)
+    queries = [(s.labels.astype(int), trainer.predict_static_scores(s)) for s in te]
+    metrics = {**evaluate_binary(queries), **evaluate_ranking(queries)}
+    for name, value in metrics.items():
+        print(f"  {name:>10}: {value:.4f}")
+    if args.save:
+        model.save(args.save)
+        print(f"weights saved to {args.save}")
+    return 0
+
+
+def _cmd_train_hategen(args) -> int:
+    from repro.core.hategen import HateGenFeatureExtractor, HateGenerationPipeline
+
+    dataset = _make_dataset(args)
+    train, test = dataset.hategen_split(random_state=args.seed)
+    print(f"{len(train)} train / {len(test)} test tweets; extracting features ...")
+    extractor = HateGenFeatureExtractor(dataset.world, random_state=args.seed)
+    pipeline = HateGenerationPipeline(extractor, random_state=args.seed)
+    X_tr, y_tr, X_te, y_te = pipeline.prepare(train, test)
+    result = pipeline.run(args.model, args.variant, X_tr, y_tr, X_te, y_te)
+    print(f"  model={args.model} variant={args.variant}")
+    print(f"  macro-F1 {result.macro_f1:.4f}  ACC {result.accuracy:.4f}  AUC {result.auc:.4f}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "analyze": _cmd_analyze,
+    "train-retina": _cmd_train_retina,
+    "train-hategen": _cmd_train_hategen,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""The paper's primary contribution: hate generation + RETINA."""
+
+from repro.core import hategen, retina
+
+__all__ = ["hategen", "retina"]

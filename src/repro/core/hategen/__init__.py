@@ -1,0 +1,22 @@
+"""Hate-generation prediction (paper Sec. IV, Tables IV-V).
+
+Given a user and a hashtag, predict whether the user will post a hateful
+tweet — a binary classification over feature groups representing the
+user's activity history H, topic relatedness T, non-peer endogenous
+signals S_en (trending hashtags), and exogenous signals S_ex (news).
+"""
+
+from repro.core.hategen.features import FeatureGroups, HateGenFeatureExtractor
+from repro.core.hategen.models import TABLE3_MODELS, build_model
+from repro.core.hategen.pipeline import HateGenerationPipeline, ProcessingVariant
+from repro.core.hategen.ablation import run_feature_ablation
+
+__all__ = [
+    "HateGenFeatureExtractor",
+    "FeatureGroups",
+    "build_model",
+    "TABLE3_MODELS",
+    "HateGenerationPipeline",
+    "ProcessingVariant",
+    "run_feature_ablation",
+]

@@ -1,0 +1,49 @@
+"""The six Table III/IV classifier configurations."""
+
+from __future__ import annotations
+
+from repro.ml import (
+    AdaBoostClassifier,
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    LinearSVC,
+    LogisticRegression,
+    SVC,
+)
+
+__all__ = ["TABLE3_MODELS", "build_model"]
+
+#: model key -> human-readable Table IV row name
+TABLE3_MODELS = {
+    "svm-linear": "SVM linear",
+    "svm-rbf": "SVM rbf",
+    "logreg": "LogReg",
+    "dectree": "Dec-Tree",
+    "adaboost": "AdaBoost",
+    "xgboost": "XGB",
+}
+
+
+def build_model(key: str, random_state=0):
+    """Instantiate a classifier with the paper's Table III parameters."""
+    if key == "svm-linear":
+        # Penalty l2, class weight balanced.
+        return LinearSVC(class_weight="balanced")
+    if key == "svm-rbf":
+        return SVC(kernel="rbf", class_weight="balanced", random_state=random_state)
+    if key == "logreg":
+        return LogisticRegression(random_state=0)
+    if key == "dectree":
+        # Class weight balanced, max depth 5.
+        return DecisionTreeClassifier(
+            class_weight="balanced", max_depth=5, random_state=random_state
+        )
+    if key == "adaboost":
+        return AdaBoostClassifier(random_state=1)
+    if key == "xgboost":
+        # eta=0.4, logloss objective, reg_alpha=0.9 (learning_rate in the
+        # paper's table is the tiny keras-style 1e-4; eta is what matters).
+        return GradientBoostingClassifier(
+            n_estimators=60, eta=0.4, reg_alpha=0.9, random_state=random_state
+        )
+    raise ValueError(f"unknown model key {key!r}; choose from {sorted(TABLE3_MODELS)}")

@@ -1,0 +1,31 @@
+"""RETINA: Retweeter Identifier Network with Exogenous Attention (Sec. V).
+
+Predicts the potential retweeters of a root tweet in two modes: *static*
+(will the user ever retweet) and *dynamic* (per successive time interval),
+with a scaled dot-product attention over contemporary news embeddings as
+the exogenous signal.
+"""
+
+from repro.core.retina.features import RetinaFeatureExtractor, RetinaSample
+from repro.core.retina.model import RETINA, DYNAMIC_INTERVAL_EDGES_MIN
+from repro.core.retina.trainer import RetinaTrainer
+from repro.core.retina.evaluate import (
+    evaluate_binary,
+    evaluate_ranking,
+    macro_f1_by_cascade_size,
+    map_by_hate_label,
+    predicted_to_actual_ratio,
+)
+
+__all__ = [
+    "RetinaFeatureExtractor",
+    "RetinaSample",
+    "RETINA",
+    "DYNAMIC_INTERVAL_EDGES_MIN",
+    "RetinaTrainer",
+    "evaluate_binary",
+    "evaluate_ranking",
+    "map_by_hate_label",
+    "macro_f1_by_cascade_size",
+    "predicted_to_actual_ratio",
+]

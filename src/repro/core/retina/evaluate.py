@@ -1,0 +1,141 @@
+"""Evaluation of retweeter prediction (Table VI, Figures 5-9).
+
+All evaluators consume ``(labels, scores)`` per cascade so RETINA, the
+feature baselines, and the neural cascade baselines are scored identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.metrics import (
+    accuracy_score,
+    average_precision_at_k,
+    hits_at_k,
+    macro_f1,
+    roc_auc_score,
+)
+
+__all__ = [
+    "evaluate_binary",
+    "evaluate_ranking",
+    "map_by_hate_label",
+    "macro_f1_by_cascade_size",
+    "predicted_to_actual_ratio",
+]
+
+
+def evaluate_binary(
+    queries: list[tuple[np.ndarray, np.ndarray]], threshold: float = 0.5
+) -> dict[str, float]:
+    """Pooled macro-F1 / accuracy / AUC over per-cascade (labels, scores)."""
+    if not queries:
+        raise ValueError("need at least one query")
+    y = np.concatenate([np.asarray(q[0]) for q in queries])
+    s = np.concatenate([np.asarray(q[1]) for q in queries])
+    pred = (s >= threshold).astype(np.int64)
+    out = {
+        "macro_f1": macro_f1(y, pred),
+        "accuracy": accuracy_score(y, pred),
+    }
+    try:
+        out["auc"] = roc_auc_score(y, s)
+    except ValueError:
+        out["auc"] = float("nan")
+    return out
+
+
+def evaluate_ranking(
+    queries: list[tuple[np.ndarray, np.ndarray]], ks: tuple[int, ...] = (20,)
+) -> dict[str, float]:
+    """MAP@k and HITS@k averaged over cascades (the paper's Fig. 5 metrics)."""
+    if not queries:
+        raise ValueError("need at least one query")
+    out: dict[str, float] = {}
+    for k in ks:
+        aps, hits = [], []
+        for y, s in queries:
+            aps.append(average_precision_at_k(y, s, k))
+            hits.append(hits_at_k(y, s, k))
+        out[f"map@{k}"] = float(np.mean(aps))
+        out[f"hits@{k}"] = float(np.mean(hits))
+    return out
+
+
+def map_by_hate_label(
+    queries: list[tuple[np.ndarray, np.ndarray]],
+    is_hate: list[bool],
+    k: int = 20,
+) -> dict[str, float]:
+    """MAP@k split by root-tweet hatefulness (Fig. 6)."""
+    if len(queries) != len(is_hate):
+        raise ValueError("queries and is_hate must align")
+    hate_q = [q for q, h in zip(queries, is_hate) if h]
+    non_q = [q for q, h in zip(queries, is_hate) if not h]
+    out = {}
+    if hate_q:
+        out["hate"] = float(np.mean([average_precision_at_k(y, s, k) for y, s in hate_q]))
+    if non_q:
+        out["non_hate"] = float(
+            np.mean([average_precision_at_k(y, s, k) for y, s in non_q])
+        )
+    return out
+
+
+def macro_f1_by_cascade_size(
+    queries: list[tuple[np.ndarray, np.ndarray]],
+    sizes: list[int],
+    bins: tuple = (1, 2, 3, 4, 5, (6, 8), (9, 15), (16, 30), (31, 64), (65, 194)),
+    threshold: float = 0.5,
+) -> dict[str, float]:
+    """Macro-F1 grouped by actual cascade size (Fig. 9's buckets)."""
+    if len(queries) != len(sizes):
+        raise ValueError("queries and sizes must align")
+    out: dict[str, float] = {}
+    for b in bins:
+        lo, hi = (b, b) if isinstance(b, int) else b
+        idx = [i for i, s in enumerate(sizes) if lo <= s <= hi]
+        if not idx:
+            continue
+        y = np.concatenate([np.asarray(queries[i][0]) for i in idx])
+        s = np.concatenate([np.asarray(queries[i][1]) for i in idx])
+        label = str(lo) if lo == hi else f"{lo}-{hi}"
+        out[label] = macro_f1(y, (s >= threshold).astype(np.int64))
+    return out
+
+
+def predicted_to_actual_ratio(
+    interval_probas: list[np.ndarray],
+    interval_labels: list[np.ndarray],
+    mode: str = "expected",
+    threshold: float = 0.5,
+) -> np.ndarray:
+    """Per-interval ratio of predicted to actual retweet counts (Fig. 8).
+
+    Parameters
+    ----------
+    interval_probas / interval_labels:
+        Per cascade, ``(n_candidates, n_intervals)`` arrays.
+    mode:
+        ``'expected'`` counts predicted retweets as the sum of per-user
+        probabilities (the statistically calibrated count); ``'threshold'``
+        counts users with probability >= ``threshold``.
+    """
+    if mode not in ("expected", "threshold"):
+        raise ValueError(f"mode must be 'expected' or 'threshold', got {mode!r}")
+    if len(interval_probas) != len(interval_labels):
+        raise ValueError("probas and labels must align")
+    if not interval_probas:
+        raise ValueError("need at least one cascade")
+    n_int = interval_probas[0].shape[1]
+    predicted = np.zeros(n_int)
+    actual = np.zeros(n_int)
+    for p, l in zip(interval_probas, interval_labels):
+        if mode == "expected":
+            predicted += p.sum(axis=0)
+        else:
+            predicted += (p >= threshold).sum(axis=0)
+        actual += l.sum(axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(actual > 0, predicted / np.maximum(actual, 1e-12), np.nan)
+    return ratio

@@ -1,0 +1,211 @@
+"""Feature extraction for retweeter prediction (paper Sec. V-A).
+
+Per candidate user u_j of a root tweet tau by root user u_0:
+
+- peer signal S_P: shortest path length u_0 -> u_j in G, and how often u_j
+  retweeted u_0 before;
+- history H_{j,t} and endogenous S_en: same blocks as hate generation;
+- root tweet: hate-lexicon vector + top-300 tf-idf of the tweet text;
+- exogenous S_ex: Doc2Vec embeddings of the k most recent news headlines
+  (attention input) and of the root tweet (attention query); the feature
+  baselines use the averaged news tf-idf instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hategen.features import HateGenFeatureExtractor
+from repro.data.schema import Cascade
+from repro.data.synthetic import SyntheticWorld
+from repro.diffusion.cascade import CandidateSet, build_candidate_set
+from repro.text.tfidf import TfidfVectorizer
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+__all__ = ["RetinaSample", "RetinaFeatureExtractor"]
+
+
+@dataclass
+class RetinaSample:
+    """Everything RETINA consumes for one cascade.
+
+    ``user_features`` is (n_candidates, d_user); ``tweet_vec`` is the
+    Doc2Vec query (d_tweet,); ``news_vecs`` is (k, d_news); ``news_tfidf``
+    is the engineered exogenous alternative for non-attention baselines.
+    ``interval_labels`` is (n_candidates, n_intervals) for dynamic mode.
+    """
+
+    candidate_set: CandidateSet
+    user_features: np.ndarray
+    tweet_vec: np.ndarray
+    news_vecs: np.ndarray
+    news_tfidf: np.ndarray
+    labels: np.ndarray
+    interval_labels: np.ndarray | None = None
+
+    @property
+    def is_hate(self) -> bool:
+        return self.candidate_set.cascade.root.is_hate
+
+
+class RetinaFeatureExtractor:
+    """Builds :class:`RetinaSample` objects from a synthetic world."""
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        history_size: int = 30,
+        tweet_top_k: int = 300,
+        news_window: int = 60,
+        news_doc2vec_dim: int = 50,
+        n_negatives: int = 30,
+        random_state=0,
+    ):
+        if news_window < 1:
+            raise ValueError(f"news_window must be >= 1, got {news_window}")
+        self.world = world
+        self.history_size = history_size
+        self.tweet_top_k = tweet_top_k
+        self.news_window = news_window
+        self.news_doc2vec_dim = news_doc2vec_dim
+        self.n_negatives = n_negatives
+        self.random_state = random_state
+        self.base_: HateGenFeatureExtractor | None = None
+        self.tweet_vectorizer_: TfidfVectorizer | None = None
+        self._news_vec_cache: np.ndarray | None = None
+        self._retweeted_before: dict[tuple[int, int], int] | None = None
+
+    def fit(self, train_cascades: list[Cascade]) -> "RetinaFeatureExtractor":
+        """Fit text models on the training side of the corpus."""
+        train_tweets = [c.root for c in train_cascades]
+        self.base_ = HateGenFeatureExtractor(
+            self.world,
+            history_size=self.history_size,
+            doc2vec_dim=self.news_doc2vec_dim,
+            doc2vec_epochs=8,
+            random_state=self.random_state,
+        ).fit(train_tweets)
+        self.tweet_vectorizer_ = TfidfVectorizer(
+            ngram_range=(1, 2), max_features=self.tweet_top_k, rank_by="idf"
+        ).fit([t.text for t in train_tweets])
+        # Doc2Vec embedding per news article, inferred once.
+        d2v = self.base_.doc2vec_
+        self._news_vec_cache = np.stack(
+            [
+                d2v.infer_vector(a.headline, random_state=0)
+                for a in self.world.news.articles
+            ]
+        )
+        # (root_user, candidate) -> count of prior retweets, from training
+        # cascades only (no test leakage).
+        counts: dict[tuple[int, int], int] = {}
+        for c in train_cascades:
+            for r in c.retweets:
+                key = (c.root.user_id, r.user_id)
+                counts[key] = counts.get(key, 0) + 1
+        self._retweeted_before = counts
+        return self
+
+    # -------------------------------------------------------------- pieces
+    def _peer_block(self, root_user: int, candidate: int) -> np.ndarray:
+        spl = self.world.network.shortest_path_length(root_user, candidate, cutoff=4)
+        prior = self._retweeted_before.get((root_user, candidate), 0)
+        return np.array([float(spl), float(prior)])
+
+    def _root_tweet_block(self, cascade: Cascade) -> np.ndarray:
+        text = cascade.root.text
+        tfidf = self.tweet_vectorizer_.transform([text])[0]
+        lex = self.base_.lexicon.vector(text)
+        return np.concatenate([tfidf, lex])
+
+    def _news_vectors(self, timestamp: float) -> np.ndarray:
+        """Doc2Vec matrix of the k most recent headlines before t."""
+        times = self.base_._news_times
+        idx = int(np.searchsorted(times, timestamp, side="left"))
+        lo = max(0, idx - self.news_window)
+        if idx == lo:
+            return np.zeros((1, self.news_doc2vec_dim))
+        return self._news_vec_cache[lo:idx]
+
+    # -------------------------------------------------------------- sample
+    def build_sample(
+        self,
+        cascade: Cascade,
+        *,
+        interval_edges_hours: np.ndarray | None = None,
+        candidate_set: CandidateSet | None = None,
+        random_state=None,
+    ) -> RetinaSample:
+        """Assemble one cascade's features (and interval labels if edges given)."""
+        check_fitted(self, "base_")
+        rng = ensure_rng(
+            random_state if random_state is not None else self.random_state
+        )
+        cs = candidate_set or build_candidate_set(
+            cascade, self.world.network, n_negatives=self.n_negatives, random_state=rng
+        )
+        root = cascade.root
+        tweet_block = self._root_tweet_block(cascade)
+        endo = self.base_._endogen_block(root.timestamp)
+        rows = []
+        for uid in cs.users:
+            hist = self.base_._user_block(uid)["history"]
+            peer = self._peer_block(root.user_id, uid)
+            rows.append(np.concatenate([peer, hist, endo, tweet_block]))
+        user_features = np.stack(rows)
+        tweet_vec = self.base_.doc2vec_.infer_vector(root.text, random_state=0)
+        news_vecs = self._news_vectors(root.timestamp)
+        news_tfidf = self.base_._exogen_block(root.timestamp)
+
+        interval_labels = None
+        if interval_edges_hours is not None:
+            edges = np.asarray(interval_edges_hours, dtype=np.float64)
+            n_int = len(edges) - 1
+            interval_labels = np.zeros((len(cs.users), n_int))
+            rt_time = {r.user_id: r.timestamp - root.timestamp for r in cascade.retweets}
+            for i, uid in enumerate(cs.users):
+                dt = rt_time.get(uid)
+                if dt is None:
+                    continue
+                j = int(np.searchsorted(edges, dt, side="right")) - 1
+                j = min(max(j, 0), n_int - 1)
+                interval_labels[i, j] = 1.0
+        return RetinaSample(
+            candidate_set=cs,
+            user_features=user_features,
+            tweet_vec=tweet_vec,
+            news_vecs=news_vecs,
+            news_tfidf=news_tfidf,
+            labels=cs.labels.astype(np.float64),
+            interval_labels=interval_labels,
+        )
+
+    def build_samples(
+        self,
+        cascades: list[Cascade],
+        *,
+        interval_edges_hours: np.ndarray | None = None,
+        random_state=None,
+    ) -> list[RetinaSample]:
+        """Batch :meth:`build_sample` with one RNG stream."""
+        rng = ensure_rng(
+            random_state if random_state is not None else self.random_state
+        )
+        return [
+            self.build_sample(
+                c, interval_edges_hours=interval_edges_hours, random_state=rng
+            )
+            for c in cascades
+        ]
+
+    @property
+    def user_feature_dim(self) -> int:
+        """Dimensionality of the per-candidate feature vector."""
+        check_fitted(self, "base_")
+        hist = len(self.base_._user_block(0)["history"])
+        endo = len(self.world.catalog)
+        tweet = len(self.tweet_vectorizer_.vocabulary_) + len(self.base_.lexicon)
+        return 2 + hist + endo + tweet

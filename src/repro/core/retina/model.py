@@ -1,0 +1,156 @@
+"""The RETINA architecture (paper Fig. 4).
+
+Static mode (Fig. 4b): per-candidate features are layer-normalised, passed
+through a feed-forward layer, concatenated with the exogenous attention
+output X_TN, and a final feed-forward layer with sigmoid produces the
+retweet probability P_{u_i}.
+
+Dynamic mode (Fig. 4c): the last feed-forward layer is replaced by a GRU
+unrolled over successive time intervals, producing P^j_{u_i} per interval.
+
+The dagger variants (RETINA-S† / RETINA-D†, Table VI) disable the
+exogenous attention component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    Dense,
+    GRUCell,
+    LayerNorm,
+    LSTMCell,
+    Module,
+    RNNCell,
+    ScaledDotProductAttention,
+    Tensor,
+)
+from repro.utils.rng import ensure_rng
+
+__all__ = ["RETINA", "DYNAMIC_INTERVAL_EDGES_MIN", "interval_edges_hours"]
+
+#: Fig. 8's time-window boundaries, in minutes after the root tweet.
+DYNAMIC_INTERVAL_EDGES_MIN = (0.0, 5.0, 15.0, 45.0, 105.0, 225.0, 1665.0, 11745.0)
+
+
+def interval_edges_hours() -> np.ndarray:
+    """The dynamic-mode interval edges converted to hours."""
+    return np.asarray(DYNAMIC_INTERVAL_EDGES_MIN) / 60.0
+
+
+class RETINA(Module):
+    """Retweeter Identifier Network with Exogenous Attention.
+
+    Parameters
+    ----------
+    user_dim / tweet_dim / news_dim:
+        Input feature dimensionalities.
+    hdim:
+        Width of all hidden layers and the attention projections (paper: 64).
+    mode:
+        ``'static'`` or ``'dynamic'``.
+    use_exogenous:
+        ``False`` builds the dagger ablation without news attention.
+    n_intervals:
+        Number of prediction intervals in dynamic mode (paper Fig. 8: 7).
+    recurrent_cell:
+        ``'gru'`` (paper's choice), ``'rnn'`` or ``'lstm'`` (its ablation:
+        RNN degrades, LSTM no gain).
+    """
+
+    def __init__(
+        self,
+        user_dim: int,
+        tweet_dim: int,
+        news_dim: int,
+        hdim: int = 64,
+        mode: str = "static",
+        use_exogenous: bool = True,
+        n_intervals: int = 7,
+        recurrent_cell: str = "gru",
+        random_state=None,
+    ):
+        if mode not in ("static", "dynamic"):
+            raise ValueError(f"mode must be 'static' or 'dynamic', got {mode!r}")
+        if recurrent_cell not in ("gru", "rnn", "lstm"):
+            raise ValueError(f"unknown recurrent_cell {recurrent_cell!r}")
+        if n_intervals < 1:
+            raise ValueError(f"n_intervals must be >= 1, got {n_intervals}")
+        rng = ensure_rng(random_state)
+        self.mode = mode
+        self.use_exogenous = use_exogenous
+        self.n_intervals = n_intervals
+        self.hdim = hdim
+        self.recurrent_cell = recurrent_cell
+
+        self.norm = LayerNorm(user_dim)
+        self.user_ff = Dense(user_dim, hdim, activation="relu", random_state=rng)
+        if use_exogenous:
+            self.attention = ScaledDotProductAttention(
+                tweet_dim, news_dim, hdim=hdim, random_state=rng
+            )
+            joint_dim = 2 * hdim
+        else:
+            self.attention = None
+            joint_dim = hdim
+
+        if mode == "static":
+            self.hidden_ff = Dense(joint_dim, hdim, activation="relu", random_state=rng)
+            self.out = Dense(hdim, 1, random_state=rng)
+        else:
+            if recurrent_cell == "gru":
+                self.cell = GRUCell(joint_dim, hdim, random_state=rng)
+            elif recurrent_cell == "rnn":
+                self.cell = RNNCell(joint_dim, hdim, random_state=rng)
+            else:
+                self.cell = LSTMCell(joint_dim, hdim, random_state=rng)
+            self.out = Dense(hdim, 1, random_state=rng)
+
+    # -------------------------------------------------------------- forward
+    def _joint(self, user_features: Tensor, tweet_vec: Tensor, news_vecs: Tensor) -> Tensor:
+        """Normalise + project user features; concat attended exogenous X_TN."""
+        h_user = self.user_ff(self.norm(user_features))  # (B, hdim)
+        if not self.use_exogenous:
+            return h_user
+        B = user_features.shape[0]
+        # One tweet and one news sequence shared by the whole candidate batch.
+        attended = self.attention(tweet_vec.reshape(1, -1), news_vecs.reshape(1, *news_vecs.shape))
+        ones = Tensor(np.ones((B, 1)))
+        x_tn = ones @ attended  # broadcast (1, hdim) -> (B, hdim)
+        return Tensor.concat([h_user, x_tn], axis=1)
+
+    def forward(
+        self, user_features: Tensor, tweet_vec: Tensor, news_vecs: Tensor
+    ) -> Tensor:
+        """Logits: (B,) in static mode, (B, n_intervals) in dynamic mode."""
+        joint = self._joint(user_features, tweet_vec, news_vecs)
+        if self.mode == "static":
+            return self.out(self.hidden_ff(joint)).reshape(joint.shape[0])
+        B = joint.shape[0]
+        h = Tensor(np.zeros((B, self.hdim)))
+        state = (h, Tensor(np.zeros((B, self.hdim)))) if self.recurrent_cell == "lstm" else h
+        logits = []
+        for _ in range(self.n_intervals):
+            if self.recurrent_cell == "lstm":
+                h, c = self.cell(joint, state)
+                state = (h, c)
+            else:
+                h = self.cell(joint, state)
+                state = h
+            logits.append(self.out(h).reshape(B))
+        return Tensor.stack(logits, axis=1)  # (B, n_intervals)
+
+    def predict_proba(self, user_features, tweet_vec, news_vecs) -> np.ndarray:
+        """Sigmoid probabilities; dynamic mode returns (B, n_intervals)."""
+        logits = self.forward(
+            Tensor(np.asarray(user_features, dtype=np.float64)),
+            Tensor(np.asarray(tweet_vec, dtype=np.float64)),
+            Tensor(np.asarray(news_vecs, dtype=np.float64)),
+        )
+        return logits.sigmoid().numpy()
+
+    @staticmethod
+    def static_score_from_dynamic(interval_proba: np.ndarray) -> np.ndarray:
+        """P(ever retweets) = 1 - prod_j (1 - P^j) over intervals."""
+        return 1.0 - np.prod(1.0 - np.clip(interval_proba, 0.0, 1.0), axis=1)

@@ -1,0 +1,31 @@
+"""Synthetic Twitter-world substrate.
+
+The paper's crawled corpus (161M tweets, 41M-user follower network, 683k
+news articles, manual hate annotation) cannot be redistributed or recrawled
+offline.  This package generates a parameterised synthetic equivalent whose
+*documented statistics* match the paper: Table II per-hashtag counts and
+hate rates, the Figure 1 cascade dynamics (hate spreads faster, saturates
+earlier, exposes fewer susceptible users), Figure 2/3 topic-dependence of
+hate, and a timestamped news stream correlated with on-platform activity.
+"""
+
+from repro.data.schema import Cascade, HashtagSpec, NewsArticle, Retweet, Tweet, User
+from repro.data.hashtags import TABLE2_HASHTAGS, hashtag_catalog
+from repro.data.synthetic import SyntheticWorld, SyntheticWorldConfig
+from repro.data.annotate import AnnotatorPool
+from repro.data.dataset import HateDiffusionDataset
+
+__all__ = [
+    "User",
+    "Tweet",
+    "Retweet",
+    "Cascade",
+    "NewsArticle",
+    "HashtagSpec",
+    "TABLE2_HASHTAGS",
+    "hashtag_catalog",
+    "SyntheticWorld",
+    "SyntheticWorldConfig",
+    "AnnotatorPool",
+    "HateDiffusionDataset",
+]

@@ -1,0 +1,118 @@
+"""Dataset container: task-specific views over a SyntheticWorld.
+
+Mirrors the paper's experiment setup (Sec. VI-C/D): the hate-generation
+task keeps tweets with at least ``news_per_tweet`` preceding news articles;
+the retweet task additionally requires more than one retweet.  Both use an
+80:20 split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.annotate import AnnotatorPool
+from repro.data.schema import Cascade, Tweet
+from repro.data.synthetic import SyntheticWorld, SyntheticWorldConfig
+from repro.utils.rng import ensure_rng
+
+__all__ = ["HateDiffusionDataset"]
+
+
+@dataclass
+class HateDiffusionDataset:
+    """Task views over a generated world."""
+
+    world: SyntheticWorld
+
+    @classmethod
+    def generate(cls, config: SyntheticWorldConfig | None = None) -> "HateDiffusionDataset":
+        return cls(world=SyntheticWorld.generate(config))
+
+    # ------------------------------------------------------------ filtering
+    def tweets_with_news(self, min_news: int | None = None) -> list[Tweet]:
+        """Tweets with at least ``min_news`` articles published before them.
+
+        The paper keeps tweets "which have at least 60 news mapping to it
+        from the time of its posting".
+        """
+        k = min_news if min_news is not None else self.world.config.news_per_tweet
+        return [
+            t
+            for t in self.world.tweets
+            if len(self.world.news.recent_before(t.timestamp, k)) >= k
+        ]
+
+    def retweet_cascades(
+        self, min_retweets: int = 2, min_news: int | None = None
+    ) -> list[Cascade]:
+        """Cascades usable for the retweet-prediction task.
+
+        Paper: "only those tweets which have more than one retweet and at
+        least 60 news mapping".
+        """
+        eligible_ids = {t.tweet_id for t in self.tweets_with_news(min_news)}
+        return [
+            c
+            for c in self.world.cascades
+            if c.size >= min_retweets and c.root.tweet_id in eligible_ids
+        ]
+
+    # --------------------------------------------------------------- splits
+    def hategen_split(
+        self, test_size: float = 0.2, random_state=0
+    ) -> tuple[list[Tweet], list[Tweet]]:
+        """80:20 stratified train/test split of hate-generation samples."""
+        tweets = self.tweets_with_news()
+        labels = np.array([int(t.is_hate) for t in tweets])
+        rng = ensure_rng(random_state)
+        train, test = [], []
+        for cls_label in (0, 1):
+            idx = np.flatnonzero(labels == cls_label)
+            rng.shuffle(idx)
+            n_test = max(1, int(round(test_size * len(idx)))) if len(idx) > 1 else 0
+            test.extend(tweets[i] for i in idx[:n_test])
+            train.extend(tweets[i] for i in idx[n_test:])
+        # Shuffle so any prefix of either split is label-mixed.
+        rng.shuffle(train)
+        rng.shuffle(test)
+        return train, test
+
+    def cascade_split(
+        self, test_size: float = 0.2, random_state=0, min_retweets: int = 2
+    ) -> tuple[list[Cascade], list[Cascade]]:
+        """80:20 split of retweet cascades, stratified by root hatefulness."""
+        cascades = self.retweet_cascades(min_retweets=min_retweets)
+        labels = np.array([int(c.root.is_hate) for c in cascades])
+        rng = ensure_rng(random_state)
+        train, test = [], []
+        for cls_label in (0, 1):
+            idx = np.flatnonzero(labels == cls_label)
+            rng.shuffle(idx)
+            n_test = max(1, int(round(test_size * len(idx)))) if len(idx) > 1 else 0
+            test.extend(cascades[i] for i in idx[:n_test])
+            train.extend(cascades[i] for i in idx[n_test:])
+        # Shuffle so any prefix of either split is label-mixed.
+        rng.shuffle(train)
+        rng.shuffle(test)
+        return train, test
+
+    # ------------------------------------------------------------ annotation
+    def gold_annotation(
+        self, fraction: float = 0.6, random_state=0
+    ) -> tuple[list[Tweet], np.ndarray, np.ndarray]:
+        """Simulate the manual annotation round (Sec. VI-B).
+
+        Returns ``(annotated_tweets, ratings, majority_labels)``.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        rng = ensure_rng(random_state)
+        tweets = list(self.world.tweets)
+        rng.shuffle(tweets)
+        subset = tweets[: max(1, int(fraction * len(tweets)))]
+        pool = AnnotatorPool(random_state=rng)
+        ratings = pool.annotate(subset)
+        majority = pool.majority_vote(ratings)
+        return subset, ratings, majority

@@ -1,0 +1,77 @@
+"""The Table II hashtag catalog.
+
+All 34 hashtags from the paper with their reported tweet counts, average
+retweets, unique tweeting users, and percentage of hateful tweets.  Themes
+are assigned from the hashtag semantics (the paper's observation, Fig. 2:
+politics/social-issue hashtags attract far more hate than
+civic/sports/ceremonial ones).
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import HashtagSpec
+
+__all__ = ["TABLE2_HASHTAGS", "hashtag_catalog", "THEMES"]
+
+THEMES = (
+    "protest",
+    "riots",
+    "politics",
+    "covid",
+    "media",
+    "civic",
+)
+
+# tag, tweets, avg RT, users, %hate, theme  — verbatim from Table II.
+TABLE2_HASHTAGS: tuple[HashtagSpec, ...] = (
+    HashtagSpec("jamiaviolence", 950, 15.45, 743, 3.78, "protest"),
+    HashtagSpec("MigrantsOnTheRoad", 872, 6.69, 641, 8.20, "covid"),
+    HashtagSpec("timetosackvadras", 280, 8.19, 138, 1.30, "politics"),
+    HashtagSpec("jamiaunderattack", 263, 5.80, 215, 6.06, "protest"),
+    HashtagSpec("IndiaBoycottsNPR", 570, 7.87, 333, 0.80, "politics"),
+    HashtagSpec("ZeeNewsBanKaro", 919, 9.58, 751, 7.01, "media"),
+    HashtagSpec("SaluteCoronaWarriors", 104, 5.65, 53, 0.00, "civic"),
+    HashtagSpec("Demonetisation", 1696, 3.46, 607, 0.06, "politics"),
+    HashtagSpec("ChineseVirus", 8, 0.25, 7, 0.50, "covid"),
+    HashtagSpec("IslamoPhobicIndianMedia", 4307, 15.46, 1181, 8.42, "media"),
+    HashtagSpec("delhiriots2020", 1453, 12.23, 1136, 6.80, "riots"),
+    HashtagSpec("Seva4Society", 1087, 13.24, 532, 1.53, "civic"),
+    HashtagSpec("PMCaresFunds", 1172, 7.61, 1076, 0.80, "civic"),
+    HashtagSpec("COVID_19", 971, 6.38, 807, 1.96, "covid"),
+    HashtagSpec("Hindus_Under_Attack", 382, 7.10, 292, 10.10, "riots"),
+    HashtagSpec("WarisPathan", 989, 9.23, 807, 12.07, "politics"),
+    HashtagSpec("NorthDelhiRiots", 3418, 2.89, 1316, 0.08, "riots"),
+    HashtagSpec("UmarKhalid", 887, 3.82, 439, 0.10, "protest"),
+    HashtagSpec("lockdownextension", 107, 1.85, 102, 0.00, "covid"),
+    HashtagSpec("JamiaCCTV", 1045, 12.07, 815, 5.66, "protest"),
+    HashtagSpec("TrumpVisitIndia", 339, 8.47, 284, 2.60, "politics"),
+    HashtagSpec("PutNationOverPublicity", 555, 13.24, 365, 5.71, "politics"),
+    HashtagSpec("DelhiExodus", 542, 9.66, 414, 7.61, "riots"),
+    HashtagSpec("DelhiElectionResults", 843, 7.56, 731, 3.20, "politics"),
+    HashtagSpec("amitshahmustresign", 959, 5.01, 765, 9.94, "politics"),
+    HashtagSpec("PMPanuti", 1346, 4.06, 368, 0.02, "politics"),
+    HashtagSpec("Restore4GinKashmir", 949, 3.94, 492, 2.84, "politics"),
+    HashtagSpec("DelhiViolance", 1121, 9.004, 948, 7.37, "riots"),
+    HashtagSpec("StopNPR", 82, 10.23, 64, 0.00, "politics"),
+    HashtagSpec("1Crore4DelhiHindu", 889, 11.62, 770, 0.99, "riots"),
+    HashtagSpec("NirbhayaVerdict", 649, 7.61, 546, 4.67, "civic"),
+    HashtagSpec("NizamuddinMarkaz", 1124, 8.24, 843, 7.85, "covid"),
+    HashtagSpec("90daysofshaheenbagh", 226, 5.25, 188, 12.04, "protest"),
+    HashtagSpec("HinduLivesMatter", 392, 4.82, 145, 0.12, "riots"),
+)
+
+
+def hashtag_catalog(
+    n_hashtags: int | None = None, min_tweets: int = 0
+) -> list[HashtagSpec]:
+    """Return the catalog, optionally the ``n_hashtags`` largest by tweets.
+
+    Selecting the largest keeps small worlds dense enough for diffusion
+    experiments while preserving the hate-rate spread of Fig. 2.
+    """
+    specs = [h for h in TABLE2_HASHTAGS if h.n_tweets >= min_tweets]
+    if n_hashtags is not None:
+        if n_hashtags < 1:
+            raise ValueError(f"n_hashtags must be >= 1, got {n_hashtags}")
+        specs = sorted(specs, key=lambda h: -h.n_tweets)[:n_hashtags]
+    return specs

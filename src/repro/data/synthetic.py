@@ -1,0 +1,467 @@
+"""Generative model of the paper's Twitter corpus.
+
+:class:`SyntheticWorld` produces — at a configurable scale — every artifact
+the paper's models consume:
+
+- a follower network with echo-chamber communities,
+- users with topic-dependent hate affinities (Fig. 3),
+- root tweets per hashtag matching Table II tweet counts and hate rates
+  (Fig. 2), timed by exogenous news bursts,
+- retweet cascades whose size and tempo differ for hate vs non-hate
+  (Fig. 1: hateful content gathers more retweets faster, within
+  better-connected audiences, exposing fewer susceptible users),
+- pre-window activity history per user (the paper's H_{i,t}),
+- a timestamped news stream (exogenous signal S_ex).
+
+All randomness flows from a single seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.hashtags import THEMES, hashtag_catalog
+from repro.data.news import NewsStream, generate_news_stream
+from repro.data.schema import WINDOW_HOURS, Cascade, HashtagSpec, Retweet, Tweet, User
+from repro.data.vocab import make_text
+from repro.graph.generators import community_follower_graph
+from repro.graph.network import InformationNetwork
+from repro.utils.rng import ensure_rng
+
+__all__ = ["SyntheticWorldConfig", "SyntheticWorld"]
+
+MAX_CASCADE = 196  # largest cascade in the paper's data
+FIG1_HORIZON = 200.0  # hours shown in the paper's Figure 1
+
+
+@dataclass
+class SyntheticWorldConfig:
+    """Knobs of the synthetic world.
+
+    ``scale`` multiplies Table II tweet counts; the default keeps the world
+    small enough for test suites while preserving every distributional
+    property. ``hate_rt_boost`` is the hateful-cascade size multiplier
+    implied by Fig. 1a; ``hate_delay_hours``/``nonhate_delay_hours`` set the
+    retweet-latency scales that produce Fig. 1's early-saturating hate
+    curves; ``echo_bias`` is the preference of hateful cascades for the root
+    community (echo chambers).
+    """
+
+    scale: float = 0.04
+    n_hashtags: int = 12
+    n_users: int = 600
+    n_communities: int = 8
+    mean_follows: int = 14
+    p_in: float = 0.85
+    celebrity_fraction: float = 0.03
+    celebrity_follow_prob: float = 0.5
+    hate_clique_quantile: float = 0.7
+    hate_clique_density: float = 0.7
+    max_hate_cascade_fraction: float = 0.18
+    n_news: int = 1500
+    news_per_tweet: int = 60
+    history_tweets_mean: float = 35.0
+    hate_rt_boost: float = 3.0
+    hate_delay_hours: float = 8.0
+    nonhate_delay_hours: float = 45.0
+    echo_bias: float = 4.0
+    organic_prob: float = 0.93
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.n_users < 10:
+            raise ValueError(f"n_users must be >= 10, got {self.n_users}")
+        if not 0.0 <= self.organic_prob <= 1.0:
+            raise ValueError(f"organic_prob must be in [0,1], got {self.organic_prob}")
+
+
+@dataclass
+class SyntheticWorld:
+    """The generated corpus; construct via :meth:`generate`."""
+
+    config: SyntheticWorldConfig
+    catalog: list[HashtagSpec]
+    users: dict[int, User]
+    network: InformationNetwork
+    communities: np.ndarray
+    tweets: list[Tweet]
+    cascades: list[Cascade]
+    history: dict[int, list[Tweet]]
+    news: NewsStream
+    theme_of: dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ generation
+    @classmethod
+    def generate(cls, config: SyntheticWorldConfig | None = None) -> "SyntheticWorld":
+        """Build a full world from the configuration seed."""
+        cfg = config or SyntheticWorldConfig()
+        rng = ensure_rng(cfg.seed)
+        catalog = hashtag_catalog(cfg.n_hashtags)
+        theme_of = {h.tag: h.theme for h in catalog}
+
+        network, communities = community_follower_graph(
+            cfg.n_users,
+            n_communities=cfg.n_communities,
+            mean_follows=cfg.mean_follows,
+            p_in=cfg.p_in,
+            celebrity_fraction=cfg.celebrity_fraction,
+            celebrity_follow_prob=cfg.celebrity_follow_prob,
+            random_state=rng,
+        )
+        users = cls._make_users(cfg, catalog, communities, rng)
+        cls._densify_hate_cliques(cfg, users, network, communities, rng)
+        news = generate_news_stream(
+            n_articles=cfg.n_news, window_hours=WINDOW_HOURS, random_state=rng
+        )
+        # Stable dyadic retweet habits: D[a, b] is b's tendency to retweet a.
+        # Heavy-tailed so a few (source, follower) pairs retweet repeatedly —
+        # the behaviour the paper's "times u_j retweeted u_0" feature tracks.
+        dyad = rng.lognormal(mean=0.0, sigma=1.8, size=(cfg.n_users, cfg.n_users))
+        tweets, cascades = cls._make_tweets_and_cascades(
+            cfg, catalog, users, network, communities, news, dyad, rng
+        )
+        history = cls._make_history(cfg, catalog, users, rng)
+        return cls(
+            config=cfg,
+            catalog=catalog,
+            users=users,
+            network=network,
+            communities=communities,
+            tweets=tweets,
+            cascades=cascades,
+            history=history,
+            news=news,
+            theme_of=theme_of,
+        )
+
+    # ----------------------------------------------------------------- users
+    @staticmethod
+    def _make_users(cfg, catalog, communities, rng) -> dict[int, User]:
+        n = cfg.n_users
+        n_comm = cfg.n_communities
+        # Community theme preferences (Dirichlet) and hate multipliers: some
+        # communities are hate-prone on some themes (Fig. 3 block structure).
+        theme_list = list(THEMES)
+        comm_theme_pref = rng.dirichlet(np.full(len(theme_list), 0.8), size=n_comm)
+        comm_hate_mult = rng.gamma(2.0, 0.75, size=(n_comm, len(theme_list)))
+
+        # A small fraction of users produce most hate (Mathew et al.):
+        # Beta(1.2, 18) puts most mass near zero with a heavy right tail.
+        base = rng.beta(1.2, 18.0, size=n)
+        activity = rng.lognormal(mean=0.0, sigma=1.2, size=n)
+        account_age = rng.uniform(30.0, 3650.0, size=n)
+
+        theme_index = {t: i for i, t in enumerate(theme_list)}
+        users: dict[int, User] = {}
+        # Raw affinity r(u, tag) = base_u * community multiplier(theme);
+        # calibrated per hashtag so the mean hate probability over authors
+        # equals the Table II hate rate.
+        raw = np.empty((n, len(catalog)))
+        for j, spec in enumerate(catalog):
+            ti = theme_index[spec.theme]
+            raw[:, j] = base * comm_hate_mult[communities, ti]
+        for j, spec in enumerate(catalog):
+            mean_raw = raw[:, j].mean()
+            target = spec.pct_hate / 100.0
+            if mean_raw > 0:
+                raw[:, j] = np.clip(raw[:, j] * target / mean_raw, 0.0, 0.95)
+        for uid in range(n):
+            affinity = {spec.tag: float(raw[uid, j]) for j, spec in enumerate(catalog)}
+            users[uid] = User(
+                user_id=uid,
+                community=int(communities[uid]),
+                account_age_days=float(account_age[uid]),
+                activity_rate=float(activity[uid]),
+                base_hate_propensity=float(np.clip(base[uid] * 0.3, 0.0, 0.9)),
+                hate_affinity=affinity,
+            )
+        # Topic preference for *tweeting* (who talks about what).
+        for uid in range(n):
+            pref = comm_theme_pref[communities[uid]] + rng.dirichlet(
+                np.full(len(theme_list), 1.2)
+            )
+            users[uid].theme_preference = {  # type: ignore[attr-defined]
+                t: float(pref[i] / pref.sum()) for i, t in enumerate(theme_list)
+            }
+        return users
+
+    @staticmethod
+    def _densify_hate_cliques(cfg, users, network, communities, rng) -> None:
+        """Interconnect high-hate-propensity users within each community.
+
+        Mathew et al. (and this paper's Fig. 1 reading) observe hateful
+        content circulating among a small, well-connected user set.  Mutual
+        follows among the top-propensity users of a community make hateful
+        cascades recirculate internally instead of exposing new audiences.
+        """
+        base = np.array([users[u].base_hate_propensity for u in sorted(users)])
+        cutoff = np.quantile(base, cfg.hate_clique_quantile)
+        prone = np.flatnonzero(base >= cutoff)
+        for comm in range(cfg.n_communities):
+            group = [int(u) for u in prone if communities[u] == comm]
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    if rng.random() < cfg.hate_clique_density:
+                        if not network.follows(b, a):
+                            network.add_follow(a, b)
+                        if not network.follows(a, b):
+                            network.add_follow(b, a)
+
+    # ------------------------------------------------------------- cascades
+    @classmethod
+    def _make_tweets_and_cascades(cls, cfg, catalog, users, network, communities, news, dyad, rng):
+        tweets: list[Tweet] = []
+        cascades: list[Cascade] = []
+        n = cfg.n_users
+        activity = np.array([users[u].activity_rate for u in range(n)])
+        tweet_id = 0
+        grid = np.linspace(0, WINDOW_HOURS, 1024)
+        for spec in catalog:
+            n_tweets = max(6, int(round(cfg.scale * spec.n_tweets)))
+            # Author weights: activity x theme preference.
+            pref = np.array(
+                [users[u].theme_preference[spec.theme] for u in range(n)]  # type: ignore[attr-defined]
+            )
+            weights = activity * pref
+            weights /= weights.sum()
+            # Tweet times follow the theme's news-burst profile (exogenous
+            # influence: off-platform events trigger on-platform volume).
+            rate = 0.15 + np.array([news.theme_rate_at(spec.theme, t) for t in grid])
+            cdf = np.cumsum(rate)
+            cdf /= cdf[-1]
+            times = np.sort(np.interp(rng.random(n_tweets), cdf, grid))
+            # Base cascade size such that the hate/non-hate mixture matches
+            # the hashtag's average retweet count.
+            p_h = spec.pct_hate / 100.0
+            base_size = spec.avg_retweets / ((1.0 - p_h) + cfg.hate_rt_boost * p_h)
+            # Exogenous coupling: cascades during news bursts grow larger and
+            # turn hateful more often (events fuel both volume and vitriol) —
+            # this is the signal the paper's exogenous features/attention
+            # read.  Normalised to mean 1 so Table II calibration holds.
+            tweet_rates = 0.15 + np.array(
+                [news.theme_rate_at(spec.theme, t) for t in times]
+            )
+            rel = tweet_rates / tweet_rates.mean()
+            size_boost = 0.1 + 0.9 * rel**1.5
+            size_boost /= size_boost.mean()
+            hate_boost = 0.3 + 0.7 * rel
+            hate_boost /= hate_boost.mean()
+            authors = rng.choice(n, size=n_tweets, p=weights)
+            for ti, (t, author) in enumerate(zip(times, authors)):
+                author = int(author)
+                p_hate = min(
+                    0.95, users[author].hate_probability(spec.tag) * hate_boost[ti]
+                )
+                is_hate = bool(rng.random() < p_hate)
+                text = make_text(spec.theme, spec.tag, is_hate, rng)
+                tweet = Tweet(
+                    tweet_id=tweet_id,
+                    user_id=author,
+                    hashtag=spec.tag,
+                    text=text,
+                    timestamp=float(t),
+                    is_hate=is_hate,
+                )
+                tweet_id += 1
+                cascade = cls._simulate_cascade(
+                    cfg,
+                    tweet,
+                    base_size * size_boost[ti],
+                    network,
+                    communities,
+                    users,
+                    dyad,
+                    spec,
+                    rng,
+                )
+                tweets.append(tweet)
+                cascades.append(cascade)
+        return tweets, cascades
+
+    @classmethod
+    def _simulate_cascade(
+        cls, cfg, tweet, base_size, network, communities, users, dyad, spec, rng
+    ) -> Cascade:
+        """Grow one retweet cascade over the follower graph.
+
+        Size: geometric-like draw around the calibrated mean (hate boosted).
+        Participants: mostly followers of current participants (organic
+        diffusion), hateful cascades biased toward the root community (echo
+        chamber); a small fraction arrives from outside the visible graph
+        (promoted/searched content, Sec. III "beyond organic diffusion").
+        Who retweets is driven by stable user traits — activity, topic
+        preference, dyadic habit toward the root, and (for hateful roots)
+        hate affinity — so the paper's features carry real signal.
+        Timing: exponential delays, much shorter for hate (Fig. 1).
+        """
+        mean_size = base_size * (cfg.hate_rt_boost if tweet.is_hate else 1.0)
+        # Lognormal sizes give the heavy tail of real cascades.  Hateful
+        # cascades are additionally capped relative to the population so an
+        # echo chamber remains possible at small world scales.
+        cap = MAX_CASCADE
+        if tweet.is_hate:
+            cap = min(cap, int(cfg.max_hate_cascade_fraction * cfg.n_users))
+        size = int(
+            min(
+                cap,
+                rng.lognormal(np.log(max(mean_size, 0.3)), 0.7),
+            )
+        )
+        root = tweet.user_id
+        root_comm = communities[root]
+        participants = {root}
+        frontier: dict[int, float] = {}
+
+        def trait_weight(f: int) -> float:
+            """User-trait retweet propensity (observable through features)."""
+            user = users[f]
+            q = user.activity_rate
+            q *= 0.3 + user.theme_preference[spec.theme]  # type: ignore[attr-defined]
+            if tweet.is_hate:
+                # Hate participation is driven by hate affinity; the noisy
+                # dyadic habit is dropped so the echo-chamber structure
+                # (novelty penalty below) dominates selection.
+                q *= 0.2 + 5.0 * user.hate_probability(tweet.hashtag)
+            else:
+                q *= dyad[root, f]
+            return q
+
+        def admit_followers(uid: int) -> None:
+            for f in network.followers(uid):
+                if f not in participants:
+                    if tweet.is_hate:
+                        # Echo chamber: prefer same-community users whose
+                        # audience is already inside the cascade — more
+                        # retweets, few *new* exposures.  The squared
+                        # novelty penalty keeps celebrities and other
+                        # high-fanout users out of hateful cascades.
+                        w = cfg.echo_bias if communities[f] == root_comm else 0.05
+                        novel = sum(
+                            1 for g in network.followers(f) if g not in participants
+                        )
+                        w /= (1.0 + novel) ** 2
+                    else:
+                        # Organic spread rides hub users across communities,
+                        # constantly exposing fresh audiences.
+                        w = (1.0 + network.follower_count(f)) ** 1.5
+                    frontier[f] = max(frontier.get(f, 0.0), w * trait_weight(f))
+
+        admit_followers(root)
+        chosen: list[int] = []
+        for _ in range(size):
+            take_organic = frontier and rng.random() < cfg.organic_prob
+            if take_organic:
+                cand = list(frontier)
+                # Squared weights sharpen selection toward high-propensity
+                # users, making participation consistent across cascades
+                # (the predictability the paper's models exploit).
+                w = np.array([frontier[c] for c in cand]) ** 2
+                pick = int(rng.choice(len(cand), p=w / w.sum()))
+                uid = cand[pick]
+                del frontier[uid]
+            else:
+                outside = [
+                    u for u in range(cfg.n_users) if u not in participants
+                ]
+                if not outside:
+                    break
+                uid = int(outside[rng.integers(0, len(outside))])
+                frontier.pop(uid, None)
+            participants.add(uid)
+            chosen.append(uid)
+            admit_followers(uid)
+
+        scale = cfg.hate_delay_hours if tweet.is_hate else cfg.nonhate_delay_hours
+        delays = rng.exponential(scale, size=len(chosen))
+        if not tweet.is_hate:
+            # Non-hate keeps spreading at a low rate for a long time: mix in
+            # a uniform tail over the Fig. 1 horizon.
+            tail = rng.random(len(chosen)) < 0.35
+            delays[tail] = rng.uniform(0.0, FIG1_HORIZON, size=int(tail.sum()))
+        delays = np.sort(np.minimum(delays, FIG1_HORIZON))
+        retweets = [
+            Retweet(user_id=uid, timestamp=float(tweet.timestamp + d))
+            for uid, d in zip(chosen, delays)
+        ]
+        return Cascade(root=tweet, retweets=retweets)
+
+    # -------------------------------------------------------------- history
+    @staticmethod
+    def _make_history(cfg, catalog, users, rng) -> dict[int, list[Tweet]]:
+        """Pre-window tweets per user (negative timestamps).
+
+        These instantiate the paper's activity history H_{i,t}: recent
+        topical interest, hate ratio, and lexicon counts are all computed
+        from this pool.
+        """
+        history: dict[int, list[Tweet]] = {}
+        tweet_id = 10_000_000  # disjoint id space from in-window tweets
+        tags = [spec.tag for spec in catalog]
+        themes = [spec.theme for spec in catalog]
+        for uid, user in users.items():
+            n_hist = int(rng.poisson(cfg.history_tweets_mean * min(user.activity_rate, 3.0)))
+            n_hist = max(n_hist, 3)
+            pref = np.array([user.theme_preference[t] for t in themes])  # type: ignore[attr-defined]
+            pref /= pref.sum()
+            picks = rng.choice(len(tags), size=n_hist, p=pref)
+            times = -np.sort(rng.uniform(1.0, 24.0 * 120, size=n_hist))[::-1]
+            items: list[Tweet] = []
+            for k, (j, ts) in enumerate(zip(picks, times)):
+                tag, theme = tags[j], themes[j]
+                is_hate = bool(rng.random() < user.hate_probability(tag))
+                items.append(
+                    Tweet(
+                        tweet_id=tweet_id,
+                        user_id=uid,
+                        hashtag=tag,
+                        text=make_text(theme, tag, is_hate, rng, length=12),
+                        timestamp=float(ts),
+                        is_hate=is_hate,
+                    )
+                )
+                tweet_id += 1
+            items.sort(key=lambda tw: tw.timestamp)
+            history[uid] = items
+        return history
+
+    # ------------------------------------------------------------- summaries
+    def hashtag_stats(self) -> list[dict]:
+        """Per-hashtag generated statistics in Table II form."""
+        out = []
+        for spec in self.catalog:
+            tw = [t for t in self.tweets if t.hashtag == spec.tag]
+            cs = [c for c in self.cascades if c.root.hashtag == spec.tag]
+            users_tweeting = {t.user_id for t in tw}
+            users_all = set(users_tweeting)
+            for c in cs:
+                users_all.update(r.user_id for r in c.retweets)
+            n_hate = sum(t.is_hate for t in tw)
+            out.append(
+                {
+                    "tag": spec.tag,
+                    "tweets": len(tw),
+                    "avg_rt": float(np.mean([c.size for c in cs])) if cs else 0.0,
+                    "users": len(users_tweeting),
+                    "users_all": len(users_all),
+                    "pct_hate": 100.0 * n_hate / len(tw) if tw else 0.0,
+                    "target_avg_rt": spec.avg_retweets,
+                    "target_pct_hate": spec.pct_hate,
+                }
+            )
+        return out
+
+    def user_history_before(self, user_id: int, t: float, k: int = 30) -> list[Tweet]:
+        """The user's ``k`` most recent tweets strictly before time ``t``.
+
+        Combines pre-window history with in-window tweets, which is how the
+        paper's H_{i,t} features are computed at prediction time t0.
+        """
+        pool = list(self.history.get(user_id, []))
+        pool.extend(tw for tw in self.tweets if tw.user_id == user_id)
+        pool = [tw for tw in pool if tw.timestamp < t]
+        pool.sort(key=lambda tw: tw.timestamp)
+        return pool[-k:]

@@ -1,0 +1,36 @@
+"""Diffusion models: rudimentary and neural retweet-prediction baselines.
+
+Implements every external baseline of the paper's Table VI:
+
+- :class:`SIRModel` — Kermack-McKendrick susceptible-infectious-recovered
+  contagion on the follower network.
+- :class:`GeneralThresholdModel` — Kempe-Kleinberg-Tardos threshold
+  activation.
+- :class:`TopoLSTM` — sender-receiver recurrent scoring over the cascade
+  DAG (Wang et al., ICDM 2017), candidates restricted to seen users.
+- :class:`FOREST` — recurrent next-user model with structural context
+  aggregated from the global graph (Yang et al., IJCAI 2019).
+- :class:`HIDAN` — hierarchical temporal-attention model using time
+  differences instead of a global graph (Wang & Li, IJCAI 2019).
+
+The neural baselines are faithful-in-spirit reimplementations on
+:mod:`repro.nn`; each keeps its defining inductive bias.
+"""
+
+from repro.diffusion.cascade import CandidateSet, build_candidate_set, next_user_samples
+from repro.diffusion.sir import SIRModel
+from repro.diffusion.threshold import GeneralThresholdModel
+from repro.diffusion.topolstm import TopoLSTM
+from repro.diffusion.forest import FOREST
+from repro.diffusion.hidan import HIDAN
+
+__all__ = [
+    "CandidateSet",
+    "build_candidate_set",
+    "next_user_samples",
+    "SIRModel",
+    "GeneralThresholdModel",
+    "TopoLSTM",
+    "FOREST",
+    "HIDAN",
+]

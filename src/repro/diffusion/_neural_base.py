@@ -1,0 +1,169 @@
+"""Shared machinery for the neural cascade baselines.
+
+TopoLSTM, FOREST, and HIDAN all follow the microscopic-cascade-prediction
+recipe: embed users, encode the time-ordered participant prefix, score the
+next participant with a softmax over users.  They differ in the encoder and
+candidate policy, which subclasses provide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import Cascade
+from repro.diffusion.cascade import CandidateSet
+from repro.nn import Adam, Embedding, Tensor
+from repro.nn.losses import cross_entropy
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+__all__ = ["NeuralDiffusionModel"]
+
+
+class NeuralDiffusionModel:
+    """Base next-user cascade model.
+
+    Subclasses implement :meth:`_build` (create encoder layers) and
+    :meth:`_encode` (map a padded prefix batch to a hidden state).
+    """
+
+    #: whether inference restricts candidates to users seen during training
+    restrict_to_seen: bool = False
+    #: whether the encoder consumes retweet time deltas
+    uses_time: bool = False
+
+    def __init__(
+        self,
+        embed_dim: int = 32,
+        hidden_dim: int = 32,
+        epochs: int = 4,
+        lr: float = 5e-3,
+        batch_size: int = 64,
+        max_prefix: int = 8,
+        random_state=None,
+    ):
+        if embed_dim < 1 or hidden_dim < 1:
+            raise ValueError("embed_dim and hidden_dim must be >= 1")
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.max_prefix = max_prefix
+        self.random_state = random_state
+        self.n_users_: int | None = None
+        self.seen_users_: set[int] | None = None
+        self.embedding_: Embedding | None = None
+        self.out_proj_: Tensor | None = None
+
+    # ------------------------------------------------------------ subclass
+    def _build(self, rng: np.random.Generator) -> None:
+        raise NotImplementedError
+
+    def _encode(self, emb: Tensor, deltas: np.ndarray) -> Tensor:
+        """Map ``(B, T, D)`` prefix embeddings to ``(B, H)`` states."""
+        raise NotImplementedError
+
+    def _modules(self) -> list:
+        """Modules holding trainable parameters besides the embedding."""
+        raise NotImplementedError
+
+    # ----------------------------------------------------------- training
+    def _samples(self, cascades: list[Cascade]):
+        """(prefix_ids, prefix_times, next_id) triples."""
+        out = []
+        for c in cascades:
+            ids = c.participants
+            times = [c.root.timestamp] + [r.timestamp for r in c.retweets]
+            for i in range(1, len(ids)):
+                lo = max(0, i - self.max_prefix)
+                out.append((ids[lo:i], times[lo:i], ids[i], times[i]))
+        return out
+
+    def _pad_batch(self, batch):
+        """Left-pad prefixes; returns (ids [B,T], deltas [B,T])."""
+        T = self.max_prefix
+        B = len(batch)
+        ids = np.full((B, T), self.n_users_, dtype=np.int64)  # PAD id
+        deltas = np.zeros((B, T))
+        for b, (prefix, times, _nxt, nxt_time) in enumerate(batch):
+            L = len(prefix)
+            ids[b, T - L :] = prefix
+            # Time difference from each prefix event to the prediction time.
+            deltas[b, T - L :] = np.maximum(nxt_time - np.asarray(times), 0.0)
+        return ids, deltas
+
+    def fit(self, cascades: list[Cascade], network=None) -> "NeuralDiffusionModel":
+        """Train on next-user transitions from the given cascades."""
+        if not cascades:
+            raise ValueError("fit requires at least one cascade")
+        rng = ensure_rng(self.random_state)
+        all_users: set[int] = set()
+        for c in cascades:
+            all_users.update(c.participants)
+        if network is not None:
+            all_users.update(network.users())
+        self.n_users_ = max(all_users) + 1
+        self.seen_users_ = {u for c in cascades for u in c.participants}
+        self.network_ = network
+        # +1 slot for PAD.
+        self.embedding_ = Embedding(self.n_users_ + 1, self.embed_dim, random_state=rng)
+        self._build(rng)
+        from repro.nn import init
+
+        self.out_proj_ = Tensor(
+            init.glorot_uniform(self.hidden_dim, self.n_users_, rng), requires_grad=True
+        )
+        params = self.embedding_.parameters() + [self.out_proj_]
+        for m in self._modules():
+            params.extend(m.parameters())
+        opt = Adam(params, lr=self.lr)
+        samples = self._samples(cascades)
+        order = np.arange(len(samples))
+        for _ in range(self.epochs):
+            rng.shuffle(order)
+            for start in range(0, len(order), self.batch_size):
+                batch = [samples[i] for i in order[start : start + self.batch_size]]
+                ids, deltas = self._pad_batch(batch)
+                targets = np.array([b[2] for b in batch])
+                emb = self._lookup(ids)
+                h = self._encode(emb, deltas)
+                logits = h @ self.out_proj_
+                loss = cross_entropy(logits, targets)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+        return self
+
+    def _lookup(self, ids: np.ndarray) -> Tensor:
+        return self.embedding_(ids)
+
+    # ---------------------------------------------------------- inference
+    def score_users(self, prefix: list[int], prefix_times: list[float], at_time: float) -> np.ndarray:
+        """Softmax scores over all users given a cascade prefix."""
+        check_fitted(self, "out_proj_")
+        prefix = prefix[-self.max_prefix :]
+        prefix_times = prefix_times[-self.max_prefix :]
+        ids, deltas = self._pad_batch([(prefix, prefix_times, 0, at_time)])
+        emb = self._lookup(ids)
+        h = self._encode(emb, deltas)
+        logits = (h @ self.out_proj_).numpy()[0]
+        logits -= logits.max()
+        p = np.exp(logits)
+        p /= p.sum()
+        if self.restrict_to_seen:
+            mask = np.zeros(self.n_users_)
+            for u in self.seen_users_:
+                mask[u] = 1.0
+            p = p * mask
+        return p
+
+    def predict_proba(self, candidate_set: CandidateSet, network=None) -> np.ndarray:
+        """Score each candidate given only the root user (static setting)."""
+        root = candidate_set.cascade.root
+        scores = self.score_users([root.user_id], [root.timestamp], root.timestamp)
+        out = np.zeros(len(candidate_set.users))
+        for i, uid in enumerate(candidate_set.users):
+            if uid < self.n_users_:
+                out[i] = scores[uid]
+        return out

@@ -1,0 +1,112 @@
+"""Cascade-level prediction scaffolding.
+
+The paper frames retweeter prediction as binary classification over a
+candidate audience: actual retweeters are positives, and negative samples
+are inactive users — followers of participants who saw the tweet but did
+not engage (Sec. II: "adds negative sampling (in the form on inactive
+nodes)").  Every model in Table VI is evaluated on the same candidate sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import Cascade
+from repro.graph.network import InformationNetwork
+from repro.utils.rng import ensure_rng
+
+__all__ = ["CandidateSet", "build_candidate_set", "next_user_samples"]
+
+
+@dataclass
+class CandidateSet:
+    """Candidate users for one cascade with ground-truth labels."""
+
+    cascade: Cascade
+    users: list[int]
+    labels: np.ndarray  # 1 = retweeted
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    @property
+    def positives(self) -> list[int]:
+        return [u for u, l in zip(self.users, self.labels) if l == 1]
+
+
+def build_candidate_set(
+    cascade: Cascade,
+    network: InformationNetwork,
+    *,
+    n_negatives: int = 30,
+    include_nonorganic: bool = True,
+    random_state=None,
+) -> CandidateSet:
+    """Assemble the candidate audience of one cascade.
+
+    Positives: every actual retweeter (optionally excluding those outside
+    the visibly organic follower frontier, cf. the paper's "beyond organic
+    diffusion" discussion).  Negatives: susceptible users — followers of
+    participants who did not retweet — topped up with random inactive users
+    when the susceptible pool is small.
+    """
+    if n_negatives < 1:
+        raise ValueError(f"n_negatives must be >= 1, got {n_negatives}")
+    rng = ensure_rng(random_state)
+    retweeters = [r.user_id for r in cascade.retweets]
+    retweeter_set = set(retweeters)
+    positives = list(retweeters)
+    if not include_nonorganic:
+        organic = set(network.followers(cascade.root.user_id))
+        frontier = set(organic)
+        kept = []
+        for uid in retweeters:
+            if uid in frontier:
+                kept.append(uid)
+                frontier.update(network.followers(uid))
+        positives = kept
+        retweeter_set = set(kept)
+
+    susceptible = network.susceptible_set(cascade.participants)
+    pool = sorted(susceptible - retweeter_set - {cascade.root.user_id})
+    if len(pool) >= n_negatives:
+        negatives = [int(u) for u in rng.choice(pool, size=n_negatives, replace=False)]
+    else:
+        negatives = list(pool)
+        everyone = [
+            u
+            for u in network.users()
+            if u not in retweeter_set
+            and u != cascade.root.user_id
+            and u not in susceptible
+        ]
+        extra = n_negatives - len(negatives)
+        if everyone and extra > 0:
+            take = min(extra, len(everyone))
+            negatives.extend(
+                int(u) for u in rng.choice(everyone, size=take, replace=False)
+            )
+    users = positives + negatives
+    labels = np.array([1] * len(positives) + [0] * len(negatives), dtype=np.int64)
+    return CandidateSet(cascade=cascade, users=users, labels=labels)
+
+
+def next_user_samples(
+    cascades: list[Cascade], max_prefix: int = 10
+) -> list[tuple[list[int], int]]:
+    """(prefix -> next user) training pairs for the neural baselines.
+
+    Each retweet event yields one sample whose input is the time-ordered
+    participant prefix (truncated to the last ``max_prefix`` users).
+    """
+    if max_prefix < 1:
+        raise ValueError(f"max_prefix must be >= 1, got {max_prefix}")
+    samples: list[tuple[list[int], int]] = []
+    for cascade in cascades:
+        participants = cascade.participants
+        for i in range(1, len(participants)):
+            prefix = participants[max(0, i - max_prefix) : i]
+            samples.append((prefix, participants[i]))
+    return samples

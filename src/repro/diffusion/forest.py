@@ -1,0 +1,87 @@
+"""FOREST baseline (Yang, Tang, Sun, Cui & Liu, IJCAI 2019).
+
+Unified micro/macroscopic cascade model.  We implement its microscopic
+component: a GRU over the cascade prefix whose per-user inputs are the user
+embedding *fused with structural context* — the aggregate embedding of the
+user's one-hop neighbourhood sampled from the global follower graph.
+Unlike TopoLSTM, every user in the graph is a candidate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diffusion._neural_base import NeuralDiffusionModel
+from repro.nn import Dense, GRUCell, Tensor
+
+__all__ = ["FOREST"]
+
+
+class FOREST(NeuralDiffusionModel):
+    """GRU next-user model with one-hop structural context."""
+
+    restrict_to_seen = False
+    uses_time = False
+
+    def __init__(self, *args, n_neighbor_samples: int = 10, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.n_neighbor_samples = n_neighbor_samples
+
+    def _build(self, rng) -> None:
+        self.fuse_ = Dense(2 * self.embed_dim, self.embed_dim, activation="tanh", random_state=rng)
+        self.cell_ = GRUCell(self.embed_dim, self.hidden_dim, random_state=rng)
+        self._neighbor_cache: dict[int, np.ndarray] = {}
+        self._rng = rng
+
+    def _modules(self) -> list:
+        return [self.fuse_, self.cell_]
+
+    def _neighbors(self, uid: int) -> np.ndarray:
+        """Sampled one/two-hop neighbourhood ids (cached per user)."""
+        cached = self._neighbor_cache.get(uid)
+        if cached is not None:
+            return cached
+        if self.network_ is None:
+            ids = np.array([uid])
+        else:
+            hop1 = self.network_.followers(uid) + self.network_.followees(uid)
+            if len(hop1) > self.n_neighbor_samples:
+                hop1 = list(
+                    self._rng.choice(hop1, size=self.n_neighbor_samples, replace=False)
+                )
+            ids = np.array([uid] + [int(h) for h in hop1])
+        self._neighbor_cache[uid] = ids
+        return ids
+
+    def _lookup(self, ids: np.ndarray) -> Tensor:
+        """User embedding concatenated with mean neighbourhood embedding."""
+        own = self.embedding_(ids)  # (B, T, D)
+        B, T = ids.shape
+        # Build neighbour-context ids as a ragged structure, then average
+        # embeddings via a flat lookup to keep everything differentiable.
+        flat_ids = []
+        spans = []
+        for b in range(B):
+            for t in range(T):
+                uid = int(ids[b, t])
+                if uid >= self.n_users_:  # PAD
+                    neigh = np.array([self.n_users_])
+                else:
+                    neigh = self._neighbors(uid)
+                spans.append((len(flat_ids), len(neigh)))
+                flat_ids.extend(neigh.tolist())
+        flat_emb = self.embedding_(np.array(flat_ids))  # (sum, D)
+        # Averaging matrix (constant): (B*T, sum)
+        M = np.zeros((B * T, len(flat_ids)))
+        for k, (lo, n) in enumerate(spans):
+            M[k, lo : lo + n] = 1.0 / n
+        ctx_emb = (Tensor(M) @ flat_emb).reshape(B, T, self.embed_dim)
+        fused = self.fuse_(Tensor.concat([own, ctx_emb], axis=2))
+        return fused
+
+    def _encode(self, emb: Tensor, deltas: np.ndarray) -> Tensor:
+        B, T = emb.shape[0], emb.shape[1]
+        h = Tensor(np.zeros((B, self.hidden_dim)))
+        for t in range(T):
+            h = self.cell_(emb[:, t, :], h)
+        return h

@@ -1,0 +1,42 @@
+"""HIDAN baseline (Wang & Li, IJCAI 2019).
+
+Hierarchical diffusion attention: no global graph input; the information a
+graph would carry is substituted by *temporal* signals — the time
+differences between cascade events.  The encoder attends over the prefix
+with weights computed from user embeddings and a time-decay feature, then
+pools the attended context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diffusion._neural_base import NeuralDiffusionModel
+from repro.nn import Dense, Tensor
+from repro.nn.functional import softmax
+
+__all__ = ["HIDAN"]
+
+
+class HIDAN(NeuralDiffusionModel):
+    """Time-aware attention over the cascade prefix."""
+
+    restrict_to_seen = True  # like TopoLSTM, no global graph
+    uses_time = True
+
+    def _build(self, rng) -> None:
+        # Attention energy from (embedding, log time delta).
+        self.energy_ = Dense(self.embed_dim + 1, 1, random_state=rng)
+        self.proj_ = Dense(self.embed_dim, self.hidden_dim, activation="tanh", random_state=rng)
+
+    def _modules(self) -> list:
+        return [self.energy_, self.proj_]
+
+    def _encode(self, emb: Tensor, deltas: np.ndarray) -> Tensor:
+        B, T = emb.shape[0], emb.shape[1]
+        logdt = np.log1p(deltas).reshape(B, T, 1)
+        feats = Tensor.concat([emb, Tensor(logdt)], axis=2)  # (B, T, D+1)
+        energy = self.energy_(feats).reshape(B, T)  # (B, T)
+        weights = softmax(energy, axis=-1)
+        context = (weights.reshape(B, T, 1) * emb).sum(axis=1)  # (B, D)
+        return self.proj_(context)

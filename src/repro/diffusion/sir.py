@@ -1,0 +1,106 @@
+"""SIR contagion baseline (Kermack & McKendrick, 1927).
+
+Discrete-time SIR on the follower network: an infectious user transmits to
+each susceptible follower with probability ``beta`` per step and recovers
+with probability ``gamma``.  Retweet probability of a candidate is the
+Monte-Carlo frequency of infection.  ``fit`` grid-searches ``beta`` to match
+the mean training-cascade size — the model has no access to content or user
+features, which is why Table VI reports macro-F1 0.04.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import Cascade
+from repro.diffusion.cascade import CandidateSet
+from repro.graph.network import InformationNetwork
+from repro.utils.rng import ensure_rng
+
+__all__ = ["SIRModel"]
+
+
+class SIRModel:
+    """SIR simulation scorer for retweeter prediction."""
+
+    def __init__(
+        self,
+        beta: float = 0.05,
+        gamma: float = 0.3,
+        n_simulations: int = 30,
+        max_steps: int = 25,
+        random_state=None,
+    ):
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.beta = beta
+        self.gamma = gamma
+        self.n_simulations = n_simulations
+        self.max_steps = max_steps
+        self.random_state = random_state
+
+    def fit(
+        self, cascades: list[Cascade], network: InformationNetwork
+    ) -> "SIRModel":
+        """Grid-search ``beta`` so simulated sizes match the training mean."""
+        if not cascades:
+            raise ValueError("fit requires at least one cascade")
+        rng = ensure_rng(self.random_state)
+        target = float(np.mean([c.size for c in cascades]))
+        roots = [c.root.user_id for c in cascades[: min(len(cascades), 20)]]
+        best_beta, best_err = self.beta, np.inf
+        for beta in (0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4):
+            sizes = [
+                len(self._simulate(root, network, beta, rng)) for root in roots
+            ]
+            err = abs(np.mean(sizes) - target)
+            if err < best_err:
+                best_err, best_beta = err, beta
+        self.beta = best_beta
+        return self
+
+    def _simulate(
+        self, root: int, network: InformationNetwork, beta: float, rng
+    ) -> set[int]:
+        infected = {root}
+        recovered: set[int] = set()
+        frontier = {root}
+        for _ in range(self.max_steps):
+            if not frontier:
+                break
+            new_infections: set[int] = set()
+            still_infectious: set[int] = set()
+            for uid in frontier:
+                for follower in network.followers(uid):
+                    if follower not in infected and follower not in recovered:
+                        if rng.random() < beta:
+                            new_infections.add(follower)
+                if rng.random() < self.gamma:
+                    recovered.add(uid)
+                else:
+                    still_infectious.add(uid)
+            infected |= new_infections
+            frontier = still_infectious | new_infections
+        return infected - {root}
+
+    def predict_proba(
+        self, candidate_set: CandidateSet, network: InformationNetwork
+    ) -> np.ndarray:
+        """Infection frequency per candidate across simulations."""
+        rng = ensure_rng(self.random_state)
+        root = candidate_set.cascade.root.user_id
+        counts = np.zeros(len(candidate_set.users))
+        index = {u: i for i, u in enumerate(candidate_set.users)}
+        for _ in range(self.n_simulations):
+            infected = self._simulate(root, network, self.beta, rng)
+            for uid in infected:
+                i = index.get(uid)
+                if i is not None:
+                    counts[i] += 1.0
+        return counts / self.n_simulations
+
+    def predict(
+        self, candidate_set: CandidateSet, network: InformationNetwork
+    ) -> np.ndarray:
+        """Binary retweet prediction at the 0.5 infection-frequency mark."""
+        return (self.predict_proba(candidate_set, network) >= 0.5).astype(np.int64)

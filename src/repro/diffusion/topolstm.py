@@ -1,0 +1,38 @@
+"""TopoLSTM baseline (Wang, Zheng, Liu & Chang, ICDM 2017).
+
+Topological recurrent model: the cascade is consumed as a dynamic DAG in
+node order (temporal signal via ordering, no timestamps), an LSTM produces
+a sender state, and next-user scores combine a *static* score from cascade
+history with the recurrent state.  Its defining restriction — kept here —
+is that only users seen in training cascades are candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diffusion._neural_base import NeuralDiffusionModel
+from repro.nn import LSTMCell, Tensor
+
+__all__ = ["TopoLSTM"]
+
+
+class TopoLSTM(NeuralDiffusionModel):
+    """Sender-receiver LSTM over the cascade prefix."""
+
+    restrict_to_seen = True
+    uses_time = False
+
+    def _build(self, rng) -> None:
+        self.cell_ = LSTMCell(self.embed_dim, self.hidden_dim, random_state=rng)
+
+    def _modules(self) -> list:
+        return [self.cell_]
+
+    def _encode(self, emb: Tensor, deltas: np.ndarray) -> Tensor:
+        B, T = emb.shape[0], emb.shape[1]
+        h = Tensor(np.zeros((B, self.hidden_dim)))
+        c = Tensor(np.zeros((B, self.hidden_dim)))
+        for t in range(T):
+            h, c = self.cell_(emb[:, t, :], (h, c))
+        return h

@@ -1,0 +1,6 @@
+"""Information-network substrate (the paper's follower graph G = {U, E})."""
+
+from repro.graph.network import InformationNetwork
+from repro.graph.generators import community_follower_graph
+
+__all__ = ["InformationNetwork", "community_follower_graph"]

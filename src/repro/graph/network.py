@@ -1,0 +1,116 @@
+"""Directed follower network.
+
+Following the paper (Sec. III): nodes are users; an ordered edge
+``(u_i, u_j)`` exists iff ``u_j`` follows ``u_i``, i.e. edges point in the
+direction information flows.  "Followers of u" are therefore successors of
+``u``, and a user is *susceptible* to a cascade once at least one of their
+followees has participated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import networkx as nx
+
+__all__ = ["InformationNetwork"]
+
+
+class InformationNetwork:
+    """Wrapper over a networkx DiGraph with diffusion-oriented helpers."""
+
+    def __init__(self):
+        self._g = nx.DiGraph()
+
+    # --------------------------------------------------------- construction
+    def add_user(self, user_id: int) -> None:
+        self._g.add_node(user_id)
+
+    def add_follow(self, followee: int, follower: int) -> None:
+        """Record that ``follower`` follows ``followee`` (edge followee -> follower)."""
+        if followee == follower:
+            raise ValueError("a user cannot follow themselves")
+        self._g.add_edge(followee, follower)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def n_users(self) -> int:
+        return self._g.number_of_nodes()
+
+    @property
+    def n_follows(self) -> int:
+        return self._g.number_of_edges()
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._g
+
+    def users(self) -> list[int]:
+        return list(self._g.nodes)
+
+    def followers(self, user_id: int) -> list[int]:
+        """Users who follow ``user_id`` (receive their tweets)."""
+        if user_id not in self._g:
+            return []
+        return list(self._g.successors(user_id))
+
+    def followees(self, user_id: int) -> list[int]:
+        """Users whom ``user_id`` follows."""
+        if user_id not in self._g:
+            return []
+        return list(self._g.predecessors(user_id))
+
+    def follower_count(self, user_id: int) -> int:
+        if user_id not in self._g:
+            return 0
+        return self._g.out_degree(user_id)
+
+    def follows(self, follower: int, followee: int) -> bool:
+        """True when ``follower`` follows ``followee``."""
+        return self._g.has_edge(followee, follower)
+
+    def shortest_path_length(self, source: int, target: int, cutoff: int = 6) -> int:
+        """BFS hops from ``source`` to ``target`` along information flow.
+
+        Returns ``cutoff + 1`` when unreachable within ``cutoff`` hops, which
+        gives downstream features a finite "far away" value (the paper uses
+        the shortest path from the root user as a peer-influence feature).
+        """
+        if source not in self._g or target not in self._g:
+            return cutoff + 1
+        if source == target:
+            return 0
+        seen = {source}
+        queue = deque([(source, 0)])
+        while queue:
+            node, dist = queue.popleft()
+            if dist >= cutoff:
+                continue
+            for nxt in self._g.successors(node):
+                if nxt == target:
+                    return dist + 1
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append((nxt, dist + 1))
+        return cutoff + 1
+
+    def susceptible_set(self, participants) -> set[int]:
+        """Users exposed to a cascade but not participating (paper Fig. 1b).
+
+        The susceptible set at a time instant is every follower of any
+        participant, minus the participants themselves.
+        """
+        participants = set(participants)
+        exposed: set[int] = set()
+        for uid in participants:
+            exposed.update(self.followers(uid))
+        return exposed - participants
+
+    def subgraph_users(self, users) -> "InformationNetwork":
+        """Induced sub-network over the given user set."""
+        sub = InformationNetwork()
+        sub._g = self._g.subgraph(list(users)).copy()
+        return sub
+
+    def to_networkx(self) -> nx.DiGraph:
+        """The underlying DiGraph (a copy)."""
+        return self._g.copy()

@@ -1,0 +1,27 @@
+"""Hate-speech detection substrate (paper Sec. VI-B).
+
+The paper trains three detector designs on its gold annotations and picks
+the best (Davidson et al., AUC 0.85 / macro-F1 0.59) to machine-annotate
+the remaining corpus.  This package reimplements all three designs on the
+library's own substrates:
+
+- :class:`DavidsonClassifier` — tf-idf n-grams + engineered text features
+  into logistic regression (Davidson et al., ICWSM 2017).
+- :class:`WaseemHovyClassifier` — character n-gram logistic regression
+  (Waseem & Hovy, NAACL 2016).
+- :class:`BadjatiyaClassifier` — learned embeddings + MLP (Badjatiya et
+  al., WWW 2017), on :mod:`repro.nn`.
+"""
+
+from repro.hatedetect.davidson import DavidsonClassifier
+from repro.hatedetect.waseem import WaseemHovyClassifier
+from repro.hatedetect.badjatiya import BadjatiyaClassifier
+from repro.hatedetect.evaluate import evaluate_detector, fine_tuning_comparison
+
+__all__ = [
+    "DavidsonClassifier",
+    "WaseemHovyClassifier",
+    "BadjatiyaClassifier",
+    "evaluate_detector",
+    "fine_tuning_comparison",
+]

@@ -1,0 +1,109 @@
+"""Badjatiya et al. (WWW 2017) neural hate-speech classifier.
+
+Learned word embeddings pooled over the tweet and classified by an MLP,
+trained end to end with weighted BCE on :mod:`repro.nn`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Adam, Dense, Embedding, Tensor, weighted_bce_with_logits
+from repro.nn.losses import positive_class_weight
+from repro.text.tokenize import tokenize
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+__all__ = ["BadjatiyaClassifier"]
+
+
+class BadjatiyaClassifier:
+    """Embedding-bag + MLP detector."""
+
+    def __init__(
+        self,
+        embed_dim: int = 32,
+        hidden_dim: int = 32,
+        epochs: int = 30,
+        lr: float = 1e-2,
+        batch_size: int = 64,
+        min_count: int = 2,
+        random_state=None,
+    ):
+        if embed_dim < 1 or hidden_dim < 1:
+            raise ValueError("embed_dim and hidden_dim must be >= 1")
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.min_count = min_count
+        self.random_state = random_state
+        self.vocab_: dict[str, int] | None = None
+        self.embedding_: Embedding | None = None
+
+    def _ids(self, text: str) -> list[int]:
+        return [self.vocab_[t] for t in tokenize(text) if t in self.vocab_]
+
+    def _pool(self, texts: list[str]) -> Tensor:
+        """Mean-pooled embedding per text (zeros for fully-OOV texts)."""
+        rows = []
+        for text in texts:
+            ids = self._ids(text)
+            if ids:
+                emb = self.embedding_(np.asarray(ids))
+                rows.append(emb.mean(axis=0))
+            else:
+                rows.append(Tensor(np.zeros(self.embed_dim)))
+        return Tensor.stack(rows, axis=0)
+
+    def fit(self, texts: list[str], labels) -> "BadjatiyaClassifier":
+        labels = np.asarray(labels, dtype=np.float64)
+        if len(texts) != len(labels):
+            raise ValueError("texts and labels must align")
+        if labels.sum() == 0 or labels.sum() == len(labels):
+            raise ValueError("fit requires both classes present")
+        rng = ensure_rng(self.random_state)
+        counts: dict[str, int] = {}
+        for text in texts:
+            for tok in tokenize(text):
+                counts[tok] = counts.get(tok, 0) + 1
+        vocab = sorted(t for t, c in counts.items() if c >= self.min_count)
+        if not vocab:
+            vocab = sorted(counts)
+        self.vocab_ = {t: i for i, t in enumerate(vocab)}
+        self.embedding_ = Embedding(len(vocab), self.embed_dim, random_state=rng)
+        self.hidden_ = Dense(self.embed_dim, self.hidden_dim, activation="relu", random_state=rng)
+        self.out_ = Dense(self.hidden_dim, 1, random_state=rng)
+        params = (
+            self.embedding_.parameters()
+            + self.hidden_.parameters()
+            + self.out_.parameters()
+        )
+        opt = Adam(params, lr=self.lr)
+        w = positive_class_weight(len(labels), int(labels.sum()), lam=1.0)
+        order = np.arange(len(texts))
+        for _ in range(self.epochs):
+            rng.shuffle(order)
+            for start in range(0, len(order), self.batch_size):
+                idx = order[start : start + self.batch_size]
+                pooled = self._pool([texts[i] for i in idx])
+                logits = self.out_(self.hidden_(pooled)).reshape(len(idx))
+                loss = weighted_bce_with_logits(logits, labels[idx], pos_weight=w)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+        return self
+
+    def decision_function(self, texts: list[str]) -> np.ndarray:
+        check_fitted(self, "vocab_")
+        pooled = self._pool(texts)
+        return self.out_(self.hidden_(pooled)).numpy().ravel()
+
+    def predict_proba(self, texts: list[str]) -> np.ndarray:
+        z = np.clip(self.decision_function(texts), -30, 30)
+        p1 = 1.0 / (1.0 + np.exp(-z))
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, texts: list[str]) -> np.ndarray:
+        return (self.decision_function(texts) >= 0.0).astype(np.int64)

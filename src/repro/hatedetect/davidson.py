@@ -1,0 +1,87 @@
+"""Davidson et al. (ICWSM 2017) hate-speech classifier.
+
+TF-IDF weighted n-grams plus engineered text features (lexicon hits, tweet
+length, token stats) fed to class-weighted logistic regression — the design
+the paper found best on its data and used to machine-annotate the corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.linear import LogisticRegression
+from repro.text.lexicon import HateLexicon, default_hate_lexicon
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.tokenize import tokenize
+from repro.utils.validation import check_fitted
+
+__all__ = ["DavidsonClassifier"]
+
+
+class DavidsonClassifier:
+    """TF-IDF + engineered features -> logistic regression."""
+
+    def __init__(
+        self,
+        max_features: int = 500,
+        ngram_range: tuple[int, int] = (1, 2),
+        C: float = 1.0,
+        lexicon: HateLexicon | None = None,
+        random_state=None,
+    ):
+        self.max_features = max_features
+        self.ngram_range = ngram_range
+        self.C = C
+        self.lexicon = lexicon or default_hate_lexicon()
+        self.random_state = random_state
+        self.vectorizer_: TfidfVectorizer | None = None
+        self.model_: LogisticRegression | None = None
+
+    def _engineered(self, texts: list[str]) -> np.ndarray:
+        feats = np.zeros((len(texts), 4))
+        for i, text in enumerate(texts):
+            toks = tokenize(text)
+            feats[i, 0] = self.lexicon.count(text)
+            feats[i, 1] = len(toks)
+            feats[i, 2] = np.mean([len(t) for t in toks]) if toks else 0.0
+            feats[i, 3] = sum(t.startswith("#") for t in toks)
+        return feats
+
+    def _features(self, texts: list[str]) -> np.ndarray:
+        X_tfidf = self.vectorizer_.transform(texts)
+        return np.hstack([X_tfidf, self._engineered(texts)])
+
+    def fit(self, texts: list[str], labels) -> "DavidsonClassifier":
+        labels = np.asarray(labels)
+        if len(texts) != len(labels):
+            raise ValueError("texts and labels must align")
+        self.vectorizer_ = TfidfVectorizer(
+            ngram_range=self.ngram_range,
+            max_features=self.max_features,
+            sublinear_tf=True,
+        ).fit(texts)
+        self.model_ = LogisticRegression(
+            C=self.C, class_weight="balanced", random_state=self.random_state
+        )
+        self.model_.fit(self._features(texts), labels)
+        return self
+
+    def predict_proba(self, texts: list[str]) -> np.ndarray:
+        check_fitted(self, "model_")
+        return self.model_.predict_proba(self._features(texts))
+
+    def predict(self, texts: list[str]) -> np.ndarray:
+        check_fitted(self, "model_")
+        return self.model_.predict(self._features(texts))
+
+    def fine_tune(self, texts: list[str], labels) -> "DavidsonClassifier":
+        """Refit the linear head on new annotations, keeping the vocabulary.
+
+        Mirrors the paper's observation that a pre-trained Davidson model
+        transfers poorly (AUC 0.79 -> 0.85 after fine-tuning on in-domain
+        annotations).
+        """
+        check_fitted(self, "model_")
+        labels = np.asarray(labels)
+        self.model_.fit(self._features(texts), labels)
+        return self

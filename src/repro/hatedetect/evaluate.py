@@ -1,0 +1,53 @@
+"""Detector evaluation and the fine-tuning comparison of Sec. VI-B."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.metrics import accuracy_score, macro_f1, roc_auc_score
+
+__all__ = ["evaluate_detector", "fine_tuning_comparison"]
+
+
+def evaluate_detector(detector, texts: list[str], labels) -> dict[str, float]:
+    """AUC / macro-F1 / accuracy of a fitted detector on held-out data."""
+    labels = np.asarray(labels)
+    pred = detector.predict(texts)
+    proba = detector.predict_proba(texts)[:, 1]
+    out = {
+        "macro_f1": macro_f1(labels, pred),
+        "accuracy": accuracy_score(labels, pred),
+    }
+    if len(np.unique(labels)) == 2:
+        out["auc"] = roc_auc_score(labels, proba)
+    return out
+
+
+def fine_tuning_comparison(
+    pretrain_texts,
+    pretrain_labels,
+    target_train_texts,
+    target_train_labels,
+    target_test_texts,
+    target_test_labels,
+    *,
+    random_state=0,
+) -> dict[str, dict[str, float]]:
+    """Reproduce the paper's pre-trained vs fine-tuned Davidson comparison.
+
+    The paper reports a pre-trained Davidson model at AUC 0.79 / macro-F1
+    0.48 on their annotations versus 0.85 / 0.59 after in-domain training —
+    the motivation for manual annotation.  Here 'pre-training' uses an
+    out-of-domain synthetic corpus and fine-tuning refits on the target
+    domain.
+    """
+    from repro.hatedetect.davidson import DavidsonClassifier
+
+    pretrained = DavidsonClassifier(random_state=random_state)
+    pretrained.fit(list(pretrain_texts), pretrain_labels)
+    before = evaluate_detector(pretrained, list(target_test_texts), target_test_labels)
+
+    fine_tuned = DavidsonClassifier(random_state=random_state)
+    fine_tuned.fit(list(target_train_texts), target_train_labels)
+    after = evaluate_detector(fine_tuned, list(target_test_texts), target_test_labels)
+    return {"pretrained": before, "fine_tuned": after}

@@ -1,0 +1,55 @@
+"""Waseem & Hovy (NAACL 2016) hate-speech classifier.
+
+Character n-gram logistic regression — robust to the creative spellings of
+abusive text.  Implemented with a character-level tokenizer feeding the
+shared TF-IDF vectoriser.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.linear import LogisticRegression
+from repro.text.tfidf import TfidfVectorizer
+from repro.utils.validation import check_fitted
+
+__all__ = ["WaseemHovyClassifier"]
+
+
+def _char_tokens(text: str) -> list[str]:
+    """Characters of the lowercased text (spaces collapsed to '_')."""
+    return [c if c != " " else "_" for c in " ".join(text.lower().split())]
+
+
+class WaseemHovyClassifier:
+    """Character n-gram (1-4) logistic regression."""
+
+    def __init__(self, max_features: int = 800, C: float = 1.0, random_state=None):
+        self.max_features = max_features
+        self.C = C
+        self.random_state = random_state
+        self.vectorizer_: TfidfVectorizer | None = None
+        self.model_: LogisticRegression | None = None
+
+    def fit(self, texts: list[str], labels) -> "WaseemHovyClassifier":
+        labels = np.asarray(labels)
+        if len(texts) != len(labels):
+            raise ValueError("texts and labels must align")
+        self.vectorizer_ = TfidfVectorizer(
+            ngram_range=(2, 4),
+            max_features=self.max_features,
+            tokenizer=_char_tokens,
+        ).fit(texts)
+        self.model_ = LogisticRegression(
+            C=self.C, class_weight="balanced", random_state=self.random_state
+        )
+        self.model_.fit(self.vectorizer_.transform(texts), labels)
+        return self
+
+    def predict_proba(self, texts: list[str]) -> np.ndarray:
+        check_fitted(self, "model_")
+        return self.model_.predict_proba(self.vectorizer_.transform(texts))
+
+    def predict(self, texts: list[str]) -> np.ndarray:
+        check_fitted(self, "model_")
+        return self.model_.predict(self.vectorizer_.transform(texts))

@@ -1,0 +1,48 @@
+"""Classical machine-learning substrate (scikit-learn stand-in).
+
+The paper's hate-generation experiments (Sec. IV, Table IV) use scikit-learn
+classifiers; that dependency is unavailable offline, so this package
+implements the required estimators, transforms, and metrics from scratch on
+numpy/scipy.  The estimator API mirrors scikit-learn conventions
+(``fit``/``predict``/``predict_proba``/``transform``) so the modelling code
+reads the same as the paper's.
+"""
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, TransformerMixin, clone
+from repro.ml.linear import LogisticRegression, LinearSVC
+from repro.ml.svm import SVC
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.ensemble import (
+    AdaBoostClassifier,
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+)
+from repro.ml.decomposition import PCA
+from repro.ml.feature_selection import SelectKBest, mutual_info_classif
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler, normalize
+from repro.ml.sampling import downsample_majority, upsample_minority
+from repro.ml.model_selection import StratifiedKFold, train_test_split
+
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "TransformerMixin",
+    "clone",
+    "LogisticRegression",
+    "LinearSVC",
+    "SVC",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "AdaBoostClassifier",
+    "GradientBoostingClassifier",
+    "PCA",
+    "SelectKBest",
+    "mutual_info_classif",
+    "StandardScaler",
+    "MinMaxScaler",
+    "normalize",
+    "downsample_majority",
+    "upsample_minority",
+    "train_test_split",
+    "StratifiedKFold",
+]

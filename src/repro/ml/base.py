@@ -1,0 +1,97 @@
+"""Estimator base classes mirroring the scikit-learn parameter protocol."""
+
+from __future__ import annotations
+
+import copy
+import inspect
+
+import numpy as np
+
+
+class BaseEstimator:
+    """Base class giving estimators ``get_params``/``set_params``/``repr``.
+
+    Subclasses must accept all hyperparameters as keyword arguments in
+    ``__init__`` and store them under the same attribute names, which is what
+    makes :func:`clone` possible.
+    """
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        sig = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, p in sig.parameters.items()
+            if name != "self" and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+        ]
+
+    def get_params(self) -> dict:
+        """Return the constructor hyperparameters as a dict."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Set hyperparameters by name; unknown names raise ``ValueError``."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"Invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid parameters are {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return an unfitted copy of ``estimator`` with the same hyperparameters."""
+    return type(estimator)(**copy.deepcopy(estimator.get_params()))
+
+
+class ClassifierMixin:
+    """Adds ``score`` (accuracy) to classifiers."""
+
+    def score(self, X, y) -> float:
+        """Mean accuracy of ``predict(X)`` against ``y``."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+
+class TransformerMixin:
+    """Adds ``fit_transform`` to transformers."""
+
+    def fit_transform(self, X, y=None):
+        """Equivalent to ``fit(X, y).transform(X)``."""
+        return self.fit(X, y).transform(X)
+
+
+def resolve_class_weight(
+    class_weight: str | dict | None, y: np.ndarray
+) -> np.ndarray:
+    """Per-sample weights for a 0/1 label vector.
+
+    ``"balanced"`` reproduces the scikit-learn heuristic
+    ``n_samples / (n_classes * count(class))``; a dict maps label -> weight;
+    ``None`` gives unit weights.
+    """
+    y = np.asarray(y)
+    weights = np.ones(len(y), dtype=np.float64)
+    if class_weight is None:
+        return weights
+    classes, counts = np.unique(y, return_counts=True)
+    if class_weight == "balanced":
+        per_class = {
+            c: len(y) / (len(classes) * n) for c, n in zip(classes, counts)
+        }
+    elif isinstance(class_weight, dict):
+        per_class = {c: class_weight.get(c, 1.0) for c in classes}
+    else:
+        raise ValueError(
+            f"class_weight must be None, 'balanced', or a dict, got {class_weight!r}"
+        )
+    for c, w in per_class.items():
+        weights[y == c] = w
+    return weights

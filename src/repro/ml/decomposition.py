@@ -1,0 +1,52 @@
+"""Dimensionality reduction (the paper's PCA rows of Table IV)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, TransformerMixin
+from repro.utils.validation import check_array, check_fitted
+
+
+class PCA(BaseEstimator, TransformerMixin):
+    """Principal component analysis via singular value decomposition.
+
+    Paper setting: ``n_components=50`` on the 3,645-dimensional hate-
+    generation feature vector (Sec. VI-C).
+    """
+
+    def __init__(self, n_components: int = 50):
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, X, y=None) -> "PCA":
+        X = check_array(X)
+        n, d = X.shape
+        k = min(self.n_components, n, d)
+        self.mean_ = X.mean(axis=0)
+        Xc = X - self.mean_
+        # full_matrices=False keeps the SVD at O(n*d*min(n,d)).
+        _, s, Vt = np.linalg.svd(Xc, full_matrices=False)
+        var = (s**2) / max(n - 1, 1)
+        total_var = var.sum()
+        self.components_ = Vt[:k]
+        self.explained_variance_ = var[:k]
+        self.explained_variance_ratio_ = (
+            var[:k] / total_var if total_var > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "components_")
+        X = check_array(X)
+        return (X - self.mean_) @ self.components_.T
+
+    def inverse_transform(self, Z) -> np.ndarray:
+        check_fitted(self, "components_")
+        Z = check_array(Z)
+        return Z @ self.components_ + self.mean_

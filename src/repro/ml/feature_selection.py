@@ -1,0 +1,88 @@
+"""Feature selection (the paper's top-K rows of Table IV, K=50).
+
+``mutual_info_classif`` estimates MI between each feature and the class
+label by discretising continuous features into quantile bins, which is
+adequate for ranking features (the only use the paper makes of it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, TransformerMixin
+from repro.utils.validation import check_array, check_consistent_length, check_fitted
+
+
+def _discretize(col: np.ndarray, n_bins: int) -> np.ndarray:
+    uniq = np.unique(col)
+    if len(uniq) <= n_bins:
+        # Already (near-)categorical: use the raw values.
+        return np.searchsorted(uniq, col)
+    qs = np.quantile(col, np.linspace(0, 1, n_bins + 1)[1:-1])
+    return np.searchsorted(qs, col)
+
+
+def mutual_info_classif(X, y, *, n_bins: int = 8) -> np.ndarray:
+    """Mutual information (nats) between each column of ``X`` and ``y``."""
+    X = check_array(X)
+    y = np.asarray(y)
+    check_consistent_length(X, y)
+    n = len(y)
+    classes, y_idx = np.unique(y, return_inverse=True)
+    py = np.bincount(y_idx) / n
+    mi = np.zeros(X.shape[1])
+    for j in range(X.shape[1]):
+        bins = _discretize(X[:, j], n_bins)
+        n_b = int(bins.max()) + 1
+        joint = np.zeros((n_b, len(classes)))
+        np.add.at(joint, (bins, y_idx), 1.0)
+        joint /= n
+        px = joint.sum(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = joint / (px[:, None] * py[None, :])
+            term = joint * np.log(ratio)
+        mi[j] = float(np.nansum(term))
+    return np.maximum(mi, 0.0)
+
+
+class SelectKBest(BaseEstimator, TransformerMixin):
+    """Keep the ``k`` features with the highest score.
+
+    Parameters
+    ----------
+    score_func:
+        Callable ``(X, y) -> scores``; defaults to mutual information as in
+        the paper.
+    """
+
+    def __init__(self, score_func=mutual_info_classif, k: int = 50):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.score_func = score_func
+        self.k = k
+        self.scores_: np.ndarray | None = None
+        self.support_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "SelectKBest":
+        X = check_array(X)
+        self.scores_ = np.asarray(self.score_func(X, y), dtype=np.float64)
+        k = min(self.k, X.shape[1])
+        top = np.argsort(-self.scores_, kind="stable")[:k]
+        support = np.zeros(X.shape[1], dtype=bool)
+        support[top] = True
+        self.support_ = support
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "support_")
+        X = check_array(X)
+        if X.shape[1] != len(self.support_):
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {len(self.support_)}"
+            )
+        return X[:, self.support_]
+
+    def get_support(self) -> np.ndarray:
+        """Boolean mask of selected features."""
+        check_fitted(self, "support_")
+        return self.support_.copy()

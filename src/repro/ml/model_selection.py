@@ -1,0 +1,88 @@
+"""Train/test splitting utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_consistent_length
+
+
+def train_test_split(
+    *arrays,
+    test_size: float = 0.2,
+    stratify=None,
+    shuffle: bool = True,
+    random_state=None,
+):
+    """Split arrays into train/test partitions (80:20 in the paper).
+
+    Returns ``train_a1, test_a1, train_a2, test_a2, ...`` in scikit-learn
+    order.  With ``stratify`` given, the class proportions of the stratify
+    vector are preserved in both partitions.
+    """
+    if not arrays:
+        raise ValueError("at least one array is required")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    arrays = [np.asarray(a) for a in arrays]
+    check_consistent_length(*arrays)
+    n = len(arrays[0])
+    rng = ensure_rng(random_state)
+
+    if stratify is not None:
+        strat = np.asarray(stratify)
+        check_consistent_length(arrays[0], strat)
+        test_mask = np.zeros(n, dtype=bool)
+        for cls in np.unique(strat):
+            idx = np.flatnonzero(strat == cls)
+            if shuffle:
+                rng.shuffle(idx)
+            n_test = max(1, int(round(test_size * len(idx)))) if len(idx) > 1 else 0
+            test_mask[idx[:n_test]] = True
+        train_idx = np.flatnonzero(~test_mask)
+        test_idx = np.flatnonzero(test_mask)
+        if shuffle:
+            rng.shuffle(train_idx)
+            rng.shuffle(test_idx)
+    else:
+        idx = np.arange(n)
+        if shuffle:
+            rng.shuffle(idx)
+        n_test = int(round(test_size * n))
+        test_idx = idx[:n_test]
+        train_idx = idx[n_test:]
+
+    out = []
+    for a in arrays:
+        out.append(a[train_idx])
+        out.append(a[test_idx])
+    return tuple(out)
+
+
+class StratifiedKFold:
+    """K-fold cross-validation preserving class proportions per fold."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state=None):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y):
+        """Yield ``(train_idx, test_idx)`` pairs."""
+        y = np.asarray(y)
+        rng = ensure_rng(self.random_state)
+        folds: list[list[int]] = [[] for _ in range(self.n_splits)]
+        for cls in np.unique(y):
+            idx = np.flatnonzero(y == cls)
+            if self.shuffle:
+                rng.shuffle(idx)
+            for i, j in enumerate(idx):
+                folds[i % self.n_splits].append(int(j))
+        all_idx = np.arange(len(y))
+        for fold in folds:
+            test_idx = np.asarray(sorted(fold))
+            train_idx = np.setdiff1d(all_idx, test_idx)
+            yield train_idx, test_idx

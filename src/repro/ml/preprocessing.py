@@ -1,0 +1,77 @@
+"""Feature scaling and normalisation transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, TransformerMixin
+from repro.utils.validation import check_array, check_fitted
+
+
+class StandardScaler(BaseEstimator, TransformerMixin):
+    """Standardise features to zero mean and unit variance.
+
+    Constant features (zero variance) are left centred but unscaled, which
+    avoids division blow-ups on sparse binary indicator columns.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "mean_")
+        X = check_array(X)
+        return (X - self.mean_) / self.scale_
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_fitted(self, "mean_")
+        X = check_array(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator, TransformerMixin):
+    """Rescale features to the ``[0, 1]`` range seen at fit time."""
+
+    def __init__(self):
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X, y=None) -> "MinMaxScaler":
+        X = check_array(X)
+        self.min_ = X.min(axis=0)
+        rng = X.max(axis=0) - self.min_
+        rng[rng == 0.0] = 1.0
+        self.range_ = rng
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "min_")
+        X = check_array(X)
+        return (X - self.min_) / self.range_
+
+
+def normalize(X, norm: str = "l2") -> np.ndarray:
+    """Scale each row to unit norm (``l1`` or ``l2``); zero rows pass through."""
+    X = check_array(X)
+    if norm == "l2":
+        norms = np.linalg.norm(X, axis=1)
+    elif norm == "l1":
+        norms = np.abs(X).sum(axis=1)
+    else:
+        raise ValueError(f"norm must be 'l1' or 'l2', got {norm!r}")
+    norms = np.where(norms == 0.0, 1.0, norms)
+    return X / norms[:, None]

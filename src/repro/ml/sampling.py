@@ -1,0 +1,73 @@
+"""Class-imbalance resampling (paper Sec. VI-C, Table IV rows DS / US+DS).
+
+Both hate generation (~4% positives) and retweeter prediction are sharply
+imbalanced; the paper evaluates downsampling the dominant class and
+upsampling the dominated class as pre-processing steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_consistent_length
+
+
+def downsample_majority(
+    X, y, *, ratio: float = 1.0, random_state=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop majority-class samples until ``n_major <= ratio * n_minor``.
+
+    Parameters
+    ----------
+    ratio:
+        Target majority:minority ratio after sampling.  ``1.0`` balances the
+        classes exactly (up to rounding).
+    """
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    check_consistent_length(X, y)
+    rng = ensure_rng(random_state)
+    classes, counts = np.unique(y, return_counts=True)
+    if len(classes) < 2:
+        return X.copy(), y.copy()
+    major = classes[np.argmax(counts)]
+    minor_count = int(counts.min())
+    target = max(1, int(round(ratio * minor_count)))
+    keep = np.ones(len(y), dtype=bool)
+    major_idx = np.flatnonzero(y == major)
+    if len(major_idx) > target:
+        drop = rng.choice(major_idx, size=len(major_idx) - target, replace=False)
+        keep[drop] = False
+    return X[keep], y[keep]
+
+
+def upsample_minority(
+    X, y, *, ratio: float = 1.0, random_state=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Replicate minority-class samples until ``n_minor >= ratio * n_major``.
+
+    Sampling is with replacement; the original samples are always retained.
+    """
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    check_consistent_length(X, y)
+    rng = ensure_rng(random_state)
+    classes, counts = np.unique(y, return_counts=True)
+    if len(classes) < 2:
+        return X.copy(), y.copy()
+    minor = classes[np.argmin(counts)]
+    major_count = int(counts.max())
+    target = max(1, int(round(ratio * major_count)))
+    minor_idx = np.flatnonzero(y == minor)
+    extra_needed = target - len(minor_idx)
+    if extra_needed <= 0:
+        return X.copy(), y.copy()
+    extra = rng.choice(minor_idx, size=extra_needed, replace=True)
+    idx = np.concatenate([np.arange(len(y)), extra])
+    rng.shuffle(idx)
+    return X[idx], y[idx]

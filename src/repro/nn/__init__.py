@@ -1,0 +1,51 @@
+"""Minimal reverse-mode autograd neural framework on numpy.
+
+The paper implements RETINA in TensorFlow/Keras; that stack is unavailable
+offline, so this package provides the needed subset from scratch: a
+:class:`~repro.nn.tensor.Tensor` with reverse-mode automatic
+differentiation, the layers RETINA uses (Dense, LayerNorm, GRU), the scaled
+dot-product exogenous attention (paper Eqs. 3-5), the weighted binary
+cross-entropy loss (paper Eq. 6), and SGD/Adam optimisers.
+
+All gradients are verified against central finite differences in
+``tests/nn``.
+"""
+
+from repro.nn.tensor import Tensor
+from repro.nn import functional
+from repro.nn.layers import (
+    GRU,
+    GRUCell,
+    Dense,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Module,
+    RNNCell,
+    LSTMCell,
+    Sequential,
+)
+from repro.nn.attention import ScaledDotProductAttention
+from repro.nn.losses import bce_with_logits, cross_entropy, weighted_bce_with_logits
+from repro.nn.optim import SGD, Adam
+
+__all__ = [
+    "Tensor",
+    "functional",
+    "Module",
+    "Dense",
+    "LayerNorm",
+    "Dropout",
+    "Embedding",
+    "Sequential",
+    "RNNCell",
+    "GRUCell",
+    "LSTMCell",
+    "GRU",
+    "ScaledDotProductAttention",
+    "bce_with_logits",
+    "weighted_bce_with_logits",
+    "cross_entropy",
+    "SGD",
+    "Adam",
+]

@@ -1,0 +1,83 @@
+"""Scaled dot-product exogenous attention (paper Sec. V-B, Eqs. 3-5).
+
+Given the tweet feature ``X_T`` (query source) and the news feature sequence
+``X_N`` (key/value source), computes::
+
+    Q_T = X_T W_Q                        (batch, hdim)
+    K_N = X_N W_K                        (batch, k, hdim)
+    V_N = X_N W_V                        (batch, k, hdim)
+    A   = softmax(Q_T . K_N / sqrt(hdim))  over the news axis
+    X_TN = sum_i A[..., i] * V_N[..., i, :]
+
+which is exactly the paper's tensor-contraction formulation with the
+``hdim^-0.5`` scaling it adopts from Vaswani et al.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.functional import softmax
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import ensure_rng
+
+__all__ = ["ScaledDotProductAttention"]
+
+
+class ScaledDotProductAttention(Module):
+    """Exogenous attention pooling a news sequence conditioned on a tweet.
+
+    Parameters
+    ----------
+    tweet_dim:
+        Dimensionality of the tweet feature vector ``X_T``.
+    news_dim:
+        Dimensionality of each news feature vector in ``X_N``.
+    hdim:
+        Shared projection width (paper: 64).
+    """
+
+    def __init__(self, tweet_dim: int, news_dim: int, hdim: int = 64, random_state=None):
+        if hdim < 1:
+            raise ValueError(f"hdim must be >= 1, got {hdim}")
+        rng = ensure_rng(random_state)
+        self.tweet_dim = tweet_dim
+        self.news_dim = news_dim
+        self.hdim = hdim
+        self.WQ = Tensor(init.glorot_uniform(tweet_dim, hdim, rng), requires_grad=True)
+        self.WK = Tensor(init.glorot_uniform(news_dim, hdim, rng), requires_grad=True)
+        self.WV = Tensor(init.glorot_uniform(news_dim, hdim, rng), requires_grad=True)
+
+    def forward(self, tweet: Tensor, news: Tensor, return_weights: bool = False):
+        """Attend over news.
+
+        Parameters
+        ----------
+        tweet:
+            ``(batch, tweet_dim)`` tweet features.
+        news:
+            ``(batch, k, news_dim)`` news sequence features.
+
+        Returns
+        -------
+        ``(batch, hdim)`` attended exogenous representation ``X_TN``; with
+        ``return_weights=True`` also the ``(batch, k)`` attention weights.
+        """
+        if tweet.ndim != 2 or news.ndim != 3:
+            raise ValueError(
+                f"expected tweet (batch, d) and news (batch, k, d), got {tweet.shape} and {news.shape}"
+            )
+        q = tweet @ self.WQ  # (batch, hdim)
+        k = news @ self.WK  # (batch, k, hdim)
+        v = news @ self.WV  # (batch, k, hdim)
+        batch = q.shape[0]
+        # Contraction Q . K along hdim: (batch, 1, hdim) * (batch, k, hdim).
+        scores = (q.reshape(batch, 1, self.hdim) * k).sum(axis=-1)  # (batch, k)
+        scores = scores * (self.hdim**-0.5)
+        weights = softmax(scores, axis=-1)  # (batch, k)
+        attended = (weights.reshape(batch, -1, 1) * v).sum(axis=1)  # (batch, hdim)
+        if return_weights:
+            return attended, weights
+        return attended

@@ -1,0 +1,40 @@
+"""Composite differentiable functions built from Tensor primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["softmax", "log_softmax", "softplus", "abs_", "dropout_mask"]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """log(softmax(x)) computed stably."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def abs_(x: Tensor) -> Tensor:
+    """|x| as relu(x) + relu(-x)."""
+    return x.relu() + (-x).relu()
+
+
+def softplus(x: Tensor) -> Tensor:
+    """log(1 + exp(x)) computed stably as relu(x) + log(1 + exp(-|x|))."""
+    return x.relu() + ((-abs_(x)).exp() + 1.0).log()
+
+
+def dropout_mask(shape, p: float, rng: np.random.Generator) -> np.ndarray:
+    """Inverted-dropout mask: zeros with probability ``p``, else ``1/(1-p)``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout p must be in [0, 1), got {p}")
+    keep = rng.random(shape) >= p
+    return keep / (1.0 - p)

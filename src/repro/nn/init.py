@@ -1,0 +1,24 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def orthogonal(n: int, m: int, rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialisation (used for recurrent kernels)."""
+    a = rng.normal(size=(max(n, m), min(n, m)))
+    q, _ = np.linalg.qr(a)
+    q = q[:n, :m] if q.shape[0] >= n else q.T[:n, :m]
+    return q
+
+
+def zeros(*shape) -> np.ndarray:
+    """Zero initialisation (biases)."""
+    return np.zeros(shape)

@@ -1,0 +1,346 @@
+"""Neural layers: Dense, LayerNorm, Dropout, Embedding, recurrent cells.
+
+:class:`Module` provides parameter discovery (recursing through attributes,
+lists, and dicts) so optimisers can collect every trainable tensor from a
+composed model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.functional import dropout_mask
+from repro.nn.tensor import Tensor
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "Module",
+    "Dense",
+    "LayerNorm",
+    "Dropout",
+    "Embedding",
+    "Sequential",
+    "RNNCell",
+    "GRUCell",
+    "LSTMCell",
+    "GRU",
+]
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable tensors reachable from this module."""
+        params: list[Tensor] = []
+        seen: set[int] = set()
+
+        def collect(obj):
+            if isinstance(obj, Tensor):
+                if obj.requires_grad and id(obj) not in seen:
+                    seen.add(id(obj))
+                    params.append(obj)
+            elif isinstance(obj, Module):
+                for value in vars(obj).values():
+                    collect(value)
+            elif isinstance(obj, (list, tuple)):
+                for value in obj:
+                    collect(value)
+            elif isinstance(obj, dict):
+                for value in obj.values():
+                    collect(value)
+
+        collect(self)
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def n_parameters(self) -> int:
+        """Total count of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    def _named_parameters(self) -> dict[str, Tensor]:
+        """Dotted-path name -> trainable tensor, stable across runs."""
+        named: dict[str, Tensor] = {}
+        seen: set[int] = set()
+
+        def walk(obj, prefix: str) -> None:
+            if isinstance(obj, Tensor):
+                if obj.requires_grad and id(obj) not in seen:
+                    seen.add(id(obj))
+                    named[prefix] = obj
+            elif isinstance(obj, Module):
+                for key in sorted(vars(obj)):
+                    walk(vars(obj)[key], f"{prefix}.{key}" if prefix else key)
+            elif isinstance(obj, (list, tuple)):
+                for i, value in enumerate(obj):
+                    walk(value, f"{prefix}[{i}]")
+            elif isinstance(obj, dict):
+                for key in sorted(obj):
+                    walk(obj[key], f"{prefix}.{key}")
+
+        walk(self, "")
+        return named
+
+    def state_dict(self) -> dict:
+        """Copy of every trainable parameter keyed by attribute path."""
+        return {name: t.data.copy() for name, t in self._named_parameters().items()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load parameters saved by :meth:`state_dict`.
+
+        Keys and shapes must match exactly — mismatches raise rather than
+        silently skipping.
+        """
+        named = self._named_parameters()
+        missing = set(named) - set(state)
+        unexpected = set(state) - set(named)
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict mismatch; missing={sorted(missing)[:5]}, "
+                f"unexpected={sorted(unexpected)[:5]}"
+            )
+        for name, tensor in named.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != tensor.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: saved {value.shape}, "
+                    f"model {tensor.data.shape}"
+                )
+            tensor.data = value.copy()
+
+    def save(self, path) -> None:
+        """Persist the state dict to an ``.npz`` file."""
+        np.savez(path, **self.state_dict())
+
+    def load(self, path) -> None:
+        """Restore parameters from a :meth:`save`'d ``.npz`` file."""
+        with np.load(path) as data:
+            self.load_state_dict({k: data[k] for k in data.files})
+
+    def train(self) -> "Module":
+        """Enable training mode (dropout active) on this module tree."""
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Enable inference mode (dropout off) on this module tree."""
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        def walk(obj):
+            if isinstance(obj, Module):
+                if hasattr(obj, "training"):
+                    obj.training = training
+                for value in vars(obj).values():
+                    walk(value)
+            elif isinstance(obj, (list, tuple)):
+                for value in obj:
+                    walk(value)
+            elif isinstance(obj, dict):
+                for value in obj.values():
+                    walk(value)
+
+        walk(self)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Dense(Module):
+    """Fully connected layer ``y = activation(x W + b)``.
+
+    Parameters
+    ----------
+    activation:
+        ``None``, ``'relu'``, ``'tanh'``, or ``'sigmoid'``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str | None = None,
+        bias: bool = True,
+        random_state=None,
+    ):
+        if activation not in (None, "relu", "tanh", "sigmoid"):
+            raise ValueError(f"unknown activation {activation!r}")
+        rng = ensure_rng(random_state)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.W = Tensor(init.glorot_uniform(in_features, out_features, rng), requires_grad=True)
+        self.b = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.W
+        if self.b is not None:
+            out = out + self.b
+        if self.activation == "relu":
+            out = out.relu()
+        elif self.activation == "tanh":
+            out = out.tanh()
+        elif self.activation == "sigmoid":
+            out = out.sigmoid()
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis (used before RETINA's FF stacks)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Tensor(np.ones(dim), requires_grad=True)
+        self.beta = Tensor(np.zeros(dim), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * (var + self.eps).pow(-0.5)
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, random_state=None):
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+        self.training = True
+        self._rng = ensure_rng(random_state)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = dropout_mask(x.shape, self.p, self._rng)
+        return x * Tensor(mask)
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int, random_state=None):
+        rng = ensure_rng(random_state)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Tensor(
+            rng.normal(scale=1.0 / np.sqrt(dim), size=(num_embeddings, dim)),
+            requires_grad=True,
+        )
+
+    def forward(self, ids) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding ids out of range [0, {self.num_embeddings})"
+            )
+        return self.weight[ids]
+
+
+class Sequential(Module):
+    """Apply layers in order."""
+
+    def __init__(self, *layers: Module):
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class RNNCell(Module):
+    """Elman RNN cell: ``h' = tanh(x W + h U + b)``."""
+
+    def __init__(self, input_size: int, hidden_size: int, random_state=None):
+        rng = ensure_rng(random_state)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.W = Tensor(init.glorot_uniform(input_size, hidden_size, rng), requires_grad=True)
+        self.U = Tensor(init.orthogonal(hidden_size, hidden_size, rng), requires_grad=True)
+        self.b = Tensor(np.zeros(hidden_size), requires_grad=True)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        return (x @ self.W + h @ self.U + self.b).tanh()
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell (the recurrence of RETINA-D, Fig. 4c)."""
+
+    def __init__(self, input_size: int, hidden_size: int, random_state=None):
+        rng = ensure_rng(random_state)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        self.Wz = Tensor(init.glorot_uniform(input_size, h, rng), requires_grad=True)
+        self.Uz = Tensor(init.orthogonal(h, h, rng), requires_grad=True)
+        self.bz = Tensor(np.zeros(h), requires_grad=True)
+        self.Wr = Tensor(init.glorot_uniform(input_size, h, rng), requires_grad=True)
+        self.Ur = Tensor(init.orthogonal(h, h, rng), requires_grad=True)
+        self.br = Tensor(np.zeros(h), requires_grad=True)
+        self.Wn = Tensor(init.glorot_uniform(input_size, h, rng), requires_grad=True)
+        self.Un = Tensor(init.orthogonal(h, h, rng), requires_grad=True)
+        self.bn = Tensor(np.zeros(h), requires_grad=True)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        z = (x @ self.Wz + h @ self.Uz + self.bz).sigmoid()
+        r = (x @ self.Wr + h @ self.Ur + self.br).sigmoid()
+        n = (x @ self.Wn + (r * h) @ self.Un + self.bn).tanh()
+        return (1.0 - z) * n + z * h
+
+
+class LSTMCell(Module):
+    """LSTM cell (the paper notes LSTM gave no gain over GRU; kept for the ablation)."""
+
+    def __init__(self, input_size: int, hidden_size: int, random_state=None):
+        rng = ensure_rng(random_state)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        self.Wi = Tensor(init.glorot_uniform(input_size, 4 * h, rng), requires_grad=True)
+        self.Ui = Tensor(init.glorot_uniform(h, 4 * h, rng), requires_grad=True)
+        self.bi = Tensor(np.zeros(4 * h), requires_grad=True)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h, c = state
+        gates = x @ self.Wi + h @ self.Ui + self.bi
+        hs = self.hidden_size
+        i = gates[:, :hs].sigmoid()
+        f = gates[:, hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs :].sigmoid()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+
+class GRU(Module):
+    """GRU over a time-major sequence of inputs.
+
+    ``forward`` consumes ``(T, batch, input)`` and returns the stacked hidden
+    states ``(T, batch, hidden)``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, random_state=None):
+        self.cell = GRUCell(input_size, hidden_size, random_state=random_state)
+        self.hidden_size = hidden_size
+
+    def forward(self, xs: Tensor, h0: Tensor | None = None) -> Tensor:
+        T, batch = xs.shape[0], xs.shape[1]
+        h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_size)))
+        outputs = []
+        for t in range(T):
+            h = self.cell(xs[t], h)
+            outputs.append(h)
+        return Tensor.stack(outputs, axis=0)

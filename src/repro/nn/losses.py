@@ -1,0 +1,75 @@
+"""Loss functions.
+
+``weighted_bce_with_logits`` is the paper's Eq. 6: binary cross-entropy with
+a weight ``w`` on the positive term to counter class imbalance; the paper
+sets ``w = lambda * (log C - log C+)`` with ``lambda`` in {2.0, 2.5}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import abs_, softplus
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "bce_with_logits",
+    "weighted_bce_with_logits",
+    "cross_entropy",
+    "positive_class_weight",
+]
+
+
+def _stable_bce_terms(logits: Tensor, targets: Tensor) -> tuple[Tensor, Tensor]:
+    """Per-sample -log p and -log(1-p) computed stably from logits.
+
+    ``-log sigmoid(z) = softplus(-z)`` and ``-log(1 - sigmoid(z)) = softplus(z)``.
+    """
+    return softplus(-logits), softplus(logits)
+
+
+def bce_with_logits(logits: Tensor, targets) -> Tensor:
+    """Mean binary cross-entropy on raw logits."""
+    targets = Tensor(np.asarray(targets, dtype=np.float64))
+    neg_log_p, neg_log_1mp = _stable_bce_terms(logits, targets)
+    loss = targets * neg_log_p + (1.0 - targets) * neg_log_1mp
+    return loss.mean()
+
+
+def weighted_bce_with_logits(logits: Tensor, targets, pos_weight: float) -> Tensor:
+    """Paper Eq. 6: ``L = -w t log p - (1 - t) log (1 - p)`` averaged.
+
+    Parameters
+    ----------
+    pos_weight:
+        Weight ``w`` applied to positive samples.
+    """
+    if pos_weight <= 0:
+        raise ValueError(f"pos_weight must be positive, got {pos_weight}")
+    targets = Tensor(np.asarray(targets, dtype=np.float64))
+    neg_log_p, neg_log_1mp = _stable_bce_terms(logits, targets)
+    loss = pos_weight * targets * neg_log_p + (1.0 - targets) * neg_log_1mp
+    return loss.mean()
+
+
+def positive_class_weight(n_total: int, n_positive: int, lam: float) -> float:
+    """The paper's imbalance weight ``w = lambda * (log C - log C+)``."""
+    if n_positive <= 0 or n_total <= 0:
+        raise ValueError("counts must be positive")
+    w = lam * (np.log(n_total) - np.log(n_positive))
+    return float(max(w, 1.0))
+
+
+def cross_entropy(logits: Tensor, target_ids) -> Tensor:
+    """Mean categorical cross-entropy over rows of ``logits``.
+
+    Used by the diffusion baselines (TopoLSTM/FOREST/HIDAN) that rank the
+    next cascade participant with a softmax over candidates.
+    """
+    from repro.nn.functional import log_softmax
+
+    target_ids = np.asarray(target_ids, dtype=np.int64)
+    logp = log_softmax(logits, axis=-1)
+    rows = np.arange(len(target_ids))
+    picked = logp[rows, target_ids]
+    return -picked.mean()

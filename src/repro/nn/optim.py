@@ -1,0 +1,105 @@
+"""Gradient-descent optimisers: SGD (with momentum) and Adam.
+
+The paper trains RETINA with SGD (lr 1e-2, dynamic mode) and Adam (default
+parameters, static mode); both are provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["SGD", "Adam"]
+
+
+class _Optimizer:
+    def __init__(self, parameters: list[Tensor], lr: float):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        params = list(parameters)
+        if not params:
+            raise ValueError("optimizer received no parameters")
+        self.parameters = params
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with optional momentum and grad clipping."""
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        clip_norm: float | None = 5.0,
+    ):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.clip_norm = clip_norm
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.clip_norm is not None:
+                norm = np.linalg.norm(g)
+                if norm > self.clip_norm:
+                    g = g * (self.clip_norm / norm)
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+
+class Adam(_Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015), TF default parameters."""
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-7,
+        clip_norm: float | None = 5.0,
+    ):
+        super().__init__(parameters, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.clip_norm = clip_norm
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.clip_norm is not None:
+                norm = np.linalg.norm(g)
+                if norm > self.clip_norm:
+                    g = g * (self.clip_norm / norm)
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,371 @@
+"""Reverse-mode autograd tensor.
+
+A :class:`Tensor` wraps a numpy array and records the operations applied to
+it; :meth:`Tensor.backward` walks the tape in reverse topological order and
+accumulates gradients.  Broadcasting is handled by summing gradients back
+over broadcast axes (:func:`_unbroadcast`).
+
+The op set is the minimum RETINA and the diffusion baselines need:
+arithmetic (with broadcasting), matmul (including stacked/batched), exp,
+log, tanh, sigmoid, relu, power, sum/mean/max reductions, reshape,
+transpose, slicing, and concatenation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor"]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    # Remove leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size-1 in the original.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+def _as_tensor(value) -> "Tensor":
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64), requires_grad=False)
+
+
+class Tensor:
+    """A numpy array with a gradient tape.
+
+    Parameters
+    ----------
+    data:
+        Array (or nested list / scalar) of float64 values.
+    requires_grad:
+        Whether gradients should flow to this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+
+    def __init__(self, data, requires_grad: bool = False, _prev=(), _op: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward = None
+        self._prev = tuple(_prev)
+        self._op = _op
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (a copy, so callers cannot corrupt the tape)."""
+        return self.data.copy()
+
+    def detach(self) -> "Tensor":
+        """A new leaf tensor sharing no tape history."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    @staticmethod
+    def _result(data, parents, op, backward) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _prev=parents if requires else (), _op=op)
+        if requires:
+            out._backward = backward
+        return out
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1 and must be supplied for non-scalar outputs.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ----------------------------------------------------------- arithmetic
+    def __add__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return self._result(out_data, (self, other), "+", backward)
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return self._result(out_data, (self, other), "*", backward)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-_as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return _as_tensor(other) + (-self)
+
+    def __truediv__(self, other) -> "Tensor":
+        return self * _as_tensor(other).pow(-1.0)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return _as_tensor(other) * self.pow(-1.0)
+
+    def pow(self, exponent: float) -> "Tensor":
+        """Elementwise power with a constant exponent."""
+        out_data = self.data**exponent
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1.0))
+
+        return self._result(out_data, (self,), f"**{exponent}", backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return self.pow(exponent)
+
+    def matmul(self, other) -> "Tensor":
+        """Matrix product; supports stacked (batched) operands like numpy."""
+        other = _as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                g = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                g = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(g, other.shape))
+
+        return self._result(out_data, (self, other), "@", backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------ unary ops
+    def exp(self) -> "Tensor":
+        out_data = np.exp(np.clip(self.data, -700, 700))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return self._result(out_data, (self,), "exp", backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._result(out_data, (self,), "log", backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._result(out_data, (self,), "tanh", backward)
+
+    def sigmoid(self) -> "Tensor":
+        z = self.data
+        out_data = np.empty_like(z)
+        pos = z >= 0
+        out_data[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out_data[~pos] = ez / (1.0 + ez)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._result(out_data, (self,), "sigmoid", backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return self._result(out_data, (self,), "relu", backward)
+
+    # ----------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return self._result(out_data, (self,), "sum", backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            expanded = g if keepdims else np.expand_dims(g, axis=axis)
+            maxed = out_data if keepdims else np.expand_dims(out_data, axis=axis)
+            mask = self.data == maxed
+            # Split gradient equally among ties, matching subgradient choice.
+            counts = mask.sum(axis=axis, keepdims=True)
+            self._accumulate(mask * expanded / counts)
+
+        return self._result(out_data, (self,), "max", backward)
+
+    # --------------------------------------------------------- shape fiddling
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return self._result(out_data, (self,), "reshape", backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return self._result(out_data, (self,), "transpose", backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, key, grad)
+                self._accumulate(full)
+
+        return self._result(out_data, (self,), "slice", backward)
+
+    @staticmethod
+    def concat(tensors: list["Tensor"], axis: int = 0) -> "Tensor":
+        """Concatenate along ``axis`` with gradient routing back to parts."""
+        tensors = [_as_tensor(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad):
+            for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    index = [slice(None)] * grad.ndim
+                    index[axis] = slice(lo, hi)
+                    t._accumulate(grad[tuple(index)])
+
+        return Tensor._result(out_data, tuple(tensors), "concat", backward)
+
+    @staticmethod
+    def stack(tensors: list["Tensor"], axis: int = 0) -> "Tensor":
+        """Stack tensors along a new axis."""
+        tensors = [_as_tensor(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad):
+            for i, t in enumerate(tensors):
+                if t.requires_grad:
+                    t._accumulate(np.take(grad, i, axis=axis))
+
+        return Tensor._result(out_data, tuple(tensors), "stack", backward)

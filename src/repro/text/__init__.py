@@ -1,0 +1,22 @@
+"""Text-processing substrate: tokenisation, TF-IDF, Doc2Vec, hate lexicon.
+
+Replaces the paper's use of gensim (Doc2Vec) and scikit-learn
+(TfidfVectorizer) with from-scratch implementations over numpy.
+"""
+
+from repro.text.tokenize import ngrams, tokenize
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.doc2vec import Doc2Vec
+from repro.text.lexicon import HateLexicon, default_hate_lexicon
+from repro.text.similarity import cosine_similarity, pairwise_cosine
+
+__all__ = [
+    "tokenize",
+    "ngrams",
+    "TfidfVectorizer",
+    "Doc2Vec",
+    "HateLexicon",
+    "default_hate_lexicon",
+    "cosine_similarity",
+    "pairwise_cosine",
+]

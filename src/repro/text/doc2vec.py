@@ -1,0 +1,177 @@
+"""Doc2Vec: distributed document representations (PV-DBOW).
+
+The paper uses gensim Doc2Vec (50-d for tweets, 500-d for news headlines;
+Sec. VI-D) for the exogenous-attention inputs and for the user-topic
+relatedness feature.  This is a from-scratch PV-DBOW [Le & Mikolov 2014]
+trained with negative sampling: each document vector is optimised to predict
+the words it contains against noise words sampled from the unigram^0.75
+distribution.
+
+``infer_vector`` optimises a fresh document vector against the frozen word
+matrix, mirroring gensim's inference step, so unseen tweets/news can be
+embedded after training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.text.tokenize import tokenize
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+
+class Doc2Vec:
+    """PV-DBOW document embeddings with negative sampling.
+
+    Parameters
+    ----------
+    vector_size:
+        Embedding dimensionality (paper: 50 for tweets, 500 for news).
+    epochs:
+        Full passes over the corpus.
+    negative:
+        Negative samples per positive word.
+    min_count:
+        Words rarer than this are dropped from the vocabulary.
+    alpha:
+        Initial learning rate, linearly decayed to ``alpha/10``.
+    """
+
+    def __init__(
+        self,
+        vector_size: int = 50,
+        epochs: int = 20,
+        negative: int = 5,
+        min_count: int = 2,
+        alpha: float = 0.05,
+        window_subsample: int = 32,
+        random_state=None,
+        tokenizer=None,
+    ):
+        if vector_size < 1:
+            raise ValueError(f"vector_size must be >= 1, got {vector_size}")
+        if negative < 1:
+            raise ValueError(f"negative must be >= 1, got {negative}")
+        self.vector_size = vector_size
+        self.epochs = epochs
+        self.negative = negative
+        self.min_count = min_count
+        self.alpha = alpha
+        self.window_subsample = window_subsample
+        self.random_state = random_state
+        self.tokenizer = tokenizer
+        self.vocab_: dict[str, int] | None = None
+        self.word_vectors_: np.ndarray | None = None
+        self.doc_vectors_: np.ndarray | None = None
+        self._noise_cdf: np.ndarray | None = None
+
+    def _tokenize(self, doc: str) -> list[str]:
+        tok = self.tokenizer or tokenize
+        return tok(doc)
+
+    def _doc_word_ids(self, doc: str) -> np.ndarray:
+        ids = [self.vocab_[w] for w in self._tokenize(doc) if w in self.vocab_]
+        return np.asarray(ids, dtype=np.int64)
+
+    def _sample_noise(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        u = rng.random(size)
+        return np.searchsorted(self._noise_cdf, u)
+
+    def fit(self, documents) -> "Doc2Vec":
+        """Train document and word vectors on the corpus."""
+        docs = list(documents)
+        if not docs:
+            raise ValueError("cannot fit on an empty corpus")
+        rng = ensure_rng(self.random_state)
+        counts: dict[str, int] = {}
+        tokenized = []
+        for doc in docs:
+            toks = self._tokenize(doc)
+            tokenized.append(toks)
+            for w in toks:
+                counts[w] = counts.get(w, 0) + 1
+        vocab_words = sorted(w for w, c in counts.items() if c >= self.min_count)
+        if not vocab_words:
+            # Degenerate corpus: fall back to keeping everything.
+            vocab_words = sorted(counts)
+        self.vocab_ = {w: i for i, w in enumerate(vocab_words)}
+        V = len(vocab_words)
+        D = len(docs)
+        k = self.vector_size
+
+        freq = np.array([counts[w] for w in vocab_words], dtype=np.float64) ** 0.75
+        self._noise_cdf = np.cumsum(freq / freq.sum())
+
+        self.word_vectors_ = (rng.random((V, k)) - 0.5) / k
+        self.doc_vectors_ = (rng.random((D, k)) - 0.5) / k
+
+        word_ids = [
+            np.asarray([self.vocab_[w] for w in toks if w in self.vocab_], dtype=np.int64)
+            for toks in tokenized
+        ]
+        order = np.arange(D)
+        for epoch in range(self.epochs):
+            lr = self.alpha * max(0.1, 1.0 - epoch / max(1, self.epochs))
+            rng.shuffle(order)
+            for d in order:
+                ids = word_ids[d]
+                if len(ids) == 0:
+                    continue
+                if len(ids) > self.window_subsample:
+                    ids = rng.choice(ids, size=self.window_subsample, replace=False)
+                self._update_doc(d, ids, lr, rng)
+        return self
+
+    def _update_doc(self, d: int, ids: np.ndarray, lr: float, rng) -> None:
+        """One negative-sampling SGD step for document ``d`` on words ``ids``."""
+        dv = self.doc_vectors_[d]
+        n_pos = len(ids)
+        neg = self._sample_noise(rng, n_pos * self.negative)
+        targets = np.concatenate([ids, neg])
+        labels = np.concatenate([np.ones(n_pos), np.zeros(len(neg))])
+        W = self.word_vectors_[targets]
+        scores = _sigmoid(W @ dv)
+        err = (scores - labels)[:, None]  # (m, 1)
+        grad_doc = (err * W).sum(axis=0)
+        self.word_vectors_[targets] -= lr * err * dv[None, :]
+        dv -= lr * grad_doc
+
+    def infer_vector(
+        self, document: str, *, epochs: int = 25, random_state=None
+    ) -> np.ndarray:
+        """Embed an unseen document against the frozen word matrix."""
+        check_fitted(self, "word_vectors_")
+        rng = ensure_rng(
+            random_state if random_state is not None else self.random_state
+        )
+        ids = self._doc_word_ids(document)
+        dv = (rng.random(self.vector_size) - 0.5) / self.vector_size
+        if len(ids) == 0:
+            return dv
+        for epoch in range(epochs):
+            lr = self.alpha * max(0.1, 1.0 - epoch / epochs)
+            neg = self._sample_noise(rng, len(ids) * self.negative)
+            targets = np.concatenate([ids, neg])
+            labels = np.concatenate([np.ones(len(ids)), np.zeros(len(neg))])
+            W = self.word_vectors_[targets]
+            scores = _sigmoid(W @ dv)
+            err = (scores - labels)[:, None]
+            dv -= lr * (err * W).sum(axis=0)
+        return dv
+
+    def transform(self, documents) -> np.ndarray:
+        """Infer vectors for a batch of documents."""
+        return np.stack([self.infer_vector(d) for d in documents])
+
+    def word_vector(self, word: str) -> np.ndarray:
+        """Vector of an in-vocabulary word (zeros when OOV)."""
+        check_fitted(self, "word_vectors_")
+        idx = self.vocab_.get(word)
+        if idx is None:
+            return np.zeros(self.vector_size)
+        return self.word_vectors_[idx].copy()

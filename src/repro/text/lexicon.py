@@ -1,0 +1,75 @@
+"""Hate lexicon features (paper Sec. IV-A and VI-B).
+
+The paper uses a manually pruned lexicon of 209 Hindi/English words and
+phrases from Kapoor et al. [17].  The full list is not published; we include
+the example terms the paper itself cites plus a closed set of synthetic slur
+tokens that the synthetic tweet generator injects into hateful tweets, so
+the lexicon-frequency feature exercises the identical code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.text.tokenize import tokenize
+
+# Terms quoted in the paper (Sec. VI-B) as examples of its lexicon.
+PAPER_EXAMPLE_TERMS = (
+    "harami",
+    "jhalla",
+    "haathi",
+    "mulla",
+    "bakar",
+    "aktakvadi",
+    "jamai",
+)
+
+# Synthetic slur tokens emitted by repro.data's tweet generator.  They are
+# deliberately non-words so no real slur list needs shipping.
+SYNTHETIC_TERMS = tuple(f"slur{i}" for i in range(40))
+
+
+class HateLexicon:
+    """A closed vocabulary of hate-signal terms with counting helpers."""
+
+    def __init__(self, terms=None):
+        terms = tuple(terms) if terms is not None else PAPER_EXAMPLE_TERMS + SYNTHETIC_TERMS
+        if not terms:
+            raise ValueError("lexicon must contain at least one term")
+        self.terms = tuple(dict.fromkeys(t.lower() for t in terms))  # dedupe, keep order
+        self._index = {t: i for i, t in enumerate(self.terms)}
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __contains__(self, term: str) -> bool:
+        return term.lower() in self._index
+
+    def vector(self, text: str) -> np.ndarray:
+        """Frequency vector HL over the lexicon for one text (paper Sec. IV-A)."""
+        v = np.zeros(len(self.terms))
+        for tok in tokenize(text):
+            idx = self._index.get(tok)
+            if idx is not None:
+                v[idx] += 1.0
+        return v
+
+    def vector_over(self, texts) -> np.ndarray:
+        """Aggregate frequency vector over an iterable of texts."""
+        v = np.zeros(len(self.terms))
+        for text in texts:
+            v += self.vector(text)
+        return v
+
+    def count(self, text: str) -> int:
+        """Total lexicon hits in one text."""
+        return int(self.vector(text).sum())
+
+    def contains_hate_term(self, text: str) -> bool:
+        """True when any lexicon term occurs in the text."""
+        return self.count(text) > 0
+
+
+def default_hate_lexicon() -> HateLexicon:
+    """The library-wide default lexicon (paper terms + synthetic terms)."""
+    return HateLexicon()

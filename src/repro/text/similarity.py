@@ -1,0 +1,31 @@
+"""Vector similarity helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two 1-d vectors; 0.0 when either is zero."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+def pairwise_cosine(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """``(n, m)`` cosine similarities between rows of ``A`` and ``B``."""
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[1]:
+        raise ValueError(f"incompatible shapes: {A.shape} vs {B.shape}")
+    na = np.linalg.norm(A, axis=1)
+    nb = np.linalg.norm(B, axis=1)
+    na[na == 0.0] = 1.0
+    nb[nb == 0.0] = 1.0
+    return (A @ B.T) / np.outer(na, nb)

@@ -1,0 +1,50 @@
+"""Tweet-aware tokenisation.
+
+Hashtags are kept as single ``#token`` units (the paper treats hashtags as
+individual tokens when training Doc2Vec, Sec. IV-B), mentions are preserved
+as ``@user``, and URLs are collapsed to a placeholder so they neither pollute
+the vocabulary nor leak per-tweet identifiers.
+"""
+
+from __future__ import annotations
+
+import re
+
+_URL_RE = re.compile(r"https?://\S+|www\.\S+")
+_TOKEN_RE = re.compile(r"[#@]?\w+", re.UNICODE)
+
+URL_PLACEHOLDER = "<url>"
+
+
+def tokenize(text: str, *, lowercase: bool = True, keep_urls: bool = False) -> list[str]:
+    """Split text into tweet tokens.
+
+    Parameters
+    ----------
+    lowercase:
+        Casefold tokens (hashtag matching in the paper is case-insensitive).
+    keep_urls:
+        When False (default), URLs become a single ``<url>`` placeholder.
+    """
+    if not isinstance(text, str):
+        raise TypeError(f"expected str, got {type(text).__name__}")
+    if lowercase:
+        text = text.lower()
+    if not keep_urls:
+        text = _URL_RE.sub(f" {URL_PLACEHOLDER} ", text)
+    tokens = []
+    for piece in text.split():
+        if piece == URL_PLACEHOLDER:
+            tokens.append(piece)
+            continue
+        tokens.extend(_TOKEN_RE.findall(piece))
+    return tokens
+
+
+def ngrams(tokens: list[str], n: int) -> list[str]:
+    """Contiguous n-grams joined by spaces; returns [] when len < n."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return list(tokens)
+    return [" ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]

@@ -1,0 +1,23 @@
+"""Shared utilities: seeded randomness, validation, and console rendering."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.tables import render_table
+from repro.utils.asciiplot import ascii_bars, ascii_series
+from repro.utils.validation import (
+    check_array,
+    check_binary_labels,
+    check_consistent_length,
+    check_fitted,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "render_table",
+    "ascii_bars",
+    "ascii_series",
+    "check_array",
+    "check_binary_labels",
+    "check_consistent_length",
+    "check_fitted",
+]

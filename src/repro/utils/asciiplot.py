@@ -1,0 +1,69 @@
+"""Minimal ASCII plotting used by figure-reproduction benchmarks.
+
+The paper's figures are line/bar charts; benchmarks print an ASCII rendering
+plus the underlying series so the shape is inspectable without matplotlib.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Render a horizontal bar chart. Values must be non-negative."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    vmax = max(values) if values else 0.0
+    label_w = max((len(l) for l in labels), default=0)
+    out = [title] if title else []
+    for label, value in zip(labels, values):
+        if value < 0:
+            raise ValueError(f"ascii_bars requires non-negative values, got {value}")
+        n = 0 if vmax == 0 else int(round(width * value / vmax))
+        out.append(f"{label.ljust(label_w)} | {'#' * n} {value:.4g}")
+    return "\n".join(out)
+
+
+def ascii_series(
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 12,
+    title: str | None = None,
+) -> str:
+    """Render one or more numeric series as a crude line chart.
+
+    Each series is resampled to ``width`` columns and plotted with its own
+    glyph; the legend maps glyphs to series names.
+    """
+    glyphs = "*o+x@%&"
+    if not series:
+        return title or ""
+    vmax = max(max(v) for v in series.values() if len(v))
+    vmin = min(min(v) for v in series.values() if len(v))
+    span = (vmax - vmin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for gi, (name, values) in enumerate(series.items()):
+        glyph = glyphs[gi % len(glyphs)]
+        legend.append(f"{glyph} = {name}")
+        n = len(values)
+        if n == 0:
+            continue
+        for col in range(width):
+            src = col * (n - 1) / (width - 1) if width > 1 else 0
+            val = values[int(round(src))]
+            row = height - 1 - int(round((val - vmin) / span * (height - 1)))
+            grid[row][col] = glyph
+    out = [title] if title else []
+    out.append(f"max={vmax:.4g}")
+    out.extend("".join(row) for row in grid)
+    out.append(f"min={vmin:.4g}")
+    out.append("  ".join(legend))
+    return "\n".join(out)

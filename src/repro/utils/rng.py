@@ -1,0 +1,47 @@
+"""Seeded random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``random_state`` that is
+either ``None``, an integer seed, or a ``numpy.random.Generator``.  This
+module normalises those three spellings so components never construct
+generators ad hoc, which keeps experiments reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RandomState = "int | np.random.Generator | None"
+
+
+def ensure_rng(random_state: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed spelling.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for OS entropy, an ``int`` seed, or an existing generator
+        (returned unchanged so callers can share a stream).
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        f"random_state must be None, int, or numpy Generator, got {type(random_state).__name__}"
+    )
+
+
+def spawn_rngs(random_state: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Split one seed into ``n`` independent child generators.
+
+    Children are derived through :class:`numpy.random.SeedSequence` spawning,
+    so they are statistically independent and stable across runs for a fixed
+    parent seed.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    parent = ensure_rng(random_state)
+    seeds = parent.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for benchmark reports.
+
+Benchmarks print paper-style tables to stdout; this keeps the formatting in
+one place so every table in ``benchmarks/`` looks the same.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _fmt(value, ndigits: int = 3) -> str:
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+    ndigits: int = 3,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; floats are formatted to ``ndigits`` decimals.
+    title:
+        Optional caption printed above the table.
+    """
+    str_rows = [[_fmt(v, ndigits) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)

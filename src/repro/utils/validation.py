@@ -1,0 +1,45 @@
+"""Input-validation helpers shared across the ``repro.ml`` estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+def check_array(X, *, ndim: int = 2, dtype=np.float64, name: str = "X") -> np.ndarray:
+    """Coerce ``X`` to a finite ndarray with the expected dimensionality."""
+    arr = np.asarray(X, dtype=dtype)
+    if arr.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional, got shape {arr.shape}")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_consistent_length(*arrays) -> None:
+    """Raise if the first axes of the given arrays disagree."""
+    lengths = [len(a) for a in arrays if a is not None]
+    if len(set(lengths)) > 1:
+        raise ValueError(f"Inconsistent lengths: {lengths}")
+
+
+def check_binary_labels(y, name: str = "y") -> np.ndarray:
+    """Coerce labels to an int array of {0, 1} values."""
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    uniq = np.unique(arr)
+    if not np.all(np.isin(uniq, (0, 1))):
+        raise ValueError(f"{name} must contain only 0/1 labels, got values {uniq[:10]}")
+    return arr.astype(np.int64)
+
+
+def check_fitted(estimator, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``estimator.attribute`` exists."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted yet; call fit() first"
+        )

@@ -1,0 +1,93 @@
+"""Tests for the Figure 1-3 analysis computations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    diffusion_curves,
+    hashtag_hate_distribution,
+    user_topic_hate_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def world(small_world):
+    return small_world.world
+
+
+class TestDiffusionCurves:
+    def test_structure(self, world):
+        curves = diffusion_curves(world, n_points=11)
+        assert len(curves["time"]) == 11
+        assert set(curves["retweets"]) == {"hate", "non_hate"}
+        assert set(curves["susceptible"]) == {"hate", "non_hate"}
+
+    def test_curves_monotone_nondecreasing(self, world):
+        curves = diffusion_curves(world, n_points=11)
+        for series in curves["retweets"].values():
+            assert np.all(np.diff(series) >= -1e-9)
+
+    def test_fig1a_hate_retweeted_more(self, world):
+        curves = diffusion_curves(world)
+        assert curves["retweets"]["hate"][-1] > curves["retweets"]["non_hate"][-1]
+
+    def test_fig1b_hate_fewer_susceptible_at_end(self, world):
+        curves = diffusion_curves(world)
+        assert (
+            curves["susceptible"]["hate"][-1] < curves["susceptible"]["non_hate"][-1]
+        )
+
+    def test_fig1_hate_saturates_early(self, world):
+        curves = diffusion_curves(world)
+        hate = curves["retweets"]["hate"]
+        non = curves["retweets"]["non_hate"]
+        mid = len(hate) // 4
+        assert hate[mid] / max(hate[-1], 1e-9) > non[mid] / max(non[-1], 1e-9)
+
+    def test_invalid_points(self, world):
+        with pytest.raises(ValueError):
+            diffusion_curves(world, n_points=1)
+
+
+class TestHashtagHate:
+    def test_fractions_sum_to_one(self, world):
+        dist = hashtag_hate_distribution(world)
+        for row in dist.values():
+            assert row["hate_fraction"] + row["non_hate_fraction"] == pytest.approx(1.0)
+
+    def test_fig2_variation_across_hashtags(self, world):
+        dist = hashtag_hate_distribution(world)
+        fracs = [row["hate_fraction"] for row in dist.values()]
+        assert max(fracs) > min(fracs)
+
+    def test_high_target_tags_more_hateful(self, world):
+        dist = hashtag_hate_distribution(world)
+        hi = [r["hate_fraction"] for r in dist.values() if r["target_pct_hate"] >= 5]
+        lo = [r["hate_fraction"] for r in dist.values() if r["target_pct_hate"] < 1]
+        if hi and lo:
+            assert np.mean(hi) > np.mean(lo)
+
+
+class TestUserTopic:
+    def test_matrix_shape(self, world):
+        result = user_topic_hate_matrix(world, n_users=8)
+        assert result["matrix"].shape == (len(result["users"]), len(result["hashtags"]))
+
+    def test_values_are_ratios(self, world):
+        m = user_topic_hate_matrix(world, n_users=8)["matrix"]
+        vals = m[~np.isnan(m)]
+        assert np.all((vals >= 0) & (vals <= 1))
+
+    def test_fig3_topic_dependence(self, world):
+        """Rows (users) should vary across columns (topics)."""
+        m = user_topic_hate_matrix(world, n_users=10)["matrix"]
+        spreads = []
+        for row in m:
+            vals = row[~np.isnan(row)]
+            if len(vals) >= 2:
+                spreads.append(vals.max() - vals.min())
+        assert spreads and max(spreads) > 0.1
+
+    def test_invalid_n_users(self, world):
+        with pytest.raises(ValueError):
+            user_topic_hate_matrix(world, n_users=0)

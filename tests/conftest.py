@@ -1,0 +1,47 @@
+"""Shared fixtures: small deterministic classification datasets and worlds."""
+
+import numpy as np
+import pytest
+
+from repro.data import HateDiffusionDataset, SyntheticWorldConfig
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """Small but fully featured synthetic world (fast to generate)."""
+    cfg = SyntheticWorldConfig(
+        scale=0.03, n_hashtags=10, n_users=300, n_news=800, seed=7
+    )
+    return HateDiffusionDataset.generate(cfg)
+
+
+@pytest.fixture(scope="session")
+def linear_dataset():
+    """Linearly separable-ish binary data: (X_train, y_train, X_test, y_test)."""
+    rng = np.random.default_rng(7)
+    w = rng.normal(size=12)
+    X = rng.normal(size=(600, 12))
+    y = (X @ w + 0.25 * rng.normal(size=600) > 0).astype(int)
+    return X[:480], y[:480], X[480:], y[480:]
+
+
+@pytest.fixture(scope="session")
+def imbalanced_dataset():
+    """~6% positive-rate dataset mimicking the hate-generation imbalance."""
+    rng = np.random.default_rng(11)
+    n = 800
+    X = rng.normal(size=(n, 8))
+    logits = X @ rng.normal(size=8) - 2.8
+    y = (logits + 0.5 * rng.normal(size=n) > 0).astype(int)
+    if y.sum() < 10:  # guarantee enough positives for stratified splits
+        y[:10] = 1
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def xor_dataset():
+    """Nonlinear (XOR) data that defeats linear models but not RBF/trees."""
+    rng = np.random.default_rng(3)
+    X = rng.uniform(-1, 1, size=(400, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y

@@ -1,0 +1,36 @@
+"""Session fixtures for core-model tests: one world, fitted extractors."""
+
+import pytest
+
+from repro.data import HateDiffusionDataset, SyntheticWorldConfig
+from repro.core.hategen import HateGenFeatureExtractor, HateGenerationPipeline
+from repro.core.retina import RetinaFeatureExtractor, RetinaTrainer
+
+
+@pytest.fixture(scope="session")
+def core_world():
+    cfg = SyntheticWorldConfig(
+        scale=0.02, n_hashtags=8, n_users=250, n_news=600, seed=5
+    )
+    return HateDiffusionDataset.generate(cfg)
+
+
+@pytest.fixture(scope="session")
+def hategen_data(core_world):
+    """(pipeline, X_tr, y_tr, X_te, y_te) with a fitted extractor."""
+    train, test = core_world.hategen_split(random_state=0)
+    extractor = HateGenFeatureExtractor(core_world.world, doc2vec_epochs=4)
+    pipeline = HateGenerationPipeline(extractor)
+    X_tr, y_tr, X_te, y_te = pipeline.prepare(train, test)
+    return pipeline, X_tr, y_tr, X_te, y_te
+
+
+@pytest.fixture(scope="session")
+def retina_data(core_world):
+    """(extractor, train_samples, test_samples) with interval labels."""
+    train, test = core_world.cascade_split(random_state=0)
+    extractor = RetinaFeatureExtractor(core_world.world, random_state=0).fit(train)
+    edges = RetinaTrainer.default_interval_edges()
+    tr = extractor.build_samples(train[:80], interval_edges_hours=edges, random_state=0)
+    te = extractor.build_samples(test[:30], interval_edges_hours=edges, random_state=1)
+    return extractor, tr, te

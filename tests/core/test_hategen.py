@@ -1,0 +1,131 @@
+"""Tests for the hate-generation feature extractor, pipeline, and ablation."""
+
+import numpy as np
+import pytest
+
+from repro.core.hategen import (
+    FeatureGroups,
+    build_model,
+    run_feature_ablation,
+    TABLE3_MODELS,
+)
+from repro.core.hategen.pipeline import ProcessingVariant
+
+
+class TestFeatureExtractor:
+    def test_matrix_shape_and_labels(self, hategen_data, core_world):
+        _, X_tr, y_tr, X_te, y_te = hategen_data
+        assert X_tr.shape[1] == X_te.shape[1]
+        assert set(np.unique(np.concatenate([y_tr, y_te]))) <= {0, 1}
+        assert len(X_tr) == len(y_tr)
+
+    def test_group_slices_partition_features(self, hategen_data):
+        pipe, X_tr, *_ = hategen_data
+        slices = pipe.extractor.group_slices
+        assert set(slices) == set(FeatureGroups)
+        covered = sorted(
+            i for sl in slices.values() for i in range(sl.start, sl.stop)
+        )
+        assert covered == list(range(X_tr.shape[1]))
+
+    def test_drop_group_removes_columns(self, hategen_data):
+        pipe, X_tr, *_ = hategen_data
+        for group in FeatureGroups:
+            sl = pipe.extractor.group_slices[group]
+            dropped = pipe.extractor.drop_group(X_tr, group)
+            assert dropped.shape[1] == X_tr.shape[1] - (sl.stop - sl.start)
+
+    def test_drop_unknown_group_raises(self, hategen_data):
+        pipe, X_tr, *_ = hategen_data
+        with pytest.raises(ValueError):
+            pipe.extractor.drop_group(X_tr, "astrology")
+
+    def test_history_block_reflects_hatefulness(self, hategen_data, core_world):
+        """Users with hateful histories should have a higher hate-ratio feature."""
+        pipe, *_ = hategen_data
+        ext = pipe.extractor
+        world = core_world.world
+        props = [(u.base_hate_propensity, uid) for uid, u in world.users.items()]
+        props.sort()
+        low_uid, high_uid = props[0][1], props[-1][1]
+        # hate ratio is the first scalar after tfidf + lexicon blocks
+        offset = len(ext.text_vectorizer_.vocabulary_) + len(ext.lexicon)
+        low = ext._user_block(low_uid)["history"][offset]
+        high = ext._user_block(high_uid)["history"][offset]
+        assert high >= low
+
+    def test_endogen_block_binary(self, hategen_data):
+        pipe, *_ = hategen_data
+        vec = pipe.extractor._endogen_block(100.0)
+        assert set(np.unique(vec)) <= {0.0, 1.0}
+
+    def test_exogen_block_empty_before_start(self, hategen_data):
+        pipe, *_ = hategen_data
+        assert np.allclose(pipe.extractor._exogen_block(-10.0), 0.0)
+
+    def test_history_size_validation(self, core_world):
+        from repro.core.hategen import HateGenFeatureExtractor
+
+        with pytest.raises(ValueError):
+            HateGenFeatureExtractor(core_world.world, history_size=0)
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("variant", ProcessingVariant)
+    def test_all_variants_run(self, hategen_data, variant):
+        pipe, X_tr, y_tr, X_te, y_te = hategen_data
+        result = pipe.run("dectree", variant, X_tr, y_tr, X_te, y_te)
+        assert 0.0 <= result.macro_f1 <= 1.0
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_all_models_buildable(self):
+        for key in TABLE3_MODELS:
+            model = build_model(key)
+            assert hasattr(model, "fit")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError):
+            build_model("catboost")
+
+    def test_unknown_variant_raises(self, hategen_data):
+        pipe, X_tr, y_tr, X_te, y_te = hategen_data
+        with pytest.raises(ValueError):
+            pipe.run("dectree", "smote", X_tr, y_tr, X_te, y_te)
+
+    def test_downsampling_improves_macro_f1_vs_none(self, hategen_data):
+        """The paper's key Table IV observation."""
+        pipe, X_tr, y_tr, X_te, y_te = hategen_data
+        none = pipe.run("dectree", "none", X_tr, y_tr, X_te, y_te)
+        ds = pipe.run("dectree", "ds", X_tr, y_tr, X_te, y_te)
+        # Accuracy without sampling is deceptively high...
+        assert none.accuracy >= ds.accuracy - 0.15
+        # ...while downsampling keeps macro-F1 competitive despite throwing
+        # away most of the training data.  (The full-scale effect — DS
+        # clearly winning — is demonstrated in benchmarks/bench_table4.)
+        assert ds.macro_f1 >= none.macro_f1 - 0.12
+
+    def test_grid_runs(self, hategen_data):
+        pipe, X_tr, y_tr, X_te, y_te = hategen_data
+        results = pipe.run_grid(["logreg"], ["none", "ds"], X_tr, y_tr, X_te, y_te)
+        assert len(results) == 2
+
+
+class TestAblation:
+    def test_ablation_covers_all_groups(self, hategen_data):
+        pipe, X_tr, y_tr, X_te, y_te = hategen_data
+        results = run_feature_ablation(
+            pipe.extractor, X_tr, y_tr, X_te, y_te, model_key="dectree"
+        )
+        assert set(results) == {"all"} | {f"all\\{g}" for g in FeatureGroups}
+        for metrics in results.values():
+            assert 0.0 <= metrics["macro_f1"] <= 1.0
+
+    def test_history_matters_most(self, hategen_data):
+        """Table V: removing user history hurts macro-F1 the most (with topic
+        mattering least); we assert history-removal is at least as harmful
+        as topic-removal."""
+        pipe, X_tr, y_tr, X_te, y_te = hategen_data
+        results = run_feature_ablation(
+            pipe.extractor, X_tr, y_tr, X_te, y_te, model_key="dectree"
+        )
+        assert results["all\\history"]["macro_f1"] <= results["all\\topic"]["macro_f1"] + 0.05

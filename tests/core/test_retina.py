@@ -1,0 +1,242 @@
+"""Tests for RETINA: features, model, trainer, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.retina import (
+    DYNAMIC_INTERVAL_EDGES_MIN,
+    RETINA,
+    RetinaTrainer,
+    evaluate_binary,
+    evaluate_ranking,
+    macro_f1_by_cascade_size,
+    map_by_hate_label,
+    predicted_to_actual_ratio,
+)
+from repro.nn import Tensor
+
+rng = np.random.default_rng(0)
+
+
+class TestFeatures:
+    def test_sample_shapes(self, retina_data):
+        ext, tr, _ = retina_data
+        s = tr[0]
+        assert s.user_features.shape == (len(s.labels), ext.user_feature_dim)
+        assert s.tweet_vec.shape == (ext.news_doc2vec_dim,)
+        assert s.news_vecs.shape[1] == ext.news_doc2vec_dim
+        assert s.news_vecs.shape[0] <= ext.news_window
+
+    def test_interval_labels_one_hot_per_positive(self, retina_data):
+        _, tr, _ = retina_data
+        for s in tr[:20]:
+            row_sums = s.interval_labels.sum(axis=1)
+            assert np.all(row_sums[s.labels == 1] == 1.0)
+            assert np.all(row_sums[s.labels == 0] == 0.0)
+
+    def test_interval_label_matches_retweet_time(self, retina_data):
+        ext, tr, _ = retina_data
+        edges = RetinaTrainer.default_interval_edges()
+        s = tr[0]
+        c = s.candidate_set.cascade
+        rt_time = {r.user_id: r.timestamp - c.root.timestamp for r in c.retweets}
+        for i, uid in enumerate(s.candidate_set.users):
+            if s.labels[i] == 1 and uid in rt_time:
+                j = int(np.argmax(s.interval_labels[i]))
+                dt = rt_time[uid]
+                assert edges[j] <= dt or j == 0
+                if j < len(edges) - 2:
+                    assert dt <= edges[j + 1] + 1e-9
+
+    def test_peer_block_prior_retweets(self, retina_data, core_world):
+        ext, tr, _ = retina_data
+        # A pair that retweeted in training must have prior count > 0.
+        found = False
+        for (root, cand), count in ext._retweeted_before.items():
+            if count > 0:
+                block = ext._peer_block(root, cand)
+                assert block[1] == count
+                found = True
+                break
+        assert found
+
+    def test_news_window_validation(self, core_world):
+        from repro.core.retina import RetinaFeatureExtractor
+
+        with pytest.raises(ValueError):
+            RetinaFeatureExtractor(core_world.world, news_window=0)
+
+
+class TestModelArchitecture:
+    def _inputs(self, B=6, d_user=20, d_tweet=10, d_news=10, k=5):
+        return (
+            Tensor(rng.normal(size=(B, d_user))),
+            Tensor(rng.normal(size=(d_tweet,))),
+            Tensor(rng.normal(size=(k, d_news))),
+        )
+
+    def test_static_output_shape(self):
+        m = RETINA(20, 10, 10, hdim=16, mode="static", random_state=0)
+        u, t, n = self._inputs()
+        assert m(u, t, n).shape == (6,)
+
+    def test_dynamic_output_shape(self):
+        m = RETINA(20, 10, 10, hdim=16, mode="dynamic", n_intervals=7, random_state=0)
+        u, t, n = self._inputs()
+        assert m(u, t, n).shape == (6, 7)
+
+    def test_dagger_variant_has_no_attention(self):
+        m = RETINA(20, 10, 10, mode="static", use_exogenous=False, random_state=0)
+        assert m.attention is None
+
+    def test_dagger_fewer_parameters(self):
+        full = RETINA(20, 10, 10, hdim=16, mode="static", random_state=0)
+        dagger = RETINA(20, 10, 10, hdim=16, mode="static", use_exogenous=False, random_state=0)
+        assert dagger.n_parameters() < full.n_parameters()
+
+    @pytest.mark.parametrize("cell", ["gru", "rnn", "lstm"])
+    def test_recurrent_cells(self, cell):
+        m = RETINA(20, 10, 10, hdim=16, mode="dynamic", recurrent_cell=cell, random_state=0)
+        u, t, n = self._inputs()
+        out = m(u, t, n)
+        assert out.shape == (6, 7)
+
+    def test_predict_proba_in_unit_interval(self):
+        m = RETINA(20, 10, 10, hdim=16, mode="static", random_state=0)
+        p = m.predict_proba(
+            rng.normal(size=(4, 20)), rng.normal(size=10), rng.normal(size=(5, 10))
+        )
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_static_from_dynamic_monotone(self):
+        proba = np.array([[0.1, 0.2, 0.0], [0.0, 0.0, 0.0]])
+        s = RETINA.static_score_from_dynamic(proba)
+        assert s[0] == pytest.approx(1 - 0.9 * 0.8)
+        assert s[1] == 0.0
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            RETINA(10, 5, 5, mode="hybrid")
+        with pytest.raises(ValueError):
+            RETINA(10, 5, 5, mode="dynamic", recurrent_cell="transformer")
+        with pytest.raises(ValueError):
+            RETINA(10, 5, 5, n_intervals=0)
+
+    def test_interval_edges_constant(self):
+        assert DYNAMIC_INTERVAL_EDGES_MIN[1] == 5.0
+        assert len(DYNAMIC_INTERVAL_EDGES_MIN) == 8  # 7 intervals
+
+    def test_gradient_flows_through_whole_model(self):
+        m = RETINA(12, 8, 8, hdim=8, mode="static", random_state=0)
+        u = Tensor(rng.normal(size=(3, 12)), requires_grad=True)
+        t = Tensor(rng.normal(size=(8,)))
+        n = Tensor(rng.normal(size=(4, 8)))
+        m(u, t, n).sum().backward()
+        assert u.grad is not None
+        assert m.attention.WQ.grad is None or True  # WQ gets grads after loss
+        loss = m(u, t, n).sum()
+        m.zero_grad()
+        loss.backward()
+        assert m.attention.WK.grad is not None
+
+
+class TestTrainer:
+    def test_static_training_improves_over_init(self, retina_data):
+        ext, tr, te = retina_data
+        model = RETINA(
+            ext.user_feature_dim, 50, 50, hdim=32, mode="static", random_state=0
+        )
+        untrained_q = [
+            (s.labels.astype(int), model.predict_proba(s.user_features, s.tweet_vec, s.news_vecs))
+            for s in te
+        ]
+        before = evaluate_binary(untrained_q)["auc"]
+        trainer = RetinaTrainer(model, epochs=4, random_state=0).fit(tr)
+        trained_q = [(s.labels.astype(int), trainer.predict_static_scores(s)) for s in te]
+        after = evaluate_binary(trained_q)["auc"]
+        assert after > max(before, 0.55)
+
+    def test_dynamic_training_runs_and_scores(self, retina_data):
+        ext, tr, te = retina_data
+        model = RETINA(
+            ext.user_feature_dim, 50, 50, hdim=32, mode="dynamic", random_state=0
+        )
+        trainer = RetinaTrainer(model, epochs=2, random_state=0).fit(tr[:40])
+        proba = trainer.predict_sample(te[0])
+        assert proba.shape == (len(te[0].labels), model.n_intervals)
+        static = trainer.predict_static_scores(te[0])
+        assert static.shape == (len(te[0].labels),)
+
+    def test_paper_defaults_per_mode(self, retina_data):
+        ext, *_ = retina_data
+        s = RetinaTrainer(RETINA(ext.user_feature_dim, 50, 50, mode="static", random_state=0))
+        d = RetinaTrainer(RETINA(ext.user_feature_dim, 50, 50, mode="dynamic", random_state=0))
+        assert (s.lam, s.optimizer_name, s.batch_size) == (2.0, "adam", 16)
+        assert (d.lam, d.optimizer_name, d.batch_size) == (2.5, "sgd", 32)
+        assert d.lr == pytest.approx(1e-2)
+
+    def test_empty_fit_raises(self, retina_data):
+        ext, *_ = retina_data
+        model = RETINA(ext.user_feature_dim, 50, 50, mode="static", random_state=0)
+        with pytest.raises(ValueError):
+            RetinaTrainer(model).fit([])
+
+    def test_invalid_optimizer(self, retina_data):
+        ext, *_ = retina_data
+        model = RETINA(ext.user_feature_dim, 50, 50, mode="static", random_state=0)
+        with pytest.raises(ValueError):
+            RetinaTrainer(model, optimizer="rmsprop")
+
+
+class TestEvaluation:
+    def _queries(self):
+        return [
+            (np.array([1, 0, 1, 0]), np.array([0.9, 0.2, 0.8, 0.4])),
+            (np.array([0, 1, 0, 0]), np.array([0.1, 0.7, 0.3, 0.2])),
+        ]
+
+    def test_evaluate_binary_perfect(self):
+        out = evaluate_binary(self._queries())
+        assert out["macro_f1"] == 1.0
+        assert out["auc"] == 1.0
+
+    def test_evaluate_ranking(self):
+        out = evaluate_ranking(self._queries(), ks=(1, 2))
+        assert out["hits@1"] == 1.0
+        assert 0 < out["map@2"] <= 1.0
+
+    def test_map_by_hate_label(self):
+        out = map_by_hate_label(self._queries(), [True, False], k=2)
+        assert set(out) == {"hate", "non_hate"}
+
+    def test_map_by_hate_label_mismatch(self):
+        with pytest.raises(ValueError):
+            map_by_hate_label(self._queries(), [True])
+
+    def test_macro_f1_by_cascade_size(self):
+        out = macro_f1_by_cascade_size(self._queries(), [2, 10])
+        assert "2" in out and "9-15" in out
+
+    def test_predicted_to_actual_ratio_threshold(self):
+        probas = [np.array([[0.9, 0.1], [0.8, 0.2]])]
+        labels = [np.array([[1.0, 0.0], [0.0, 1.0]])]
+        ratio = predicted_to_actual_ratio(probas, labels, mode="threshold")
+        assert ratio[0] == pytest.approx(2.0)  # 2 predicted, 1 actual
+        assert ratio[1] == pytest.approx(0.0)  # 0 predicted, 1 actual
+
+    def test_predicted_to_actual_ratio_expected(self):
+        probas = [np.array([[0.9, 0.1], [0.8, 0.2]])]
+        labels = [np.array([[1.0, 0.0], [0.0, 1.0]])]
+        ratio = predicted_to_actual_ratio(probas, labels)
+        assert ratio[0] == pytest.approx(1.7)
+        assert ratio[1] == pytest.approx(0.3)
+
+    def test_predicted_to_actual_invalid_mode(self):
+        with pytest.raises(ValueError):
+            predicted_to_actual_ratio([np.zeros((1, 2))], [np.zeros((1, 2))], mode="x")
+
+    def test_empty_queries_raise(self):
+        with pytest.raises(ValueError):
+            evaluate_binary([])
+        with pytest.raises(ValueError):
+            predicted_to_actual_ratio([], [])

@@ -1,0 +1,52 @@
+"""Extra edge-case tests for HateDiffusionDataset views."""
+
+import numpy as np
+import pytest
+
+
+class TestEligibilityFilters:
+    def test_min_news_monotone(self, small_world):
+        """A stricter news requirement can only shrink the tweet set."""
+        loose = small_world.tweets_with_news(10)
+        strict = small_world.tweets_with_news(200)
+        assert len(strict) <= len(loose)
+        loose_ids = {t.tweet_id for t in loose}
+        assert all(t.tweet_id in loose_ids for t in strict)
+
+    def test_min_retweets_monotone(self, small_world):
+        few = small_world.retweet_cascades(min_retweets=2)
+        many = small_world.retweet_cascades(min_retweets=10)
+        assert len(many) <= len(few)
+        assert all(c.size >= 10 for c in many)
+
+    def test_cascade_roots_satisfy_news_filter(self, small_world):
+        eligible = {t.tweet_id for t in small_world.tweets_with_news()}
+        for c in small_world.retweet_cascades()[:50]:
+            assert c.root.tweet_id in eligible
+
+
+class TestSplitDeterminism:
+    def test_same_seed_same_split(self, small_world):
+        a_tr, a_te = small_world.cascade_split(random_state=5)
+        b_tr, b_te = small_world.cascade_split(random_state=5)
+        assert [c.root.tweet_id for c in a_tr] == [c.root.tweet_id for c in b_tr]
+        assert [c.root.tweet_id for c in a_te] == [c.root.tweet_id for c in b_te]
+
+    def test_different_seed_different_order(self, small_world):
+        a_tr, _ = small_world.cascade_split(random_state=5)
+        b_tr, _ = small_world.cascade_split(random_state=6)
+        assert [c.root.tweet_id for c in a_tr] != [c.root.tweet_id for c in b_tr]
+
+    def test_split_prefix_is_label_mixed(self, small_world):
+        """After shuffling, a prefix of the test set contains both labels
+        whenever both exist (needed by benchmark subsetting)."""
+        _, test = small_world.cascade_split(random_state=0)
+        labels = [c.root.is_hate for c in test]
+        if any(labels) and not all(labels):
+            half = labels[: max(10, len(labels) // 2)]
+            assert any(half) or sum(labels) < 3
+
+    def test_hategen_split_covers_all_eligible(self, small_world):
+        train, test = small_world.hategen_split(random_state=0)
+        eligible = small_world.tweets_with_news()
+        assert len(train) + len(test) == len(eligible)

@@ -1,0 +1,172 @@
+"""Tests for data schema, hashtag catalog, vocab, news, annotation."""
+
+import numpy as np
+import pytest
+
+from repro.data import AnnotatorPool, TABLE2_HASHTAGS, hashtag_catalog
+from repro.data.news import generate_news_stream
+from repro.data.schema import Cascade, Retweet, Tweet
+from repro.data.vocab import THEME_VOCAB, make_headline, make_text
+from repro.text import default_hate_lexicon
+
+
+class TestHashtagCatalog:
+    def test_full_catalog_has_34_rows(self):
+        # Table II lists 9 + 9 + 8 + 8 = 34 hashtags.
+        assert len(TABLE2_HASHTAGS) == 34
+
+    def test_known_row_values(self):
+        jv = next(h for h in TABLE2_HASHTAGS if h.tag == "jamiaviolence")
+        assert jv.n_tweets == 950
+        assert jv.avg_retweets == pytest.approx(15.45)
+        assert jv.pct_hate == pytest.approx(3.78)
+
+    def test_top_n_selection(self):
+        top5 = hashtag_catalog(5)
+        assert len(top5) == 5
+        assert top5[0].tag == "IslamoPhobicIndianMedia"  # largest: 4307
+
+    def test_hate_rate_spread_matches_fig2(self):
+        rates = [h.pct_hate for h in TABLE2_HASHTAGS]
+        assert min(rates) == 0.0
+        assert max(rates) > 12.0  # WarisPathan 12.07
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            hashtag_catalog(0)
+
+    def test_themes_valid(self):
+        from repro.data.hashtags import THEMES
+
+        assert all(h.theme in THEMES for h in TABLE2_HASHTAGS)
+
+
+class TestCascadeSchema:
+    def _cascade(self):
+        root = Tweet(0, 10, "tag", "text #tag", 100.0, False)
+        rts = [Retweet(1, 105.0), Retweet(2, 130.0), Retweet(3, 250.0)]
+        return Cascade(root=root, retweets=rts)
+
+    def test_size(self):
+        assert self._cascade().size == 3
+
+    def test_participants_order(self):
+        assert self._cascade().participants == [10, 1, 2, 3]
+
+    def test_participants_before(self):
+        c = self._cascade()
+        assert c.participants_before(131.0) == [10, 1, 2]
+        assert c.participants_before(99.0) == [10]
+
+    def test_retweet_count_before(self):
+        c = self._cascade()
+        assert c.retweet_count_before(105.0) == 1
+        assert c.retweet_count_before(1e9) == 3
+
+
+class TestVocab:
+    def test_hate_text_contains_lexicon_term(self):
+        rng = np.random.default_rng(0)
+        lex = default_hate_lexicon()
+        hits = sum(
+            lex.contains_hate_term(make_text("riots", "tag", True, rng))
+            for _ in range(20)
+        )
+        assert hits == 20
+
+    def test_nonhate_text_avoids_lexicon(self):
+        rng = np.random.default_rng(0)
+        lex = default_hate_lexicon()
+        hits = sum(
+            lex.contains_hate_term(make_text("civic", "tag", False, rng))
+            for _ in range(20)
+        )
+        assert hits == 0
+
+    def test_hashtag_appended(self):
+        rng = np.random.default_rng(1)
+        assert "#mytag" in make_text("covid", "MyTag", False, rng)
+
+    def test_theme_words_dominate(self):
+        rng = np.random.default_rng(2)
+        text = " ".join(make_text("covid", "t", False, rng) for _ in range(10))
+        covid_hits = sum(w in THEME_VOCAB["covid"] for w in text.split())
+        protest_hits = sum(w in THEME_VOCAB["protest"] for w in text.split())
+        assert covid_hits > protest_hits
+
+    def test_unknown_theme_raises(self):
+        with pytest.raises(ValueError):
+            make_text("astrology", "t", False, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            make_headline("astrology", np.random.default_rng(0))
+
+
+class TestNewsStream:
+    def test_generates_sorted(self):
+        stream = generate_news_stream(n_articles=200, random_state=0)
+        times = [a.timestamp for a in stream.articles]
+        assert times == sorted(times)
+        assert len(stream) >= 200 - 6  # multinomial rounding
+
+    def test_recent_before_window(self):
+        stream = generate_news_stream(n_articles=300, random_state=1)
+        mid = stream.articles[150].timestamp
+        recent = stream.recent_before(mid + 1e-9, k=60)
+        assert len(recent) == 60
+        assert all(a.timestamp <= mid + 1e-9 for a in recent)
+
+    def test_recent_before_start(self):
+        stream = generate_news_stream(n_articles=100, random_state=2)
+        assert stream.recent_before(-1.0, k=10) == []
+
+    def test_recent_invalid_k(self):
+        stream = generate_news_stream(n_articles=50, random_state=3)
+        with pytest.raises(ValueError):
+            stream.recent_before(10.0, k=0)
+
+    def test_burst_rate_nonnegative_decay(self):
+        stream = generate_news_stream(n_articles=50, random_state=4)
+        burst = stream.bursts[0]
+        assert burst.rate_at(burst.t0 - 1.0) == 0.0
+        assert burst.rate_at(burst.t0) > burst.rate_at(burst.t0 + 50.0)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_news_stream(n_articles=0)
+
+
+class TestAnnotatorPool:
+    def _tweets(self, n=300, p=0.3, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            Tweet(i, 0, "t", "x", 0.0, bool(rng.random() < p)) for i in range(n)
+        ]
+
+    def test_ratings_shape(self):
+        tweets = self._tweets(50)
+        ratings = AnnotatorPool(random_state=0).annotate(tweets)
+        assert ratings.shape == (3, 50)
+
+    def test_zero_noise_perfect_agreement(self):
+        tweets = self._tweets(100)
+        pool = AnnotatorPool(noise=0.0, bias_spread=0.0, random_state=0)
+        ratings = pool.annotate(tweets)
+        assert pool.agreement(ratings) == pytest.approx(1.0)
+        truth = np.array([int(t.is_hate) for t in tweets])
+        assert np.array_equal(pool.majority_vote(ratings), truth)
+
+    def test_noise_reduces_agreement(self):
+        tweets = self._tweets(400)
+        noisy = AnnotatorPool(noise=0.2, random_state=0)
+        alpha = noisy.agreement(noisy.annotate(tweets))
+        assert 0.1 < alpha < 0.95  # paper reports 0.58
+
+    def test_majority_vote_robust_to_one_annotator(self):
+        ratings = np.array([[1, 0], [1, 0], [0, 1]])
+        assert AnnotatorPool.majority_vote(ratings).tolist() == [1, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnotatorPool(n_annotators=0)
+        with pytest.raises(ValueError):
+            AnnotatorPool(noise=0.6)

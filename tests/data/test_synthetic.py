@@ -1,0 +1,224 @@
+"""Integration tests for the synthetic world and dataset views.
+
+These verify the generative substitutions preserve the paper's documented
+statistics: Table II shapes, Fig. 1 dynamics, Fig. 2/3 topic dependence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticWorld, SyntheticWorldConfig
+from repro.text import default_hate_lexicon
+
+
+@pytest.fixture(scope="module")
+def world(small_world):
+    return small_world.world
+
+
+class TestWorldStructure:
+    def test_counts(self, world):
+        assert len(world.users) == world.config.n_users
+        assert len(world.tweets) == len(world.cascades)
+        assert len(world.tweets) > 100
+        assert world.network.n_users == world.config.n_users
+
+    def test_reproducible(self):
+        cfg = SyntheticWorldConfig(scale=0.02, n_hashtags=5, n_users=120, n_news=300, seed=3)
+        w1 = SyntheticWorld.generate(cfg)
+        w2 = SyntheticWorld.generate(cfg)
+        assert [t.text for t in w1.tweets] == [t.text for t in w2.tweets]
+        assert [c.size for c in w1.cascades] == [c.size for c in w2.cascades]
+
+    def test_tweets_sorted_within_hashtag(self, world):
+        for spec in world.catalog:
+            ts = [t.timestamp for t in world.tweets if t.hashtag == spec.tag]
+            assert ts == sorted(ts)
+
+    def test_retweeters_are_valid_users(self, world):
+        for c in world.cascades[:200]:
+            for r in c.retweets:
+                assert r.user_id in world.users
+                assert r.user_id != c.root.user_id
+
+    def test_no_duplicate_retweeters(self, world):
+        for c in world.cascades:
+            ids = [r.user_id for r in c.retweets]
+            assert len(ids) == len(set(ids))
+
+    def test_retweet_times_after_root(self, world):
+        for c in world.cascades:
+            for r in c.retweets:
+                assert r.timestamp >= c.root.timestamp
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticWorldConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            SyntheticWorldConfig(n_users=5)
+        with pytest.raises(ValueError):
+            SyntheticWorldConfig(organic_prob=1.5)
+
+
+class TestTable2Shapes:
+    def test_tweet_counts_scale(self, world):
+        stats = world.hashtag_stats()
+        for s, spec in zip(stats, world.catalog):
+            expected = max(6, round(world.config.scale * spec.n_tweets))
+            assert s["tweets"] == expected
+
+    def test_avg_retweets_tracks_target(self, world):
+        stats = world.hashtag_stats()
+        big = [s for s in stats if s["tweets"] >= 30]
+        # Rank correlation between generated and target averages.
+        gen = np.array([s["avg_rt"] for s in big])
+        tgt = np.array([s["target_avg_rt"] for s in big])
+        r = np.corrcoef(np.argsort(np.argsort(gen)), np.argsort(np.argsort(tgt)))[0, 1]
+        assert r > 0.5
+
+    def test_hate_rates_track_target(self, world):
+        stats = world.hashtag_stats()
+        big = [s for s in stats if s["tweets"] >= 30]
+        gen = np.array([s["pct_hate"] for s in big])
+        tgt = np.array([s["target_pct_hate"] for s in big])
+        # High-hate hashtags generate more hate than low-hate ones (Fig 2).
+        hi = gen[tgt >= 5.0]
+        lo = gen[tgt < 1.0]
+        if len(hi) and len(lo):
+            assert hi.mean() > lo.mean()
+
+
+class TestFig1Dynamics:
+    def test_hate_cascades_larger(self, world):
+        hate = [c.size for c in world.cascades if c.root.is_hate]
+        nonhate = [c.size for c in world.cascades if not c.root.is_hate]
+        assert np.mean(hate) > 2.0 * np.mean(nonhate)
+
+    def test_hate_acquires_retweets_early(self, world):
+        """Hate cascades get most retweets in the first hours and stall."""
+        hate = [c for c in world.cascades if c.root.is_hate and c.size >= 3]
+        frac_early = np.mean(
+            [c.retweet_count_before(c.root.timestamp + 24.0) / c.size for c in hate]
+        )
+        assert frac_early > 0.7
+
+    def test_nonhate_keeps_spreading(self, world):
+        nonhate = [c for c in world.cascades if not c.root.is_hate and c.size >= 3]
+        frac_early = np.mean(
+            [c.retweet_count_before(c.root.timestamp + 24.0) / c.size for c in nonhate]
+        )
+        assert frac_early < 0.7
+
+    def test_hate_fewer_susceptible_at_horizon(self, world):
+        """Paper Fig 1b: hate exposes fewer susceptible users in the end."""
+        net = world.network
+
+        def susceptible(cascades, horizon):
+            return np.mean(
+                [
+                    len(net.susceptible_set(c.participants_before(c.root.timestamp + horizon)))
+                    for c in cascades
+                ]
+            )
+
+        hate = [c for c in world.cascades if c.root.is_hate]
+        nonhate = [c for c in world.cascades if not c.root.is_hate]
+        assert susceptible(hate, 200.0) < susceptible(nonhate, 200.0)
+
+    def test_susceptible_per_retweet_much_lower_for_hate(self, world):
+        net = world.network
+        def ratio(cascades):
+            vals = []
+            for c in cascades:
+                if c.size == 0:
+                    continue
+                vals.append(len(net.susceptible_set(c.participants)) / c.size)
+            return np.mean(vals)
+
+        hate = [c for c in world.cascades if c.root.is_hate]
+        nonhate = [c for c in world.cascades if not c.root.is_hate]
+        assert ratio(hate) < ratio(nonhate)
+
+
+class TestFig3TopicDependence:
+    def test_user_hate_varies_by_hashtag(self, world):
+        """Some users are hateful on one topic but not another (Fig 3)."""
+        spread = []
+        for user in world.users.values():
+            vals = np.array(list(user.hate_affinity.values()))
+            if vals.max() > 0.05:
+                spread.append(vals.max() - vals.min())
+        assert np.mean(spread) > 0.02
+
+    def test_small_user_fraction_generates_most_hate(self, world):
+        """Mathew et al.: hateful users are few but prolific."""
+        props = np.array([u.base_hate_propensity for u in world.users.values()])
+        assert np.quantile(props, 0.5) < 0.05  # most users near zero
+
+
+class TestHistoryAndText:
+    def test_every_user_has_history(self, world):
+        assert set(world.history) == set(world.users)
+        assert all(len(h) >= 3 for h in world.history.values())
+
+    def test_history_sorted(self, world):
+        for h in list(world.history.values())[:50]:
+            ts = [t.timestamp for t in h]
+            assert ts == sorted(ts)
+
+    def test_history_before_window(self, world):
+        for h in list(world.history.values())[:50]:
+            assert all(t.timestamp < 0 for t in h)
+
+    def test_user_history_before_merges_and_caps(self, world):
+        uid = world.tweets[0].user_id
+        hist = world.user_history_before(uid, 1e9, k=30)
+        assert len(hist) <= 30
+        assert all(
+            hist[i].timestamp <= hist[i + 1].timestamp for i in range(len(hist) - 1)
+        )
+
+    def test_hateful_tweets_carry_lexicon_terms(self, world):
+        lex = default_hate_lexicon()
+        hateful = [t for t in world.tweets if t.is_hate]
+        assert all(lex.contains_hate_term(t.text) for t in hateful)
+
+    def test_hashtag_token_present(self, world):
+        for t in world.tweets[:100]:
+            assert f"#{t.hashtag.lower()}" in t.text
+
+
+class TestDatasetViews:
+    def test_tweets_with_news_filter(self, small_world):
+        eligible = small_world.tweets_with_news(60)
+        for t in eligible[:50]:
+            assert len(small_world.world.news.recent_before(t.timestamp, 60)) == 60
+
+    def test_retweet_cascades_min_size(self, small_world):
+        for c in small_world.retweet_cascades(min_retweets=2):
+            assert c.size >= 2
+
+    def test_hategen_split_stratified(self, small_world):
+        train, test = small_world.hategen_split(random_state=1)
+        assert len(train) > len(test)
+        p_tr = np.mean([t.is_hate for t in train])
+        p_te = np.mean([t.is_hate for t in test])
+        assert abs(p_tr - p_te) < 0.05
+
+    def test_cascade_split_partition(self, small_world):
+        train, test = small_world.cascade_split(random_state=2)
+        ids_tr = {c.root.tweet_id for c in train}
+        ids_te = {c.root.tweet_id for c in test}
+        assert ids_tr & ids_te == set()
+
+    def test_gold_annotation(self, small_world):
+        subset, ratings, majority = small_world.gold_annotation(fraction=0.3, random_state=0)
+        assert ratings.shape == (3, len(subset))
+        assert len(majority) == len(subset)
+        truth = np.array([int(t.is_hate) for t in subset])
+        # Majority vote should agree with truth most of the time.
+        assert (majority == truth).mean() > 0.7
+
+    def test_gold_annotation_invalid_fraction(self, small_world):
+        with pytest.raises(ValueError):
+            small_world.gold_annotation(fraction=0.0)

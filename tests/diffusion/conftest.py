@@ -1,0 +1,30 @@
+"""Fixtures for diffusion-model tests: a tiny world plus candidate sets."""
+
+import numpy as np
+import pytest
+
+from repro.data import HateDiffusionDataset, SyntheticWorldConfig
+from repro.diffusion import build_candidate_set
+
+
+@pytest.fixture(scope="session")
+def diffusion_world():
+    cfg = SyntheticWorldConfig(
+        scale=0.02, n_hashtags=6, n_users=200, n_news=500, seed=2
+    )
+    return HateDiffusionDataset.generate(cfg)
+
+
+@pytest.fixture(scope="session")
+def cascade_splits(diffusion_world):
+    return diffusion_world.cascade_split(random_state=0)
+
+
+@pytest.fixture(scope="session")
+def candidate_sets(diffusion_world, cascade_splits):
+    _, test = cascade_splits
+    rng = np.random.default_rng(0)
+    return [
+        build_candidate_set(c, diffusion_world.world.network, random_state=rng)
+        for c in test[:20]
+    ]

@@ -1,0 +1,130 @@
+"""Tests for SIR, General Threshold, and the neural cascade baselines."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    FOREST,
+    GeneralThresholdModel,
+    HIDAN,
+    SIRModel,
+    TopoLSTM,
+    build_candidate_set,
+)
+from repro.ml.metrics import mean_average_precision_at_k
+from repro.utils.validation import NotFittedError
+
+
+class TestSIR:
+    def test_fit_selects_beta(self, diffusion_world, cascade_splits):
+        train, _ = cascade_splits
+        model = SIRModel(random_state=0).fit(train[:50], diffusion_world.world.network)
+        assert model.beta in (0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4)
+
+    def test_proba_in_unit_interval(self, diffusion_world, candidate_sets):
+        train, _ = diffusion_world.cascade_split(random_state=0)
+        model = SIRModel(random_state=0).fit(train[:30], diffusion_world.world.network)
+        p = model.predict_proba(candidate_sets[0], diffusion_world.world.network)
+        assert np.all((p >= 0) & (p <= 1))
+        assert len(p) == len(candidate_sets[0])
+
+    def test_higher_beta_more_infection(self, diffusion_world, candidate_sets):
+        net = diffusion_world.world.network
+        low = SIRModel(beta=0.005, random_state=0).predict_proba(candidate_sets[0], net)
+        high = SIRModel(beta=0.6, random_state=0).predict_proba(candidate_sets[0], net)
+        assert high.sum() >= low.sum()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SIRModel(gamma=0.0)
+        with pytest.raises(ValueError):
+            SIRModel().fit([], None)
+
+
+class TestThreshold:
+    def test_fit_and_predict(self, diffusion_world, cascade_splits, candidate_sets):
+        train, _ = cascade_splits
+        model = GeneralThresholdModel(random_state=0).fit(
+            train[:30], diffusion_world.world.network
+        )
+        p = model.predict_proba(candidate_sets[0], diffusion_world.world.network)
+        assert np.all((p >= 0) & (p <= 1))
+        pred = model.predict(candidate_sets[0], diffusion_world.world.network)
+        assert set(np.unique(pred)) <= {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneralThresholdModel(n_simulations=0)
+        with pytest.raises(ValueError):
+            GeneralThresholdModel().fit([], None)
+
+
+@pytest.mark.parametrize("model_cls", [TopoLSTM, FOREST, HIDAN])
+class TestNeuralBaselines:
+    def _fit(self, model_cls, world, cascades):
+        kwargs = dict(embed_dim=16, hidden_dim=16, epochs=1, random_state=0)
+        model = model_cls(**kwargs)
+        net = world.world.network if model_cls is FOREST else None
+        return model.fit(cascades[:60], net)
+
+    def test_fit_predict_shapes(self, model_cls, diffusion_world, cascade_splits, candidate_sets):
+        train, _ = cascade_splits
+        model = self._fit(model_cls, diffusion_world, train)
+        p = model.predict_proba(candidate_sets[0])
+        assert len(p) == len(candidate_sets[0])
+        assert np.all(p >= 0)
+
+    def test_scores_are_distribution_over_users(self, model_cls, diffusion_world, cascade_splits):
+        train, _ = cascade_splits
+        model = self._fit(model_cls, diffusion_world, train)
+        root = train[0].root
+        scores = model.score_users([root.user_id], [root.timestamp], root.timestamp)
+        assert scores.sum() <= 1.0 + 1e-9
+        assert np.all(scores >= 0)
+
+    def test_unfitted_raises(self, model_cls, candidate_sets):
+        with pytest.raises(NotFittedError):
+            model_cls().predict_proba(candidate_sets[0])
+
+    def test_empty_fit_raises(self, model_cls):
+        with pytest.raises(ValueError):
+            model_cls().fit([])
+
+    def test_invalid_dims(self, model_cls):
+        with pytest.raises(ValueError):
+            model_cls(embed_dim=0)
+
+
+class TestRestrictToSeen:
+    def test_topolstm_masks_unseen_users(self, diffusion_world, cascade_splits):
+        train, _ = cascade_splits
+        model = TopoLSTM(embed_dim=8, hidden_dim=8, epochs=1, random_state=0).fit(train[:40])
+        root = train[0].root
+        scores = model.score_users([root.user_id], [root.timestamp], root.timestamp)
+        unseen = [u for u in range(model.n_users_) if u not in model.seen_users_]
+        if unseen:
+            assert np.allclose(scores[unseen], 0.0)
+
+    def test_forest_scores_all_users(self, diffusion_world, cascade_splits):
+        train, _ = cascade_splits
+        model = FOREST(embed_dim=8, hidden_dim=8, epochs=1, random_state=0).fit(
+            train[:40], diffusion_world.world.network
+        )
+        root = train[0].root
+        scores = model.score_users([root.user_id], [root.timestamp], root.timestamp)
+        assert (scores > 0).sum() == model.n_users_
+
+
+class TestLearningSignal:
+    def test_training_beats_chance_ranking(self, diffusion_world, cascade_splits, candidate_sets):
+        """A trained TopoLSTM should rank true retweeters above random order."""
+        train, _ = cascade_splits
+        model = TopoLSTM(embed_dim=16, hidden_dim=16, epochs=3, random_state=0).fit(train)
+        queries = [(cs.labels, model.predict_proba(cs)) for cs in candidate_sets]
+        trained = mean_average_precision_at_k(queries, 20)
+        rng = np.random.default_rng(0)
+        random_queries = [
+            (cs.labels, rng.random(len(cs))) for cs in candidate_sets
+        ]
+        chance = mean_average_precision_at_k(random_queries, 20)
+        assert trained > chance

@@ -1,0 +1,65 @@
+"""Tests for the shared neural-baseline machinery (padding, samples)."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Cascade, Retweet, Tweet
+from repro.diffusion.topolstm import TopoLSTM
+
+
+def _cascade(users=(0, 1, 2, 3), t0=10.0):
+    root = Tweet(0, users[0], "t", "x", t0, False)
+    rts = [Retweet(u, t0 + 5.0 * i) for i, u in enumerate(users[1:], 1)]
+    return Cascade(root=root, retweets=rts)
+
+
+class TestSampleConstruction:
+    def test_samples_contain_times(self):
+        model = TopoLSTM(max_prefix=3)
+        samples = model._samples([_cascade()])
+        assert len(samples) == 3
+        prefix, times, nxt, nxt_time = samples[0]
+        assert prefix == [0]
+        assert times == [10.0]
+        assert nxt == 1
+        assert nxt_time == 15.0
+
+    def test_prefix_truncation(self):
+        model = TopoLSTM(max_prefix=2)
+        samples = model._samples([_cascade(users=(0, 1, 2, 3, 4))])
+        assert all(len(p) <= 2 for p, *_ in samples)
+
+    def test_pad_batch_left_pads(self):
+        model = TopoLSTM(max_prefix=4)
+        model.n_users_ = 10  # PAD id = 10
+        ids, deltas = model._pad_batch([([1, 2], [0.0, 5.0], 3, 8.0)])
+        assert ids.shape == (1, 4)
+        assert ids[0].tolist() == [10, 10, 1, 2]
+        assert deltas[0].tolist() == [0.0, 0.0, 8.0, 3.0]
+
+    def test_pad_batch_clamps_negative_deltas(self):
+        model = TopoLSTM(max_prefix=2)
+        model.n_users_ = 5
+        _, deltas = model._pad_batch([([0], [100.0], 1, 50.0)])
+        assert deltas[0, -1] == 0.0  # never negative
+
+
+class TestFitBehaviour:
+    def test_fit_builds_vocab_with_pad_slot(self):
+        model = TopoLSTM(embed_dim=4, hidden_dim=4, epochs=1, random_state=0)
+        model.fit([_cascade()])
+        assert model.n_users_ == 4
+        assert model.embedding_.num_embeddings == 5  # +1 PAD
+
+    def test_seen_users_tracked(self):
+        model = TopoLSTM(embed_dim=4, hidden_dim=4, epochs=1, random_state=0)
+        model.fit([_cascade(users=(0, 2))])
+        assert model.seen_users_ == {0, 2}
+
+    def test_score_users_is_probability_vector(self):
+        model = TopoLSTM(embed_dim=4, hidden_dim=4, epochs=1, random_state=0)
+        model.fit([_cascade()])
+        scores = model.score_users([0], [10.0], 10.0)
+        assert scores.shape == (4,)
+        assert np.all(scores >= 0)
+        assert scores.sum() <= 1.0 + 1e-9

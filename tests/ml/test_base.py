@@ -1,0 +1,69 @@
+"""Tests for the estimator base protocol (params, clone, class weights)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, LogisticRegression, clone
+from repro.ml.base import BaseEstimator, resolve_class_weight
+
+
+class TestParamProtocol:
+    def test_get_params_roundtrip(self):
+        model = LogisticRegression(C=2.5, class_weight="balanced")
+        params = model.get_params()
+        assert params["C"] == 2.5
+        assert params["class_weight"] == "balanced"
+
+    def test_set_params(self):
+        model = LogisticRegression()
+        model.set_params(C=0.1)
+        assert model.C == 0.1
+
+    def test_set_invalid_param_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().set_params(alpha=1.0)
+
+    def test_repr_contains_params(self):
+        assert "max_depth=3" in repr(DecisionTreeClassifier(max_depth=3))
+
+    def test_clone_copies_params_not_state(self):
+        model = DecisionTreeClassifier(max_depth=2, random_state=0)
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        y = (X[:, 0] > 0).astype(int)
+        model.fit(X, y)
+        fresh = clone(model)
+        assert fresh.max_depth == 2
+        assert fresh.root_ is None
+
+    def test_clone_deep_copies_mutable_params(self):
+        weights = {0: 1.0, 1: 5.0}
+        model = LogisticRegression(class_weight=weights)
+        fresh = clone(model)
+        fresh.class_weight[1] = 99.0
+        assert model.class_weight[1] == 5.0
+
+
+class TestResolveClassWeight:
+    def test_none_gives_unit_weights(self):
+        w = resolve_class_weight(None, np.array([0, 1, 1]))
+        assert w.tolist() == [1.0, 1.0, 1.0]
+
+    def test_balanced_formula(self):
+        y = np.array([0] * 8 + [1] * 2)
+        w = resolve_class_weight("balanced", y)
+        # n / (k * count): 10/(2*8) and 10/(2*2)
+        assert w[0] == pytest.approx(0.625)
+        assert w[-1] == pytest.approx(2.5)
+
+    def test_balanced_weighted_counts_equal(self):
+        y = np.array([0] * 9 + [1])
+        w = resolve_class_weight("balanced", y)
+        assert w[y == 0].sum() == pytest.approx(w[y == 1].sum())
+
+    def test_dict_mapping(self):
+        w = resolve_class_weight({0: 1.0, 1: 3.0}, np.array([0, 1]))
+        assert w.tolist() == [1.0, 3.0]
+
+    def test_invalid_spec_raises(self):
+        with pytest.raises(ValueError):
+            resolve_class_weight("magic", np.array([0, 1]))

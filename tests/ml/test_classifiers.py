@@ -1,0 +1,241 @@
+"""Tests for the repro.ml classifiers (linear, SVM, tree, ensembles)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AdaBoostClassifier,
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    LinearSVC,
+    LogisticRegression,
+    RandomForestClassifier,
+    SVC,
+    clone,
+)
+from repro.ml.metrics import macro_f1, roc_auc_score
+from repro.utils.validation import NotFittedError
+
+ALL_CLASSIFIERS = [
+    LogisticRegression(),
+    LinearSVC(),
+    SVC(kernel="linear", random_state=0),
+    SVC(kernel="rbf", random_state=0),
+    DecisionTreeClassifier(max_depth=6),
+    RandomForestClassifier(n_estimators=15, random_state=0),
+    AdaBoostClassifier(n_estimators=25, random_state=0),
+    GradientBoostingClassifier(n_estimators=40, random_state=0),
+]
+
+
+@pytest.mark.parametrize("clf", ALL_CLASSIFIERS, ids=lambda c: type(c).__name__ + "-" + str(getattr(c, "kernel", "")))
+class TestCommonBehaviour:
+    def test_learns_linear_signal(self, clf, linear_dataset):
+        X_tr, y_tr, X_te, y_te = linear_dataset
+        model = clone(clf)
+        model.fit(X_tr, y_tr)
+        acc = model.score(X_te, y_te)
+        # Axis-aligned trees approximate an oblique linear boundary only
+        # coarsely, hence the modest common bound.
+        assert acc > 0.72, f"{type(model).__name__} accuracy {acc}"
+
+    def test_predict_before_fit_raises(self, clf, linear_dataset):
+        X_tr, *_ = linear_dataset
+        with pytest.raises(NotFittedError):
+            clone(clf).predict(X_tr)
+
+    def test_predictions_are_binary(self, clf, linear_dataset):
+        X_tr, y_tr, X_te, _ = linear_dataset
+        model = clone(clf)
+        model.fit(X_tr, y_tr)
+        assert set(np.unique(model.predict(X_te))) <= {0, 1}
+
+    def test_rejects_nan_input(self, clf):
+        X = np.array([[0.0, np.nan], [1.0, 2.0]])
+        with pytest.raises(ValueError):
+            clone(clf).fit(X, [0, 1])
+
+    def test_clone_is_unfitted(self, clf, linear_dataset):
+        X_tr, y_tr, *_ = linear_dataset
+        model = clone(clf)
+        model.fit(X_tr, y_tr)
+        fresh = clone(model)
+        with pytest.raises(NotFittedError):
+            fresh.predict(X_tr)
+
+
+class TestLogisticRegression:
+    def test_probabilities_sum_to_one(self, linear_dataset):
+        X_tr, y_tr, X_te, _ = linear_dataset
+        proba = LogisticRegression().fit(X_tr, y_tr).predict_proba(X_te)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+
+    def test_class_weight_balanced_recovers_minority(self, imbalanced_dataset):
+        X, y = imbalanced_dataset
+        plain = LogisticRegression().fit(X, y)
+        balanced = LogisticRegression(class_weight="balanced").fit(X, y)
+        # Balanced weighting must predict the positive class more often.
+        assert balanced.predict(X).sum() > plain.predict(X).sum()
+
+    def test_stronger_regularisation_shrinks_weights(self, linear_dataset):
+        X_tr, y_tr, *_ = linear_dataset
+        w_weak = LogisticRegression(C=100.0).fit(X_tr, y_tr).coef_
+        w_strong = LogisticRegression(C=0.001).fit(X_tr, y_tr).coef_
+        assert np.linalg.norm(w_strong) < np.linalg.norm(w_weak)
+
+    def test_decision_threshold_consistency(self, linear_dataset):
+        X_tr, y_tr, X_te, _ = linear_dataset
+        model = LogisticRegression().fit(X_tr, y_tr)
+        pred = model.predict(X_te)
+        proba = model.predict_proba(X_te)[:, 1]
+        assert np.array_equal(pred, (proba >= 0.5).astype(int))
+
+    def test_sample_weight_changes_fit(self, linear_dataset):
+        X_tr, y_tr, *_ = linear_dataset
+        sw = np.ones(len(y_tr))
+        sw[y_tr == 1] = 10.0
+        m1 = LogisticRegression().fit(X_tr, y_tr)
+        m2 = LogisticRegression().fit(X_tr, y_tr, sample_weight=sw)
+        assert not np.allclose(m1.coef_, m2.coef_)
+
+    def test_invalid_C_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(C=0.0)
+
+
+class TestSVC:
+    def test_rbf_solves_xor(self, xor_dataset):
+        X, y = xor_dataset
+        model = SVC(kernel="rbf", C=5.0, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_linear_fails_xor(self, xor_dataset):
+        X, y = xor_dataset
+        model = LinearSVC().fit(X, y)
+        assert model.score(X, y) < 0.7  # linearly inseparable
+
+    def test_gamma_scale_and_numeric(self, linear_dataset):
+        X_tr, y_tr, X_te, y_te = linear_dataset
+        for gamma in ("scale", 0.05):
+            model = SVC(kernel="rbf", gamma=gamma, random_state=0).fit(X_tr[:200], y_tr[:200])
+            assert model.score(X_te, y_te) > 0.7
+
+    def test_invalid_kernel_raises(self):
+        with pytest.raises(ValueError):
+            SVC(kernel="poly")
+
+    def test_support_vectors_subset_of_train(self, linear_dataset):
+        X_tr, y_tr, *_ = linear_dataset
+        model = SVC(kernel="rbf", random_state=0).fit(X_tr[:150], y_tr[:150])
+        assert len(model.support_vectors_) <= 150
+        assert len(model.support_vectors_) == len(model.dual_coef_)
+
+
+class TestDecisionTree:
+    def test_max_depth_limits_tree(self, linear_dataset):
+        X_tr, y_tr, *_ = linear_dataset
+
+        def depth(node):
+            if node.is_leaf:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        tree = DecisionTreeClassifier(max_depth=3).fit(X_tr, y_tr)
+        assert depth(tree.root_) <= 3
+
+    def test_perfectly_fits_training_without_depth_limit(self, xor_dataset):
+        X, y = xor_dataset
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_feature_importances_normalised(self, linear_dataset):
+        X_tr, y_tr, *_ = linear_dataset
+        tree = DecisionTreeClassifier(max_depth=4).fit(X_tr, y_tr)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+        assert np.all(tree.feature_importances_ >= 0)
+
+    def test_min_samples_leaf_respected(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 3))
+        y = rng.integers(0, 2, 40)
+        y[:2] = [0, 1]
+        tree = DecisionTreeClassifier(min_samples_leaf=10).fit(X, y)
+
+        def leaf_counts(node, X_sub):
+            if node.is_leaf:
+                return [len(X_sub)]
+            mask = X_sub[:, node.feature] <= node.threshold
+            return leaf_counts(node.left, X_sub[mask]) + leaf_counts(
+                node.right, X_sub[~mask]
+            )
+
+        assert min(leaf_counts(tree.root_, X)) >= 10
+
+    def test_feature_count_mismatch_raises(self, linear_dataset):
+        X_tr, y_tr, *_ = linear_dataset
+        tree = DecisionTreeClassifier(max_depth=2).fit(X_tr, y_tr)
+        with pytest.raises(ValueError):
+            tree.predict(X_tr[:, :5])
+
+    def test_constant_features_yield_leaf(self):
+        X = np.zeros((20, 4))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.root_.is_leaf
+
+
+class TestEnsembles:
+    def test_forest_beats_single_tree_on_label_noise(self):
+        # Bagging averages out the variance a fully-grown tree picks up
+        # from noisy labels.
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(300, 10))
+        y_clean = ((X[:, 0] + X[:, 1] > 0)).astype(int)
+        flip = rng.random(300) < 0.2
+        y = np.where(flip, 1 - y_clean, y_clean)
+        X_te = rng.normal(size=(300, 10))
+        y_te = ((X_te[:, 0] + X_te[:, 1] > 0)).astype(int)
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        forest = RandomForestClassifier(n_estimators=40, random_state=0).fit(X, y)
+        assert forest.score(X_te, y_te) >= tree.score(X_te, y_te)
+
+    def test_forest_deterministic_given_seed(self, linear_dataset):
+        X_tr, y_tr, X_te, _ = linear_dataset
+        p1 = RandomForestClassifier(n_estimators=8, random_state=42).fit(X_tr, y_tr).predict_proba(X_te)
+        p2 = RandomForestClassifier(n_estimators=8, random_state=42).fit(X_tr, y_tr).predict_proba(X_te)
+        assert np.allclose(p1, p2)
+
+    def test_adaboost_improves_with_rounds(self, xor_dataset):
+        X, y = xor_dataset
+        weak = AdaBoostClassifier(n_estimators=2, random_state=0).fit(X, y)
+        strong = AdaBoostClassifier(n_estimators=80, random_state=0).fit(X, y)
+        assert strong.score(X, y) >= weak.score(X, y)
+
+    def test_gbm_monotone_training_improvement(self, xor_dataset):
+        X, y = xor_dataset
+        few = GradientBoostingClassifier(n_estimators=5, random_state=0).fit(X, y)
+        many = GradientBoostingClassifier(n_estimators=80, random_state=0).fit(X, y)
+        assert many.score(X, y) >= few.score(X, y)
+
+    def test_gbm_reg_alpha_changes_model(self, linear_dataset):
+        X_tr, y_tr, X_te, _ = linear_dataset
+        m0 = GradientBoostingClassifier(n_estimators=20, reg_alpha=0.0, random_state=0).fit(X_tr, y_tr)
+        m9 = GradientBoostingClassifier(n_estimators=20, reg_alpha=5.0, random_state=0).fit(X_tr, y_tr)
+        assert not np.allclose(m0.decision_function(X_te), m9.decision_function(X_te))
+
+    def test_gbm_proba_valid(self, linear_dataset):
+        X_tr, y_tr, X_te, _ = linear_dataset
+        proba = GradientBoostingClassifier(n_estimators=20, random_state=0).fit(X_tr, y_tr).predict_proba(X_te)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_gbm_auc_reasonable(self, imbalanced_dataset):
+        X, y = imbalanced_dataset
+        m = GradientBoostingClassifier(n_estimators=40, random_state=0).fit(X, y)
+        assert roc_auc_score(y, m.predict_proba(X)[:, 1]) > 0.8
+
+    def test_macro_f1_balanced_tree_beats_plain_on_imbalance(self, imbalanced_dataset):
+        X, y = imbalanced_dataset
+        plain = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        bal = DecisionTreeClassifier(max_depth=4, class_weight="balanced", random_state=0).fit(X, y)
+        assert macro_f1(y, bal.predict(X)) >= macro_f1(y, plain.predict(X)) - 0.05

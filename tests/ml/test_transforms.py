@@ -1,0 +1,245 @@
+"""Tests for PCA, feature selection, scaling, sampling, and splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import (
+    MinMaxScaler,
+    PCA,
+    SelectKBest,
+    StandardScaler,
+    StratifiedKFold,
+    downsample_majority,
+    mutual_info_classif,
+    normalize,
+    train_test_split,
+    upsample_minority,
+)
+from repro.utils.validation import NotFittedError
+
+finite_matrix = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(5, 30), st.integers(2, 8)),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+class TestPCA:
+    def test_reduces_dimensionality(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 10))
+        Z = PCA(n_components=3).fit_transform(X)
+        assert Z.shape == (50, 3)
+
+    def test_components_orthonormal(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(60, 8))
+        pca = PCA(n_components=4).fit(X)
+        G = pca.components_ @ pca.components_.T
+        assert np.allclose(G, np.eye(4), atol=1e-8)
+
+    def test_variance_ratio_sorted_and_bounded(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(80, 6)) * np.array([5, 3, 2, 1, 0.5, 0.1])
+        pca = PCA(n_components=6).fit(X)
+        r = pca.explained_variance_ratio_
+        assert np.all(np.diff(r) <= 1e-12)
+        assert r.sum() == pytest.approx(1.0)
+
+    def test_full_rank_reconstruction(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(30, 5))
+        pca = PCA(n_components=5).fit(X)
+        X_rec = pca.inverse_transform(pca.transform(X))
+        assert np.allclose(X, X_rec, atol=1e-8)
+
+    def test_recovers_dominant_direction(self):
+        rng = np.random.default_rng(4)
+        direction = np.array([1.0, 1.0]) / np.sqrt(2)
+        X = rng.normal(size=(200, 1)) * 10 @ direction[None, :] + 0.1 * rng.normal(size=(200, 2))
+        pca = PCA(n_components=1).fit(X)
+        cos = abs(np.dot(pca.components_[0], direction))
+        assert cos > 0.99
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            PCA(n_components=2).transform(np.zeros((3, 4)))
+
+    @given(finite_matrix)
+    @settings(max_examples=30, deadline=None)
+    def test_transform_shape_property(self, X):
+        k = min(2, X.shape[1])
+        Z = PCA(n_components=k).fit_transform(X)
+        assert Z.shape == (X.shape[0], min(k, min(X.shape)))
+
+
+class TestFeatureSelection:
+    def test_mutual_info_ranks_informative_first(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 500)
+        informative = y + 0.1 * rng.normal(size=500)
+        noise = rng.normal(size=(500, 3))
+        X = np.column_stack([noise[:, 0], informative, noise[:, 1:]])
+        mi = mutual_info_classif(X, y)
+        assert np.argmax(mi) == 1
+
+    def test_mutual_info_nonnegative(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 5))
+        y = rng.integers(0, 2, 100)
+        assert np.all(mutual_info_classif(X, y) >= 0)
+
+    def test_select_k_best_keeps_k(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 20))
+        y = rng.integers(0, 2, 100)
+        sel = SelectKBest(k=7).fit(X, y)
+        assert sel.transform(X).shape == (100, 7)
+        assert sel.get_support().sum() == 7
+
+    def test_select_k_larger_than_d(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(50, 4))
+        y = rng.integers(0, 2, 50)
+        assert SelectKBest(k=100).fit_transform(X, y).shape == (50, 4)
+
+    def test_transform_dim_mismatch_raises(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(50, 6))
+        y = rng.integers(0, 2, 50)
+        sel = SelectKBest(k=2).fit(X, y)
+        with pytest.raises(ValueError):
+            sel.transform(X[:, :3])
+
+
+class TestScalers:
+    def test_standard_scaler_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(3.0, 5.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_standard_scaler_constant_column_safe(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_standard_scaler_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(30, 3))
+        sc = StandardScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_minmax_range(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-5, 9, size=(50, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+
+    def test_normalize_l2_rows(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(20, 5))
+        Z = normalize(X)
+        assert np.allclose(np.linalg.norm(Z, axis=1), 1.0)
+
+    def test_normalize_zero_row_passthrough(self):
+        X = np.zeros((2, 3))
+        assert np.allclose(normalize(X), 0.0)
+
+    def test_normalize_invalid_norm(self):
+        with pytest.raises(ValueError):
+            normalize(np.ones((2, 2)), norm="linf")
+
+
+class TestSampling:
+    def test_downsample_balances(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        y = np.array([0] * 90 + [1] * 10)
+        Xd, yd = downsample_majority(X, y, random_state=0)
+        assert (yd == 0).sum() == (yd == 1).sum() == 10
+
+    def test_upsample_balances(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 3))
+        y = np.array([0] * 90 + [1] * 10)
+        Xu, yu = upsample_minority(X, y, random_state=0)
+        assert (yu == 1).sum() == 90
+        assert (yu == 0).sum() == 90
+
+    def test_downsample_keeps_all_minority(self):
+        rng = np.random.default_rng(2)
+        X = np.arange(60, dtype=float).reshape(-1, 1)
+        y = np.array([0] * 50 + [1] * 10)
+        Xd, yd = downsample_majority(X, y, random_state=0)
+        minority_rows = set(X[y == 1].ravel().tolist())
+        assert minority_rows <= set(Xd.ravel().tolist())
+
+    def test_upsample_only_duplicates_minority(self):
+        X = np.arange(30, dtype=float).reshape(-1, 1)
+        y = np.array([0] * 25 + [1] * 5)
+        Xu, yu = upsample_minority(X, y, random_state=0)
+        extra = Xu[yu == 1]
+        assert set(extra.ravel().tolist()) <= set(X[y == 1].ravel().tolist())
+
+    def test_single_class_passthrough(self):
+        X = np.ones((5, 2))
+        y = np.zeros(5, dtype=int)
+        Xd, yd = downsample_majority(X, y)
+        assert len(yd) == 5
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            downsample_majority(np.ones((4, 1)), [0, 0, 1, 1], ratio=-1)
+
+    @given(st.integers(5, 50), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_downsample_never_increases(self, n_major, n_minor):
+        X = np.zeros((n_major + n_minor, 1))
+        y = np.array([0] * n_major + [1] * n_minor)
+        _, yd = downsample_majority(X, y, random_state=0)
+        assert len(yd) <= len(y)
+
+
+class TestSplitting:
+    def test_split_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.arange(100) % 2
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.2, random_state=0)
+        assert len(X_te) == 20 and len(X_tr) == 80
+
+    def test_split_partition_no_overlap(self):
+        X = np.arange(50).reshape(-1, 1)
+        X_tr, X_te = train_test_split(X, test_size=0.3, random_state=1)
+        assert set(X_tr.ravel()) & set(X_te.ravel()) == set()
+        assert len(X_tr) + len(X_te) == 50
+
+    def test_stratified_preserves_ratio(self):
+        y = np.array([0] * 80 + [1] * 20)
+        X = np.arange(100).reshape(-1, 1)
+        _, _, y_tr, y_te = train_test_split(X, y, test_size=0.25, stratify=y, random_state=0)
+        assert abs(y_te.mean() - 0.2) < 0.05
+        assert abs(y_tr.mean() - 0.2) < 0.05
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), test_size=1.5)
+
+    def test_stratified_kfold_covers_all(self):
+        y = np.array([0] * 20 + [1] * 10)
+        X = np.zeros((30, 1))
+        seen = []
+        for tr, te in StratifiedKFold(n_splits=3, random_state=0).split(X, y):
+            assert set(tr) & set(te) == set()
+            seen.extend(te.tolist())
+        assert sorted(seen) == list(range(30))
+
+    def test_stratified_kfold_class_balance(self):
+        y = np.array([0] * 30 + [1] * 12)
+        X = np.zeros((42, 1))
+        for _, te in StratifiedKFold(n_splits=3, random_state=0).split(X, y):
+            assert (y[te] == 1).sum() == 4

@@ -1,0 +1,327 @@
+"""Tests for nn layers, attention, losses, and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GRU,
+    Adam,
+    Dense,
+    Dropout,
+    Embedding,
+    GRUCell,
+    LayerNorm,
+    LSTMCell,
+    Module,
+    RNNCell,
+    SGD,
+    ScaledDotProductAttention,
+    Sequential,
+    Tensor,
+    bce_with_logits,
+    cross_entropy,
+    weighted_bce_with_logits,
+)
+from repro.nn.losses import positive_class_weight
+from tests.nn.gradcheck import check_gradient, numeric_grad
+
+rng = np.random.default_rng(1)
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = Dense(4, 3, random_state=0)
+        out = layer(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_activations(self):
+        x = Tensor(rng.normal(size=(4, 2)))
+        assert np.all(Dense(2, 3, activation="relu", random_state=0)(x).numpy() >= 0)
+        s = Dense(2, 3, activation="sigmoid", random_state=0)(x).numpy()
+        assert np.all((s > 0) & (s < 1))
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            Dense(2, 2, activation="gelu")
+
+    def test_param_count(self):
+        layer = Dense(4, 3, random_state=0)
+        assert layer.n_parameters() == 4 * 3 + 3
+
+    def test_gradient_through_layer(self):
+        layer = Dense(3, 2, activation="tanh", random_state=0)
+        x0 = rng.normal(size=(4, 3))
+        check_gradient(lambda t: layer(t).sum(), x0)
+
+    def test_weight_gradient(self):
+        layer = Dense(3, 2, random_state=0)
+        x = Tensor(rng.normal(size=(4, 3)))
+        loss = (layer(x) ** 2.0).sum()
+        loss.backward()
+        W0 = layer.W.data.copy()
+
+        def f(w):
+            layer.W.data = w
+            return (layer(x) ** 2.0).sum().item()
+
+        num = numeric_grad(f, W0.copy())
+        layer.W.data = W0
+        np.testing.assert_allclose(layer.W.grad, num, atol=1e-5)
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        ln = LayerNorm(6)
+        x = Tensor(rng.normal(3, 5, size=(10, 6)))
+        out = ln(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradient(self):
+        ln = LayerNorm(4)
+        weights = Tensor(rng.normal(size=(3, 4)))
+        check_gradient(lambda t: (ln(t) * weights).sum(), rng.normal(size=(3, 4)))
+
+    def test_gamma_beta_trainable(self):
+        ln = LayerNorm(4)
+        assert ln.n_parameters() == 8
+
+
+class TestDropoutEmbedding:
+    def test_dropout_eval_identity(self):
+        d = Dropout(0.5, random_state=0)
+        d.eval()
+        x = Tensor(rng.normal(size=(5, 5)))
+        assert np.allclose(d(x).numpy(), x.numpy())
+
+    def test_dropout_train_zeroes(self):
+        d = Dropout(0.5, random_state=0)
+        d.train()
+        x = Tensor(np.ones((100, 10)))
+        out = d(x).numpy()
+        assert (out == 0).mean() > 0.3
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 4, random_state=0)
+        out = emb([1, 3, 1])
+        assert out.shape == (3, 4)
+        assert np.allclose(out.numpy()[0], out.numpy()[2])
+
+    def test_embedding_out_of_range(self):
+        with pytest.raises(IndexError):
+            Embedding(5, 2, random_state=0)([7])
+
+    def test_embedding_gradient_accumulates_for_repeats(self):
+        emb = Embedding(6, 3, random_state=0)
+        out = emb([2, 2]).sum()
+        out.backward()
+        np.testing.assert_allclose(emb.weight.grad[2], 2.0)
+
+
+class TestRecurrent:
+    def test_rnn_cell_shape(self):
+        cell = RNNCell(3, 5, random_state=0)
+        h = cell(Tensor(rng.normal(size=(2, 3))), Tensor(np.zeros((2, 5))))
+        assert h.shape == (2, 5)
+
+    def test_gru_cell_shape_and_bounded(self):
+        cell = GRUCell(3, 5, random_state=0)
+        h = cell(Tensor(rng.normal(size=(2, 3))), Tensor(np.zeros((2, 5))))
+        assert h.shape == (2, 5)
+        assert np.all(np.abs(h.numpy()) <= 1.0)
+
+    def test_lstm_cell(self):
+        cell = LSTMCell(3, 4, random_state=0)
+        h, c = cell(
+            Tensor(rng.normal(size=(2, 3))),
+            (Tensor(np.zeros((2, 4))), Tensor(np.zeros((2, 4)))),
+        )
+        assert h.shape == (2, 4) and c.shape == (2, 4)
+
+    def test_gru_sequence(self):
+        gru = GRU(3, 4, random_state=0)
+        xs = Tensor(rng.normal(size=(6, 2, 3)))  # (T, batch, in)
+        out = gru(xs)
+        assert out.shape == (6, 2, 4)
+
+    def test_gru_gradient_flows_through_time(self):
+        gru = GRU(2, 3, random_state=0)
+
+        def f(t):
+            return gru(t).sum()
+
+        check_gradient(f, rng.normal(size=(4, 2, 2)), atol=1e-4)
+
+    def test_gru_state_depends_on_history(self):
+        gru = GRU(2, 3, random_state=0)
+        xs1 = np.zeros((3, 1, 2))
+        xs2 = xs1.copy()
+        xs2[0] = 5.0  # perturb only the first step
+        h1 = gru(Tensor(xs1)).numpy()[-1]
+        h2 = gru(Tensor(xs2)).numpy()[-1]
+        assert not np.allclose(h1, h2)
+
+
+class TestAttention:
+    def test_output_shape(self):
+        att = ScaledDotProductAttention(5, 7, hdim=8, random_state=0)
+        out = att(Tensor(rng.normal(size=(3, 5))), Tensor(rng.normal(size=(3, 6, 7))))
+        assert out.shape == (3, 8)
+
+    def test_weights_sum_to_one(self):
+        att = ScaledDotProductAttention(5, 7, hdim=8, random_state=0)
+        _, w = att(
+            Tensor(rng.normal(size=(3, 5))),
+            Tensor(rng.normal(size=(3, 6, 7))),
+            return_weights=True,
+        )
+        np.testing.assert_allclose(w.numpy().sum(axis=1), 1.0, atol=1e-9)
+
+    def test_attends_to_matching_news(self):
+        # Query aligned with one news item should put most weight there.
+        att = ScaledDotProductAttention(4, 4, hdim=4, random_state=0)
+        att.WQ.data = np.eye(4) * 4
+        att.WK.data = np.eye(4) * 4
+        tweet = np.zeros((1, 4))
+        tweet[0, 2] = 1.0
+        news = np.zeros((1, 3, 4))
+        news[0, 0, 1] = 1.0
+        news[0, 1, 2] = 1.0  # matches the tweet direction
+        news[0, 2, 3] = 1.0
+        _, w = att(Tensor(tweet), Tensor(news), return_weights=True)
+        assert np.argmax(w.numpy()[0]) == 1
+
+    def test_gradient_through_attention(self):
+        att = ScaledDotProductAttention(3, 4, hdim=5, random_state=0)
+        news = Tensor(rng.normal(size=(2, 4, 4)))
+        check_gradient(lambda t: att(t, news).sum(), rng.normal(size=(2, 3)), atol=1e-4)
+
+    def test_shape_validation(self):
+        att = ScaledDotProductAttention(3, 4, hdim=5, random_state=0)
+        with pytest.raises(ValueError):
+            att(Tensor(np.zeros((2, 3))), Tensor(np.zeros((2, 4))))
+
+    def test_invalid_hdim(self):
+        with pytest.raises(ValueError):
+            ScaledDotProductAttention(3, 4, hdim=0)
+
+
+class TestLosses:
+    def test_bce_matches_manual(self):
+        logits = Tensor(np.array([0.0, 2.0, -2.0]))
+        targets = np.array([1.0, 1.0, 0.0])
+        p = 1 / (1 + np.exp(-logits.numpy()))
+        manual = -np.mean(targets * np.log(p) + (1 - targets) * np.log(1 - p))
+        assert bce_with_logits(logits, targets).item() == pytest.approx(manual, rel=1e-9)
+
+    def test_weighted_bce_upweights_positives(self):
+        logits = Tensor(np.array([-3.0]))  # confident wrong on a positive
+        l1 = weighted_bce_with_logits(logits, [1.0], pos_weight=1.0).item()
+        l5 = weighted_bce_with_logits(logits, [1.0], pos_weight=5.0).item()
+        assert l5 == pytest.approx(5 * l1, rel=1e-9)
+
+    def test_weighted_bce_invalid_weight(self):
+        with pytest.raises(ValueError):
+            weighted_bce_with_logits(Tensor([0.0]), [1.0], pos_weight=0.0)
+
+    def test_bce_gradient(self):
+        targets = np.array([1.0, 0.0, 1.0, 0.0])
+        check_gradient(
+            lambda t: weighted_bce_with_logits(t, targets, pos_weight=2.0),
+            rng.normal(size=(4,)),
+        )
+
+    def test_bce_stable_at_extreme_logits(self):
+        loss = bce_with_logits(Tensor(np.array([500.0, -500.0])), [1.0, 0.0])
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+    def test_positive_class_weight_formula(self):
+        w = positive_class_weight(1000, 40, lam=2.0)
+        assert w == pytest.approx(2.0 * (np.log(1000) - np.log(40)))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        assert cross_entropy(logits, [0, 1]).item() < 1e-6
+
+    def test_cross_entropy_gradient(self):
+        check_gradient(lambda t: cross_entropy(t, [1, 0, 2]), rng.normal(size=(3, 4)))
+
+
+def _fit_linear(opt_cls, **kwargs):
+    """Fit y = 2x - 1 with one Dense layer; return final loss."""
+    layer = Dense(1, 1, random_state=0)
+    opt = opt_cls(layer.parameters(), **kwargs)
+    X = Tensor(np.linspace(-1, 1, 32).reshape(-1, 1))
+    y = Tensor(2.0 * X.numpy() - 1.0)
+    for _ in range(300):
+        opt.zero_grad()
+        loss = ((layer(X) - y) ** 2.0).mean()
+        loss.backward()
+        opt.step()
+    return loss.item(), layer
+
+
+class TestOptim:
+    def test_sgd_converges(self):
+        loss, layer = _fit_linear(SGD, lr=0.1)
+        assert loss < 1e-3
+        assert layer.W.data[0, 0] == pytest.approx(2.0, abs=0.05)
+
+    def test_adam_converges(self):
+        loss, _ = _fit_linear(Adam, lr=0.05)
+        assert loss < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        loss, _ = _fit_linear(SGD, lr=0.05, momentum=0.9)
+        assert loss < 1e-3
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0], requires_grad=True)], lr=0.0)
+
+    def test_no_params_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.01)
+
+    def test_clip_norm_limits_update(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 100.0)
+        opt = SGD([p], lr=1.0, clip_norm=1.0)
+        opt.step()
+        assert np.linalg.norm(p.data) == pytest.approx(1.0)
+
+
+class TestModule:
+    def test_sequential_composes(self):
+        model = Sequential(Dense(3, 5, activation="relu", random_state=0), Dense(5, 1, random_state=1))
+        out = model(Tensor(rng.normal(size=(4, 3))))
+        assert out.shape == (4, 1)
+
+    def test_parameters_deduplicated(self):
+        layer = Dense(2, 2, random_state=0)
+
+        class Shared(Module):
+            def __init__(self):
+                self.a = layer
+                self.b = layer
+
+        assert len(Shared().parameters()) == 2  # W and b once
+
+    def test_zero_grad(self):
+        layer = Dense(2, 2, random_state=0)
+        (layer(Tensor(np.ones((1, 2)))).sum()).backward()
+        assert layer.W.grad is not None
+        layer.zero_grad()
+        assert layer.W.grad is None
+
+    def test_train_eval_switch(self):
+        model = Sequential(Dense(2, 2, random_state=0), Dropout(0.5, random_state=0))
+        model.eval()
+        assert model.layers[1].training is False
+        model.train()
+        assert model.layers[1].training is True

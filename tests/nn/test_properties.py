@@ -1,0 +1,91 @@
+"""Property-based tests for the autograd engine's algebraic invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, functional as F
+
+small_arrays = hnp.arrays(
+    np.float64, (3, 4), elements=st.floats(-3, 3, allow_nan=False)
+)
+
+
+class TestAlgebraicInvariants:
+    @given(small_arrays, small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_addition_commutes(self, a, b):
+        ta, tb = Tensor(a), Tensor(b)
+        assert np.allclose((ta + tb).numpy(), (tb + ta).numpy())
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, a):
+        assert np.allclose((-(-Tensor(a))).numpy(), a)
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_exp_log_inverse(self, a):
+        t = Tensor(np.abs(a) + 0.5)
+        assert np.allclose(t.log().exp().numpy(), t.numpy(), rtol=1e-9)
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_rows_sum_to_one(self, a):
+        s = F.softmax(Tensor(a), axis=-1).numpy()
+        assert np.allclose(s.sum(axis=-1), 1.0)
+        assert np.all(s >= 0)
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_shift_invariance(self, a):
+        s1 = F.softmax(Tensor(a), axis=-1).numpy()
+        s2 = F.softmax(Tensor(a + 100.0), axis=-1).numpy()
+        assert np.allclose(s1, s2, atol=1e-9)
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_sigmoid_symmetry(self, a):
+        t = Tensor(a)
+        assert np.allclose(
+            t.sigmoid().numpy() + (-t).sigmoid().numpy(), 1.0, atol=1e-12
+        )
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_softplus_positive_and_above_relu(self, a):
+        sp = F.softplus(Tensor(a)).numpy()
+        assert np.all(sp > 0)
+        assert np.all(sp >= np.maximum(a, 0.0) - 1e-9)
+
+
+class TestGradientLinearity:
+    @given(small_arrays, st.floats(-3, 3, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_grad_scales_with_output_weight(self, a, c):
+        """d(c * f)/dx == c * df/dx."""
+        t1 = Tensor(a.copy(), requires_grad=True)
+        (t1.tanh().sum()).backward()
+        t2 = Tensor(a.copy(), requires_grad=True)
+        (t2.tanh().sum() * c).backward()
+        assert np.allclose(t2.grad, c * t1.grad, atol=1e-10)
+
+    @given(small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_ones(self, a):
+        t = Tensor(a, requires_grad=True)
+        t.sum().backward()
+        assert np.allclose(t.grad, 1.0)
+
+    @given(small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_grad_accumulates_over_two_backwards(self, a):
+        t = Tensor(a, requires_grad=True)
+        loss1 = t.sum()
+        loss1.backward()
+        g1 = t.grad.copy()
+        loss2 = t.sum()
+        loss2.backward()
+        assert np.allclose(t.grad, 2 * g1)

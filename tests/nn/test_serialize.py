@@ -1,0 +1,72 @@
+"""Tests for model persistence (state_dict / save / load)."""
+
+import numpy as np
+import pytest
+
+from repro.core.retina import RETINA
+from repro.nn import Dense, Sequential, Tensor
+
+rng = np.random.default_rng(0)
+
+
+class TestStateDict:
+    def test_roundtrip_identical_outputs(self):
+        model = Sequential(Dense(4, 8, activation="relu", random_state=0), Dense(8, 2, random_state=1))
+        x = Tensor(rng.normal(size=(3, 4)))
+        before = model(x).numpy()
+        state = model.state_dict()
+        # Perturb, then restore.
+        for p in model.parameters():
+            p.data += 1.0
+        assert not np.allclose(model(x).numpy(), before)
+        model.load_state_dict(state)
+        assert np.allclose(model(x).numpy(), before)
+
+    def test_state_dict_is_a_copy(self):
+        layer = Dense(2, 2, random_state=0)
+        state = layer.state_dict()
+        key = next(iter(state))
+        state[key] += 100.0
+        assert not np.allclose(layer.state_dict()[key], state[key])
+
+    def test_mismatched_keys_raise(self):
+        a = Dense(2, 2, random_state=0)
+        b = Sequential(Dense(2, 2, random_state=0), Dense(2, 2, random_state=1))
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_mismatched_shapes_raise(self):
+        a = Dense(2, 2, random_state=0)
+        state = a.state_dict()
+        bad = {k: np.zeros((5, 5)) for k in state}
+        with pytest.raises(ValueError):
+            a.load_state_dict(bad)
+
+    def test_save_load_file(self, tmp_path):
+        model = RETINA(10, 6, 6, hdim=8, mode="static", random_state=0)
+        u = rng.normal(size=(2, 10))
+        t = rng.normal(size=6)
+        n = rng.normal(size=(4, 6))
+        before = model.predict_proba(u, t, n)
+        path = tmp_path / "retina.npz"
+        model.save(path)
+        clone = RETINA(10, 6, 6, hdim=8, mode="static", random_state=99)
+        assert not np.allclose(clone.predict_proba(u, t, n), before)
+        clone.load(path)
+        assert np.allclose(clone.predict_proba(u, t, n), before)
+
+    def test_dynamic_retina_roundtrip(self, tmp_path):
+        model = RETINA(8, 5, 5, hdim=8, mode="dynamic", random_state=0)
+        path = tmp_path / "d.npz"
+        model.save(path)
+        clone = RETINA(8, 5, 5, hdim=8, mode="dynamic", random_state=1)
+        clone.load(path)
+        u = rng.normal(size=(2, 8))
+        t = rng.normal(size=5)
+        n = rng.normal(size=(3, 5))
+        assert np.allclose(clone.predict_proba(u, t, n), model.predict_proba(u, t, n))
+
+    def test_named_parameters_cover_all(self):
+        model = RETINA(10, 6, 6, hdim=8, mode="static", random_state=0)
+        named = model._named_parameters()
+        assert len(named) == len(model.parameters())

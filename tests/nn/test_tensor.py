@@ -1,0 +1,197 @@
+"""Autograd engine tests: every op gradient-checked against finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, functional as F
+from tests.nn.gradcheck import check_gradient
+
+rng = np.random.default_rng(0)
+
+
+class TestForward:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        assert out.numpy().tolist() == [4.0, 6.0]
+
+    def test_scalar_broadcast(self):
+        out = Tensor([1.0, 2.0]) * 3.0
+        assert out.numpy().tolist() == [3.0, 6.0]
+
+    def test_matmul(self):
+        A = Tensor(np.eye(2))
+        B = Tensor([[1.0], [2.0]])
+        assert (A @ B).numpy().tolist() == [[1.0], [2.0]]
+
+    def test_requires_grad_propagates(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
+
+    def test_backward_on_nograd_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).sum().backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_detach_cuts_tape(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a.detach()
+        assert not b.requires_grad
+
+
+class TestGradients:
+    def test_add_mul(self):
+        check_gradient(lambda t: ((t + 2.0) * (t * 3.0)).sum(), rng.normal(size=(4, 3)))
+
+    def test_sub_div(self):
+        check_gradient(
+            lambda t: ((t - 1.0) / (t * t + 2.0)).sum(), rng.normal(size=(3, 3))
+        )
+
+    def test_broadcast_row(self):
+        row = rng.normal(size=(1, 4))
+        other = Tensor(rng.normal(size=(5, 4)))
+        check_gradient(lambda t: (t + other).sum() * 2.0, row)
+
+    def test_broadcast_col(self):
+        col = rng.normal(size=(5, 1))
+        other = Tensor(rng.normal(size=(5, 4)))
+        check_gradient(lambda t: (t * other).sum(), col)
+
+    def test_matmul_left(self):
+        B = Tensor(rng.normal(size=(4, 2)))
+        check_gradient(lambda t: (t @ B).sum(), rng.normal(size=(3, 4)))
+
+    def test_matmul_right(self):
+        A = Tensor(rng.normal(size=(3, 4)))
+        check_gradient(lambda t: (A @ t).sum(), rng.normal(size=(4, 2)))
+
+    def test_batched_matmul(self):
+        W = Tensor(rng.normal(size=(4, 3)))
+        check_gradient(lambda t: (t @ W).sum(), rng.normal(size=(2, 5, 4)))
+
+    def test_batched_matmul_right_broadcast(self):
+        A = Tensor(rng.normal(size=(2, 5, 4)))
+        check_gradient(lambda t: (A @ t).sum(), rng.normal(size=(4, 3)))
+
+    def test_exp_log(self):
+        check_gradient(lambda t: (t.exp().log() * t).sum(), rng.uniform(0.5, 2.0, (3, 3)))
+
+    def test_tanh(self):
+        check_gradient(lambda t: t.tanh().sum(), rng.normal(size=(4,)))
+
+    def test_sigmoid(self):
+        check_gradient(lambda t: t.sigmoid().sum(), rng.normal(size=(4, 2)))
+
+    def test_relu(self):
+        # keep values away from the kink
+        x = rng.normal(size=(5, 3))
+        x[np.abs(x) < 0.1] = 0.5
+        check_gradient(lambda t: (t.relu() * t).sum(), x)
+
+    def test_pow(self):
+        check_gradient(lambda t: (t.pow(3.0)).sum(), rng.uniform(0.5, 1.5, (4,)))
+
+    def test_sum_axis(self):
+        check_gradient(lambda t: (t.sum(axis=0) * 2.0).sum(), rng.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self):
+        check_gradient(
+            lambda t: (t / t.sum(axis=1, keepdims=True)).sum(), rng.uniform(1, 2, (3, 4))
+        )
+
+    def test_mean(self):
+        check_gradient(lambda t: t.mean(), rng.normal(size=(4, 5)))
+
+    def test_mean_axis(self):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2.0).sum(), rng.normal(size=(3, 4)))
+
+    def test_max(self):
+        x = rng.normal(size=(3, 5))
+        check_gradient(lambda t: t.max(axis=1).sum(), x)
+
+    def test_reshape(self):
+        check_gradient(lambda t: (t.reshape(2, 6) ** 2.0).sum(), rng.normal(size=(3, 4)))
+
+    def test_transpose(self):
+        W = Tensor(rng.normal(size=(3, 4)))
+        check_gradient(lambda t: (t.transpose() * W).sum(), rng.normal(size=(4, 3)))
+
+    def test_transpose_3d(self):
+        check_gradient(
+            lambda t: (t.transpose(1, 0, 2) ** 2.0).sum(), rng.normal(size=(2, 3, 4))
+        )
+
+    def test_getitem_slice(self):
+        check_gradient(lambda t: (t[1:3] * 2.0).sum(), rng.normal(size=(5, 2)))
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+        check_gradient(lambda t: t[idx].sum(), rng.normal(size=(4, 3)))
+
+    def test_concat(self):
+        other = Tensor(rng.normal(size=(2, 3)))
+        check_gradient(
+            lambda t: (Tensor.concat([t, other], axis=0) ** 2.0).sum(),
+            rng.normal(size=(3, 3)),
+        )
+
+    def test_stack(self):
+        other = Tensor(rng.normal(size=(3,)))
+        check_gradient(
+            lambda t: (Tensor.stack([t, other], axis=0) * 3.0).sum(),
+            rng.normal(size=(3,)),
+        )
+
+    def test_softmax(self):
+        weights = Tensor(rng.normal(size=(3, 4)))
+        check_gradient(
+            lambda t: (F.softmax(t, axis=-1) * weights).sum(),
+            rng.normal(size=(3, 4)),
+        )
+
+    def test_log_softmax(self):
+        check_gradient(lambda t: F.log_softmax(t, axis=-1)[:, 0].sum(), rng.normal(size=(3, 4)))
+
+    def test_softplus(self):
+        check_gradient(lambda t: F.softplus(t).sum(), rng.normal(size=(6,)) * 3)
+
+    def test_gradient_accumulation_diamond(self):
+        # y = x used twice: dy/dx must sum both paths.
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0
+        y.backward()
+        assert x.grad[0] == pytest.approx(2 * 2.0 + 3.0)
+
+    def test_deep_chain(self):
+        x = Tensor(np.array([0.5]), requires_grad=True)
+        y = x
+        for _ in range(30):
+            y = y * 1.1
+        y.backward()
+        assert x.grad[0] == pytest.approx(1.1**30, rel=1e-9)
+
+    @given(
+        hnp.arrays(np.float64, (3, 3), elements=st.floats(-2, 2, allow_nan=False))
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_quadratic_form_property(self, A):
+        x0 = rng.normal(size=(3,))
+        At = Tensor(A)
+
+        def f(t):
+            v = t.reshape(1, 3)
+            return (v @ At @ v.transpose()).sum()
+
+        t = Tensor(x0.copy(), requires_grad=True)
+        f(t).backward()
+        expected = (A + A.T) @ x0
+        np.testing.assert_allclose(t.grad, expected, atol=1e-8)

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST_WORLD = ["--scale", "0.01", "--users", "120", "--hashtags", "5", "--news", "300"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.seed == 0
+        assert args.command == "generate"
+
+    def test_retina_options(self):
+        args = build_parser().parse_args(
+            ["train-retina", "--mode", "dynamic", "--no-exogenous", "--epochs", "2"]
+        )
+        assert args.mode == "dynamic"
+        assert args.no_exogenous is True
+        assert args.epochs == 2
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train-retina", "--mode", "hybrid"])
+
+
+class TestCommands:
+    def test_generate(self, capsys):
+        assert main(["generate", *FAST_WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "tweets" in out and "%hate" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", *FAST_WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1a" in out and "Echo-chamber" in out
+
+    def test_train_retina_and_save(self, tmp_path, capsys):
+        path = str(tmp_path / "w.npz")
+        code = main(
+            ["train-retina", *FAST_WORLD, "--epochs", "1", "--save", path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "macro_f1" in out
+        assert (tmp_path / "w.npz").exists()
+
+    def test_train_hategen(self, capsys):
+        code = main(["train-hategen", *FAST_WORLD, "--model", "logreg", "--variant", "ds"])
+        assert code == 0
+        assert "macro-F1" in capsys.readouterr().out

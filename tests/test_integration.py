@@ -1,0 +1,130 @@
+"""End-to-end integration tests across the full stack.
+
+Exercises the same flows as the examples and benchmarks at a scale small
+enough for CI: world generation -> feature pipelines -> model training ->
+evaluation, plus the cross-layer consistency properties that only appear
+when the pieces are composed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hategen import HateGenFeatureExtractor, HateGenerationPipeline
+from repro.core.retina import (
+    RETINA,
+    RetinaFeatureExtractor,
+    RetinaTrainer,
+    evaluate_binary,
+    evaluate_ranking,
+)
+from repro.data import HateDiffusionDataset, SyntheticWorldConfig
+from repro.diffusion import SIRModel, build_candidate_set
+from repro.hatedetect import DavidsonClassifier, evaluate_detector
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    cfg = SyntheticWorldConfig(
+        scale=0.025, n_hashtags=8, n_users=200, n_news=500, seed=13
+    )
+    return HateDiffusionDataset.generate(cfg)
+
+
+class TestHateGenEndToEnd:
+    def test_pipeline_beats_chance_auc(self, tiny):
+        train, test = tiny.hategen_split(random_state=0)
+        if sum(t.is_hate for t in test) < 2:
+            pytest.skip("too few positives at this scale")
+        ext = HateGenFeatureExtractor(tiny.world, doc2vec_epochs=3, random_state=0)
+        pipe = HateGenerationPipeline(ext, random_state=0)
+        X_tr, y_tr, X_te, y_te = pipe.prepare(train, test)
+        result = pipe.run("dectree", "ds", X_tr, y_tr, X_te, y_te)
+        assert result.auc > 0.55
+
+
+class TestRetinaEndToEnd:
+    def test_full_loop_static_and_ranking(self, tiny):
+        train, test = tiny.cascade_split(random_state=0)
+        ext = RetinaFeatureExtractor(tiny.world, random_state=0).fit(train)
+        tr = ext.build_samples(train[:60], random_state=0)
+        te = ext.build_samples(test[:20], random_state=1)
+        model = RETINA(
+            user_dim=ext.user_feature_dim,
+            tweet_dim=ext.news_doc2vec_dim,
+            news_dim=ext.news_doc2vec_dim,
+            mode="static",
+            hdim=32,
+            random_state=0,
+        )
+        trainer = RetinaTrainer(model, epochs=4, random_state=0).fit(tr)
+        queries = [(s.labels.astype(int), trainer.predict_static_scores(s)) for s in te]
+        binary = evaluate_binary(queries)
+        ranking = evaluate_ranking(queries)
+        assert binary["auc"] > 0.55
+        assert ranking["map@20"] > 0.2
+
+    def test_retina_beats_sir(self, tiny):
+        train, test = tiny.cascade_split(random_state=0)
+        world = tiny.world
+        ext = RetinaFeatureExtractor(world, random_state=0).fit(train)
+        tr = ext.build_samples(train[:60], random_state=0)
+        te = ext.build_samples(test[:15], random_state=1)
+        model = RETINA(
+            user_dim=ext.user_feature_dim,
+            tweet_dim=ext.news_doc2vec_dim,
+            news_dim=ext.news_doc2vec_dim,
+            mode="static",
+            hdim=32,
+            random_state=0,
+        )
+        trainer = RetinaTrainer(model, epochs=4, random_state=0).fit(tr)
+        retina_q = [(s.labels.astype(int), trainer.predict_static_scores(s)) for s in te]
+        sir = SIRModel(n_simulations=15, random_state=0).fit(train[:40], world.network)
+        sir_q = [
+            (s.labels.astype(int), sir.predict_proba(s.candidate_set, world.network))
+            for s in te
+        ]
+        assert evaluate_binary(retina_q)["macro_f1"] >= evaluate_binary(sir_q)["macro_f1"] - 0.05
+
+
+class TestCrossLayerConsistency:
+    def test_candidate_labels_match_cascade(self, tiny):
+        world = tiny.world
+        rng = np.random.default_rng(0)
+        for cascade in world.cascades[:30]:
+            cs = build_candidate_set(cascade, world.network, random_state=rng)
+            retweeters = {r.user_id for r in cascade.retweets}
+            for uid, label in zip(cs.users, cs.labels):
+                assert (uid in retweeters) == bool(label)
+
+    def test_detector_on_world_text(self, tiny):
+        """The detector trained on gold annotations generalises to the rest."""
+        subset, _, majority = tiny.gold_annotation(fraction=0.5, random_state=0)
+        if majority.sum() < 5:
+            pytest.skip("too few positives at this scale")
+        texts = [t.text for t in subset]
+        det = DavidsonClassifier(random_state=0).fit(texts, majority)
+        rest = [t for t in tiny.world.tweets if t not in subset][:200]
+        metrics = evaluate_detector(
+            det, [t.text for t in rest], [int(t.is_hate) for t in rest]
+        )
+        assert metrics["macro_f1"] > 0.6
+
+    def test_machine_annotation_workflow(self, tiny):
+        """Paper workflow: gold-train a detector, machine-annotate the rest."""
+        subset, _, majority = tiny.gold_annotation(fraction=0.5, random_state=0)
+        if majority.sum() < 5:
+            pytest.skip("too few positives at this scale")
+        det = DavidsonClassifier(random_state=0).fit([t.text for t in subset], majority)
+        machine_labels = det.predict([t.text for t in tiny.world.tweets])
+        gen_rate = np.mean([t.is_hate for t in tiny.world.tweets])
+        machine_rate = machine_labels.mean()
+        assert abs(machine_rate - gen_rate) < 0.15
+
+    def test_history_features_stable_across_calls(self, tiny):
+        train, _ = tiny.cascade_split(random_state=0)
+        ext = RetinaFeatureExtractor(tiny.world, random_state=0).fit(train)
+        uid = train[0].root.user_id
+        a = ext.base_._user_block(uid)["history"]
+        b = ext.base_._user_block(uid)["history"]
+        assert np.array_equal(a, b)

@@ -1,0 +1,95 @@
+"""Tests for repro.text.doc2vec."""
+
+import numpy as np
+import pytest
+
+from repro.text import Doc2Vec, cosine_similarity
+from repro.utils.validation import NotFittedError
+
+# Two clearly separated topics.
+SPORTS = [
+    "cricket match score century wicket batsman bowler",
+    "wicket bowler cricket stadium match innings",
+    "batsman century runs cricket match victory",
+    "football goal match striker penalty score",
+    "goal penalty football striker match win",
+]
+POLITICS = [
+    "election vote parliament minister policy bill",
+    "minister parliament policy debate vote election",
+    "vote bill policy government minister election",
+    "protest government policy parliament citizens bill",
+    "citizens protest vote government election minister",
+]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return Doc2Vec(vector_size=16, epochs=60, min_count=1, random_state=0).fit(
+        SPORTS + POLITICS
+    )
+
+
+class TestDoc2Vec:
+    def test_doc_vector_shapes(self, model):
+        assert model.doc_vectors_.shape == (10, 16)
+        assert model.word_vectors_.shape[1] == 16
+
+    def test_same_topic_docs_closer(self, model):
+        dv = model.doc_vectors_
+        within = cosine_similarity(dv[0], dv[1])
+        across = cosine_similarity(dv[0], dv[5])
+        assert within > across
+
+    def test_topic_centroids_separate(self, model):
+        dv = model.doc_vectors_
+        sports_c = dv[:5].mean(axis=0)
+        politics_c = dv[5:].mean(axis=0)
+        # Average doc is closer to its own topic centroid.
+        hits = 0
+        for i in range(10):
+            own = sports_c if i < 5 else politics_c
+            other = politics_c if i < 5 else sports_c
+            if cosine_similarity(dv[i], own) > cosine_similarity(dv[i], other):
+                hits += 1
+        assert hits >= 8
+
+    def test_infer_vector_near_training_doc(self, model):
+        inferred = model.infer_vector(SPORTS[0], random_state=1)
+        sim_own = cosine_similarity(inferred, model.doc_vectors_[0])
+        sim_other = cosine_similarity(inferred, model.doc_vectors_[9])
+        assert sim_own > sim_other
+
+    def test_infer_oov_document(self, model):
+        v = model.infer_vector("zzz qqq www", random_state=0)
+        assert v.shape == (16,)
+        assert np.all(np.isfinite(v))
+
+    def test_transform_batch(self, model):
+        X = model.transform(SPORTS[:2])
+        assert X.shape == (2, 16)
+
+    def test_word_vector_oov_is_zero(self, model):
+        assert np.allclose(model.word_vector("notaword999"), 0.0)
+
+    def test_word_vector_in_vocab(self, model):
+        assert np.linalg.norm(model.word_vector("cricket")) > 0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            Doc2Vec().infer_vector("hello")
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            Doc2Vec().fit([])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Doc2Vec(vector_size=0)
+        with pytest.raises(ValueError):
+            Doc2Vec(negative=0)
+
+    def test_reproducible_with_seed(self):
+        m1 = Doc2Vec(vector_size=8, epochs=5, min_count=1, random_state=3).fit(SPORTS)
+        m2 = Doc2Vec(vector_size=8, epochs=5, min_count=1, random_state=3).fit(SPORTS)
+        assert np.allclose(m1.doc_vectors_, m2.doc_vectors_)

@@ -1,0 +1,83 @@
+"""Tests for repro.text.lexicon and repro.text.similarity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.text import HateLexicon, cosine_similarity, default_hate_lexicon, pairwise_cosine
+
+
+class TestHateLexicon:
+    def test_default_contains_paper_terms(self):
+        lex = default_hate_lexicon()
+        assert "harami" in lex
+        assert "mulla" in lex
+
+    def test_vector_counts_occurrences(self):
+        lex = HateLexicon(["bad", "worse"])
+        v = lex.vector("bad bad worse fine")
+        assert v.tolist() == [2.0, 1.0]
+
+    def test_case_insensitive(self):
+        lex = HateLexicon(["BAD"])
+        assert lex.count("bad Bad BAD") == 3
+
+    def test_vector_over_aggregates(self):
+        lex = HateLexicon(["x"])
+        assert lex.vector_over(["x y", "x x"]).tolist() == [3.0]
+
+    def test_contains_hate_term(self):
+        lex = HateLexicon(["slur0"])
+        assert lex.contains_hate_term("a slur0 b")
+        assert not lex.contains_hate_term("clean text")
+
+    def test_empty_lexicon_raises(self):
+        with pytest.raises(ValueError):
+            HateLexicon([])
+
+    def test_dedupe(self):
+        lex = HateLexicon(["a", "A", "a"])
+        assert len(lex) == 1
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_opposite(self):
+        assert cosine_similarity([1.0], [-1.0]) == pytest.approx(-1.0)
+
+    def test_zero_vector_gives_zero(self):
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1, 2], [1, 2, 3])
+
+    @given(
+        hnp.arrays(np.float64, 5, elements=st.floats(-10, 10, allow_nan=False)),
+        hnp.arrays(np.float64, 5, elements=st.floats(-10, 10, allow_nan=False)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounded(self, a, b):
+        s = cosine_similarity(a, b)
+        assert -1.0 - 1e-9 <= s <= 1.0 + 1e-9
+
+    def test_pairwise_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(3, 4))
+        B = rng.normal(size=(2, 4))
+        M = pairwise_cosine(A, B)
+        for i in range(3):
+            for j in range(2):
+                assert M[i, j] == pytest.approx(cosine_similarity(A[i], B[j]))
+
+    def test_pairwise_shape_validation(self):
+        with pytest.raises(ValueError):
+            pairwise_cosine(np.ones((2, 3)), np.ones((2, 4)))

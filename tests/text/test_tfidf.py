@@ -1,0 +1,79 @@
+"""Tests for repro.text.tfidf."""
+
+import numpy as np
+import pytest
+
+from repro.text import TfidfVectorizer
+from repro.utils.validation import NotFittedError
+
+CORPUS = [
+    "the protest in delhi turned violent",
+    "the cricket match in delhi was peaceful",
+    "violent clashes at the protest site",
+    "peaceful rally held by students",
+]
+
+
+class TestTfidfVectorizer:
+    def test_shape_and_rows_normalised(self):
+        X = TfidfVectorizer().fit_transform(CORPUS)
+        assert X.shape[0] == 4
+        norms = np.linalg.norm(X, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_rare_terms_weighted_higher(self):
+        vec = TfidfVectorizer().fit(CORPUS)
+        names = vec.get_feature_names()
+        idf = dict(zip(names, vec.idf_))
+        assert idf["cricket"] > idf["the"]
+
+    def test_bigrams_in_vocabulary(self):
+        vec = TfidfVectorizer(ngram_range=(1, 2)).fit(CORPUS)
+        assert any(" " in t for t in vec.get_feature_names())
+
+    def test_max_features_count_rank(self):
+        vec = TfidfVectorizer(max_features=5, rank_by="count").fit(CORPUS)
+        assert len(vec.vocabulary_) == 5
+        assert "the" in vec.vocabulary_  # most frequent survives
+
+    def test_max_features_idf_rank_prefers_rare(self):
+        # With idf ranking, terms in >= 2 docs but rare win over 'the'.
+        vec = TfidfVectorizer(max_features=3, rank_by="idf").fit(CORPUS)
+        assert "the" not in vec.vocabulary_
+
+    def test_min_df_filters(self):
+        vec = TfidfVectorizer(min_df=2).fit(CORPUS)
+        assert "cricket" not in vec.vocabulary_
+        assert "protest" in vec.vocabulary_
+
+    def test_oov_terms_ignored_at_transform(self):
+        vec = TfidfVectorizer().fit(CORPUS)
+        X = vec.transform(["unseen words only zzz"])
+        assert np.allclose(X, 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            TfidfVectorizer().transform(["x"])
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer().fit([])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer(ngram_range=(2, 1))
+        with pytest.raises(ValueError):
+            TfidfVectorizer(rank_by="magic")
+        with pytest.raises(ValueError):
+            TfidfVectorizer(min_df=0)
+
+    def test_sublinear_tf_changes_weights(self):
+        docs = ["spam spam spam spam ham", "ham eggs"]
+        raw = TfidfVectorizer().fit(docs).transform(docs)
+        sub = TfidfVectorizer(sublinear_tf=True).fit(docs).transform(docs)
+        assert not np.allclose(raw, sub)
+
+    def test_deterministic(self):
+        X1 = TfidfVectorizer(ngram_range=(1, 2)).fit_transform(CORPUS)
+        X2 = TfidfVectorizer(ngram_range=(1, 2)).fit_transform(CORPUS)
+        assert np.allclose(X1, X2)

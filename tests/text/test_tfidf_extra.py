@@ -1,0 +1,54 @@
+"""Additional TF-IDF edge cases and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import TfidfVectorizer
+
+words = st.text(alphabet="abcdef", min_size=1, max_size=4)
+docs = st.lists(
+    st.lists(words, min_size=1, max_size=8).map(" ".join), min_size=2, max_size=12
+)
+
+
+class TestTfidfProperties:
+    @given(docs)
+    @settings(max_examples=40, deadline=None)
+    def test_transform_shape_matches_vocab(self, corpus):
+        vec = TfidfVectorizer().fit(corpus)
+        X = vec.transform(corpus)
+        assert X.shape == (len(corpus), len(vec.vocabulary_))
+
+    @given(docs)
+    @settings(max_examples=40, deadline=None)
+    def test_values_nonnegative_and_finite(self, corpus):
+        X = TfidfVectorizer().fit_transform(corpus)
+        assert np.all(X >= 0)
+        assert np.all(np.isfinite(X))
+
+    @given(docs)
+    @settings(max_examples=40, deadline=None)
+    def test_idf_at_least_one(self, corpus):
+        vec = TfidfVectorizer().fit(corpus)
+        assert np.all(vec.idf_ >= 1.0 - 1e-12)
+
+    def test_feature_names_align_with_columns(self):
+        corpus = ["alpha beta", "beta gamma", "alpha gamma delta"]
+        vec = TfidfVectorizer().fit(corpus)
+        names = vec.get_feature_names()
+        X = vec.transform(["delta delta"])
+        nz = np.flatnonzero(X[0])
+        assert len(nz) == 1
+        assert names[nz[0]] == "delta"
+
+    def test_duplicate_documents_identical_rows(self):
+        corpus = ["same text here", "same text here", "other words"]
+        X = TfidfVectorizer().fit_transform(corpus)
+        assert np.allclose(X[0], X[1])
+
+    def test_document_of_only_stoplike_terms(self):
+        vec = TfidfVectorizer(min_df=2).fit(["a b", "a c", "unique tokens qqq"])
+        X = vec.transform(["qqq"])  # filtered out by min_df
+        assert np.allclose(X, 0.0)

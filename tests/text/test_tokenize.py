@@ -1,0 +1,72 @@
+"""Tests for repro.text.tokenize."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.tokenize import URL_PLACEHOLDER, ngrams, tokenize
+
+
+class TestTokenize:
+    def test_basic_words(self):
+        assert tokenize("Hello world") == ["hello", "world"]
+
+    def test_hashtag_preserved(self):
+        assert tokenize("#JamiaViolence is trending") == [
+            "#jamiaviolence",
+            "is",
+            "trending",
+        ]
+
+    def test_mention_preserved(self):
+        assert "@user1" in tokenize("cc @user1 please see")
+
+    def test_url_collapsed(self):
+        toks = tokenize("see https://t.co/xyz now")
+        assert URL_PLACEHOLDER in toks
+        assert not any("t.co" in t for t in toks)
+
+    def test_keep_urls(self):
+        toks = tokenize("see https://t.co/xyz now", keep_urls=True)
+        assert URL_PLACEHOLDER not in toks
+
+    def test_case_preserved_when_requested(self):
+        assert tokenize("HELLO", lowercase=False) == ["HELLO"]
+
+    def test_punctuation_stripped(self):
+        assert tokenize("stop, now!") == ["stop", "now"]
+
+    def test_non_str_raises(self):
+        with pytest.raises(TypeError):
+            tokenize(42)
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_never_crashes_and_returns_list(self, text):
+        toks = tokenize(text)
+        assert isinstance(toks, list)
+        assert all(isinstance(t, str) and t for t in toks)
+
+
+class TestNgrams:
+    def test_unigrams_identity(self):
+        assert ngrams(["a", "b"], 1) == ["a", "b"]
+
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == ["a b", "b c"]
+
+    def test_short_input(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=3), max_size=20), st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_count_property(self, tokens, n):
+        out = ngrams(tokens, n)
+        assert len(out) == max(0, len(tokens) - n + 1)

@@ -1,0 +1,99 @@
+"""Tests for repro.utils (rng, tables, asciiplot, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    ascii_bars,
+    ascii_series,
+    check_array,
+    check_binary_labels,
+    ensure_rng,
+    render_table,
+    spawn_rngs,
+)
+from repro.utils.validation import NotFittedError, check_fitted
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_independence_and_reproducibility(self):
+        kids1 = spawn_rngs(7, 3)
+        kids2 = spawn_rngs(7, 3)
+        for a, b in zip(kids1, kids2):
+            assert np.array_equal(a.integers(0, 100, 5), b.integers(0, 100, 5))
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestTables:
+    def test_renders_headers_and_rows(self):
+        out = render_table(["model", "f1"], [["DT", 0.65], ["SVM", 0.55]])
+        assert "model" in out and "0.650" in out and "SVM" in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_title_included(self):
+        out = render_table(["a"], [[1]], title="Table IV")
+        assert out.startswith("Table IV")
+
+
+class TestAsciiPlot:
+    def test_bars_basic(self):
+        out = ascii_bars(["hate", "non-hate"], [10.0, 5.0])
+        assert "hate" in out and "#" in out
+
+    def test_bars_negative_raises(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [-1.0])
+
+    def test_bars_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a", "b"], [1.0])
+
+    def test_series_renders_legend(self):
+        out = ascii_series({"hate": [1, 2, 3], "non-hate": [3, 2, 1]})
+        assert "hate" in out and "max=" in out
+
+    def test_series_empty(self):
+        assert ascii_series({}, title="t") == "t"
+
+
+class TestValidation:
+    def test_check_array_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            check_array(np.zeros(3))
+
+    def test_check_array_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_array(np.array([[np.inf, 1.0]]))
+
+    def test_check_binary_rejects_multiclass(self):
+        with pytest.raises(ValueError):
+            check_binary_labels([0, 1, 2])
+
+    def test_check_fitted(self):
+        class Dummy:
+            attr = None
+
+        with pytest.raises(NotFittedError):
+            check_fitted(Dummy(), "attr")
