@@ -1,0 +1,154 @@
+"""Serving throughput: requests/sec and p50/p95 latency vs client batch size.
+
+Trains a small RETINA bundle once, serves it over HTTP from a background
+thread, then fires fixed-duration closed-loop load at concurrency levels
+1-64 (each client thread holds one in-flight request).  Reports a JSON
+document per level with requests/sec, p50/p95 latency, and feature-cache
+hit rate — the numbers that justify micro-batching + caching.
+
+Runnable standalone (``PYTHONPATH=src python benchmarks/bench_serving_throughput.py``)
+or under pytest-benchmark like the other benches.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.retina import RETINA, RetinaFeatureExtractor, RetinaTrainer
+from repro.data import HateDiffusionDataset, SyntheticWorldConfig
+from repro.serving import InferenceEngine, PredictionServer, RetinaBundle, RetweeterPredictor
+
+BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64)
+SECONDS_PER_LEVEL = 2.0
+CANDIDATES_PER_REQUEST = 8
+
+
+@lru_cache(maxsize=1)
+def _serving_fixture():
+    """(predictor, cascade_ids, user_pool) — trained once per process."""
+    cfg = SyntheticWorldConfig(scale=0.01, n_hashtags=5, n_users=150, n_news=300, seed=13)
+    ds = HateDiffusionDataset.generate(cfg)
+    train, test = ds.cascade_split(random_state=0)
+    extractor = RetinaFeatureExtractor(ds.world, random_state=0).fit(train)
+    edges = RetinaTrainer.default_interval_edges()
+    tr = extractor.build_samples(train[:30], interval_edges_hours=edges, random_state=0)
+    model = RETINA(
+        user_dim=extractor.user_feature_dim,
+        tweet_dim=extractor.news_doc2vec_dim,
+        news_dim=extractor.news_doc2vec_dim,
+        mode="static",
+        random_state=0,
+    )
+    RetinaTrainer(model, epochs=1, random_state=0).fit(tr)
+    bundle = RetinaBundle(model=model, extractor=extractor, world_config=cfg)
+    predictor = RetweeterPredictor(bundle)
+    cascade_ids = [c.root.tweet_id for c in ds.world.cascades[:40]]
+    user_pool = sorted(ds.world.users)
+    return predictor, cascade_ids, user_pool
+
+
+def _fire_load(
+    host: str, port: int, path: str, payloads: list[dict], concurrency: int, seconds: float
+) -> dict:
+    """Closed-loop load: ``concurrency`` threads, one in-flight request each.
+
+    Each thread holds a persistent HTTP/1.1 connection, so the measurement
+    is request handling + batching, not TCP handshakes.
+    """
+    stop_at = time.perf_counter() + seconds
+    latencies_per_thread: list[list[float]] = [[] for _ in range(concurrency)]
+    errors = []
+
+    def client(slot: int):
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        i = slot
+        try:
+            while time.perf_counter() < stop_at:
+                payload = payloads[i % len(payloads)]
+                i += concurrency
+                body = json.dumps(payload).encode()
+                t0 = time.perf_counter()
+                try:
+                    conn.request(
+                        "POST", path, body, {"Content-Type": "application/json"}
+                    )
+                    resp = conn.getresponse()
+                    resp.read()
+                    if resp.status != 200:
+                        errors.append(f"HTTP {resp.status}")
+                        return
+                except Exception as exc:  # pragma: no cover - bench robustness
+                    errors.append(repr(exc))
+                    return
+                latencies_per_thread[slot].append(time.perf_counter() - t0)
+        finally:
+            conn.close()
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(s,)) for s in range(concurrency)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    lat = np.array([x for per in latencies_per_thread for x in per])
+    if errors:
+        raise RuntimeError(f"load generation failed: {errors[:3]}")
+    return {
+        "concurrency": concurrency,
+        "requests": int(lat.size),
+        "requests_per_s": round(lat.size / elapsed, 1),
+        "p50_ms": round(float(np.percentile(lat, 50)) * 1e3, 2),
+        "p95_ms": round(float(np.percentile(lat, 95)) * 1e3, 2),
+    }
+
+
+def _run() -> dict:
+    predictor, cascade_ids, user_pool = _serving_fixture()
+    rng = np.random.default_rng(0)
+    payloads = [
+        {
+            "cascade_id": int(rng.choice(cascade_ids)),
+            "user_ids": [int(u) for u in rng.choice(user_pool, size=CANDIDATES_PER_REQUEST, replace=False)],
+        }
+        for _ in range(256)
+    ]
+    engine = InferenceEngine({"retweeters": predictor}, max_batch_size=64, max_wait_ms=2.0)
+    results = []
+    with PredictionServer(engine, port=0) as server:
+        host, port = server.address
+        path = "/predict/retweeters"
+        _fire_load(host, port, path, payloads, concurrency=2, seconds=0.5)  # warm caches
+        for concurrency in BATCH_SIZES:
+            level = _fire_load(host, port, path, payloads, concurrency, SECONDS_PER_LEVEL)
+            level["feature_cache_hit_rate"] = predictor.feature_cache.stats()["hit_rate"]
+            results.append(level)
+        engine_metrics = engine.metrics()["retweeters"]
+    return {
+        "levels": results,
+        "engine": {
+            "requests": engine_metrics["requests"],
+            "mean_batch_size": engine_metrics["mean_batch_size"],
+            "p50_ms": engine_metrics["p50_ms"],
+            "p95_ms": engine_metrics["p95_ms"],
+        },
+    }
+
+
+def test_serving_throughput(benchmark):
+    from benchmarks.common import run_once
+
+    report = run_once(benchmark, _run)
+    print()
+    print(json.dumps(report, indent=2))
+    assert all(level["requests"] > 0 for level in report["levels"])
+
+
+if __name__ == "__main__":
+    print(json.dumps(_run(), indent=2))

@@ -8,21 +8,24 @@ Commands
     Print the Figure 1-3 analyses for a generated world.
 ``train-retina``
     Train RETINA on a generated world, report test metrics, and optionally
-    save the weights.
+    save a serving bundle to a model registry.
 ``train-hategen``
-    Run the hate-generation pipeline (one model/variant) and report
-    metrics.
+    Run the hate-generation pipeline (one model/variant), report metrics,
+    and optionally save a serving bundle.
+``serve``
+    Load registry bundles and serve predictions over HTTP.
+``predict``
+    One-shot in-process prediction from a registry bundle.
 
-All commands accept ``--seed``, ``--scale``, ``--users``, ``--hashtags``
-to control the world.
+All world-building commands accept ``--seed``, ``--scale``, ``--users``,
+``--hashtags`` to control the world.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-
-import numpy as np
 
 __all__ = ["main", "build_parser"]
 
@@ -52,12 +55,46 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--mode", choices=("static", "dynamic"), default="static")
     r.add_argument("--epochs", type=int, default=6)
     r.add_argument("--no-exogenous", action="store_true", help="train the dagger variant")
-    r.add_argument("--save", type=str, default=None, help="path to save weights (.npz)")
+    r.add_argument("--save", type=str, default=None, metavar="STORE",
+                   help="model-registry directory to save a serving bundle into")
+    r.add_argument("--name", type=str, default="retina",
+                   help="bundle name inside the registry (with --save)")
 
     h = sub.add_parser("train-hategen", help="run the hate-generation pipeline")
     add_world_args(h)
     h.add_argument("--model", default="dectree", help="model key (Table III)")
     h.add_argument("--variant", default="ds", help="processing variant (Table IV)")
+    h.add_argument("--save", type=str, default=None, metavar="STORE",
+                   help="model-registry directory to save a serving bundle into")
+    h.add_argument("--name", type=str, default="hategen",
+                   help="bundle name inside the registry (with --save)")
+
+    s = sub.add_parser("serve", help="serve registry bundles over HTTP")
+    s.add_argument("--store", required=True, help="model-registry directory")
+    s.add_argument("--name", action="append", default=None, metavar="NAME",
+                   help="bundle name to load (repeatable; default: every model)")
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8000)
+    s.add_argument("--batch-size", type=int, default=64,
+                   help="micro-batch cap of the inference engine")
+    s.add_argument("--wait-ms", type=float, default=2.0,
+                   help="micro-batch coalescing window in milliseconds")
+    s.add_argument("--quiet", action="store_true", help="suppress request logs")
+
+    p = sub.add_parser("predict", help="one-shot prediction from a registry bundle")
+    p.add_argument("--store", required=True, help="model-registry directory")
+    p.add_argument("--name", required=True, help="bundle name to load")
+    p.add_argument("--version", type=int, default=None, help="bundle version (default latest)")
+    p.add_argument("--cascade", type=int, default=None, help="cascade id (retina bundles)")
+    p.add_argument("--users", type=int, nargs="*", default=None,
+                   help="candidate user ids (retina bundles; default: audience)")
+    p.add_argument("--interval", type=int, default=None,
+                   help="dynamic-mode time interval index")
+    p.add_argument("--top-k", type=int, default=10, help="ranking size to print")
+    p.add_argument("--user", type=int, default=None, help="user id (hategen bundles)")
+    p.add_argument("--hashtag", type=str, default=None, help="hashtag (hategen bundles)")
+    p.add_argument("--timestamp", type=float, default=None,
+                   help="query time in hours (hategen bundles)")
     return parser
 
 
@@ -145,8 +182,20 @@ def _cmd_train_retina(args) -> int:
     for name, value in metrics.items():
         print(f"  {name:>10}: {value:.4f}")
     if args.save:
-        model.save(args.save)
-        print(f"weights saved to {args.save}")
+        from repro.serving import ModelRegistry, RetinaBundle
+
+        manifest = ModelRegistry(args.save).save_bundle(
+            args.name,
+            RetinaBundle(
+                model=model,
+                extractor=extractor,
+                world_config=dataset.world.config,
+                train_config={"epochs": args.epochs, "mode": args.mode,
+                              "seed": args.seed},
+                metrics=metrics,
+            ),
+        )
+        print(f"bundle saved: {args.name} v{manifest['version']:04d} in {args.save}")
     return 0
 
 
@@ -162,7 +211,72 @@ def _cmd_train_hategen(args) -> int:
     result = pipeline.run(args.model, args.variant, X_tr, y_tr, X_te, y_te)
     print(f"  model={args.model} variant={args.variant}")
     print(f"  macro-F1 {result.macro_f1:.4f}  ACC {result.accuracy:.4f}  AUC {result.auc:.4f}")
+    if args.save:
+        from repro.serving import HateGenBundle, ModelRegistry
+
+        manifest = ModelRegistry(args.save).save_bundle(
+            args.name,
+            HateGenBundle(
+                model=pipeline.fitted_model_,
+                transforms=pipeline.fitted_transforms_,
+                extractor=extractor,
+                world_config=dataset.world.config,
+                model_key=args.model,
+                variant=args.variant,
+                train_config={"seed": args.seed},
+                metrics={"macro_f1": result.macro_f1, "accuracy": result.accuracy,
+                         "auc": result.auc},
+            ),
+        )
+        print(f"bundle saved: {args.name} v{manifest['version']:04d} in {args.save}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import engine_from_store, serve_forever
+
+    try:
+        engine = engine_from_store(
+            args.store,
+            args.name,
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.wait_ms,
+        )
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    serve_forever(engine, args.host, args.port, verbose=not args.quiet)
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from repro.serving import ModelRegistry, predictor_for_bundle
+
+    registry = ModelRegistry(args.store)
+    try:
+        bundle = registry.load_bundle(args.name, version=args.version)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    predictor = predictor_for_bundle(bundle)
+    if bundle.kind == "retina":
+        if args.cascade is None:
+            print("retina bundles need --cascade", file=sys.stderr)
+            return 2
+        payload = {"cascade_id": args.cascade, "top_k": args.top_k}
+        if args.users is not None:
+            payload["user_ids"] = args.users
+        if args.interval is not None:
+            payload["interval"] = args.interval
+    else:
+        if args.user is None or args.hashtag is None or args.timestamp is None:
+            print("hategen bundles need --user, --hashtag and --timestamp", file=sys.stderr)
+            return 2
+        payload = {"user_id": args.user, "hashtag": args.hashtag,
+                   "timestamp": args.timestamp}
+    result = predictor.predict_batch([payload])[0]
+    print(json.dumps(result, indent=2))
+    return 0 if "error" not in result else 1
 
 
 _COMMANDS = {
@@ -170,6 +284,8 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "train-retina": _cmd_train_retina,
     "train-hategen": _cmd_train_hategen,
+    "serve": _cmd_serve,
+    "predict": _cmd_predict,
 }
 
 

@@ -268,3 +268,47 @@ class HateGenFeatureExtractor:
             raise ValueError(f"unknown group {group!r}; choose from {FeatureGroups}")
         sl = self.group_slices[group]
         return np.delete(X, np.r_[sl], axis=1)
+
+    # -------------------------------------------------------- serialization
+    def to_state(self) -> dict:
+        """Fitted state as a plain dict, independent of the world object.
+
+        World-derived caches (news prefix sums, trending lists, per-user
+        blocks) are deliberately excluded — they are recomputed
+        deterministically from the world handed to :meth:`from_state`.
+        """
+        check_fitted(self, "text_vectorizer_")
+        return {
+            "kind": "hategen_features",
+            "params": {
+                "history_size": self.history_size,
+                "text_top_k": self.text_top_k,
+                "news_top_k": self.news_top_k,
+                "news_window": self.news_window,
+                "trending_top_k": self.trending_top_k,
+                "doc2vec_dim": self.doc2vec_dim,
+                "doc2vec_epochs": self.doc2vec_epochs,
+            },
+            "lexicon_terms": list(self.lexicon.terms),
+            "text_vectorizer": self.text_vectorizer_.to_state(),
+            "news_vectorizer": self.news_vectorizer_.to_state(),
+            "doc2vec": self.doc2vec_.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, world: SyntheticWorld, state: dict) -> "HateGenFeatureExtractor":
+        """Rebuild a fitted extractor on ``world`` from :meth:`to_state` output."""
+        if state.get("kind") != "hategen_features":
+            raise ValueError(f"not a hategen_features state: kind={state.get('kind')!r}")
+        extractor = cls(
+            world,
+            lexicon=HateLexicon(state["lexicon_terms"]),
+            random_state=0,
+            **state["params"],
+        )
+        extractor.text_vectorizer_ = TfidfVectorizer.from_state(state["text_vectorizer"])
+        extractor.news_vectorizer_ = TfidfVectorizer.from_state(state["news_vectorizer"])
+        extractor.doc2vec_ = Doc2Vec.from_state(state["doc2vec"])
+        extractor._precompute_news()
+        extractor._precompute_trending()
+        return extractor

@@ -58,6 +58,12 @@ class HateGenerationPipeline:
         self.pca_components = pca_components
         self.top_k = top_k
         self.random_state = random_state
+        #: Inference chain of the most recent :meth:`run` — the fitted
+        #: transforms (scaler, plus PCA / top-k when the variant uses them)
+        #: and classifier, in application order.  This is what the serving
+        #: registry persists.
+        self.fitted_transforms_: list | None = None
+        self.fitted_model_ = None
 
     def prepare(
         self, train_tweets: list[Tweet], test_tweets: list[Tweet]
@@ -84,6 +90,7 @@ class HateGenerationPipeline:
             )
         scaler = StandardScaler().fit(X_tr)
         X_tr_s, X_te_s = scaler.transform(X_tr), scaler.transform(X_te)
+        transforms = [scaler]
         if variant == "ds":
             X_tr_s, y_tr = downsample_majority(
                 X_tr_s, y_tr, random_state=self.random_state
@@ -98,12 +105,16 @@ class HateGenerationPipeline:
         elif variant == "pca":
             pca = PCA(n_components=self.pca_components).fit(X_tr_s)
             X_tr_s, X_te_s = pca.transform(X_tr_s), pca.transform(X_te_s)
+            transforms.append(pca)
         elif variant == "top-k":
             sel = SelectKBest(k=self.top_k).fit(X_tr_s, y_tr)
             X_tr_s, X_te_s = sel.transform(X_tr_s), sel.transform(X_te_s)
+            transforms.append(sel)
 
         model = build_model(model_key, random_state=self.random_state)
         model.fit(X_tr_s, y_tr)
+        self.fitted_transforms_ = transforms
+        self.fitted_model_ = model
         pred = model.predict(X_te_s)
         try:
             auc = roc_auc_score(y_te, _scores(model, X_te_s))

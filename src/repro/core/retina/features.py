@@ -209,3 +209,46 @@ class RetinaFeatureExtractor:
         endo = len(self.world.catalog)
         tweet = len(self.tweet_vectorizer_.vocabulary_) + len(self.base_.lexicon)
         return 2 + hist + endo + tweet
+
+    # -------------------------------------------------------- serialization
+    def to_state(self) -> dict:
+        """Fitted state as a plain dict, independent of the world object.
+
+        Includes the training-derived prior-retweet counts and the inferred
+        news Doc2Vec cache, neither of which is recoverable from the world
+        alone (the first needs the train split, the second is expensive).
+        """
+        check_fitted(self, "base_")
+        pairs = sorted(self._retweeted_before.items())
+        retweeted = np.array(
+            [[ru, cu, n] for (ru, cu), n in pairs], dtype=np.int64
+        ).reshape(len(pairs), 3)
+        return {
+            "kind": "retina_features",
+            "params": {
+                "history_size": self.history_size,
+                "tweet_top_k": self.tweet_top_k,
+                "news_window": self.news_window,
+                "news_doc2vec_dim": self.news_doc2vec_dim,
+                "n_negatives": self.n_negatives,
+            },
+            "base": self.base_.to_state(),
+            "tweet_vectorizer": self.tweet_vectorizer_.to_state(),
+            "news_vec_cache": self._news_vec_cache.copy(),
+            "retweeted_before": retweeted,
+        }
+
+    @classmethod
+    def from_state(cls, world: SyntheticWorld, state: dict) -> "RetinaFeatureExtractor":
+        """Rebuild a fitted extractor on ``world`` from :meth:`to_state` output."""
+        if state.get("kind") != "retina_features":
+            raise ValueError(f"not a retina_features state: kind={state.get('kind')!r}")
+        extractor = cls(world, random_state=0, **state["params"])
+        extractor.base_ = HateGenFeatureExtractor.from_state(world, state["base"])
+        extractor.tweet_vectorizer_ = TfidfVectorizer.from_state(state["tweet_vectorizer"])
+        extractor._news_vec_cache = np.asarray(state["news_vec_cache"], dtype=np.float64)
+        retweeted = np.asarray(state["retweeted_before"], dtype=np.int64).reshape(-1, 3)
+        extractor._retweeted_before = {
+            (int(ru), int(cu)): int(n) for ru, cu, n in retweeted
+        }
+        return extractor

@@ -1,0 +1,41 @@
+"""Online inference: model registry, micro-batching engine, HTTP API.
+
+Turns trained pipelines into persistent, low-latency prediction services:
+
+- :mod:`repro.serving.registry` — versioned on-disk bundles (weights +
+  fitted feature-extractor state + manifest metadata);
+- :mod:`repro.serving.engine` — predictors with vectorised micro-batching
+  and LRU feature caches;
+- :mod:`repro.serving.server` — stdlib ``ThreadingHTTPServer`` JSON API
+  (``/predict/retweeters``, ``/predict/hategen``, ``/healthz``,
+  ``/metrics``).
+"""
+
+from repro.serving.cache import LRUCache
+from repro.serving.engine import (
+    HateGenPredictor,
+    InferenceEngine,
+    RetweeterPredictor,
+    ServingError,
+    engine_from_store,
+    predictor_for_bundle,
+)
+from repro.serving.metrics import ServingMetrics
+from repro.serving.registry import HateGenBundle, ModelRegistry, RetinaBundle
+from repro.serving.server import PredictionServer, serve_forever
+
+__all__ = [
+    "LRUCache",
+    "ServingMetrics",
+    "ModelRegistry",
+    "RetinaBundle",
+    "HateGenBundle",
+    "RetweeterPredictor",
+    "HateGenPredictor",
+    "InferenceEngine",
+    "ServingError",
+    "PredictionServer",
+    "serve_forever",
+    "engine_from_store",
+    "predictor_for_bundle",
+]

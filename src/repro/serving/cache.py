@@ -1,0 +1,85 @@
+"""Thread-safe LRU cache for extracted features.
+
+Feature extraction dominates serving latency (tf-idf transforms, Doc2Vec
+inference, graph lookups), so the engine memoises per-candidate feature
+rows keyed by ``(user, cascade, interval)``.  A plain ``OrderedDict`` with
+a lock is sufficient: entries are small ndarrays and the hot path is a
+single dict lookup.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["LRUCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry cap; inserting beyond it evicts the least recently used key.
+        ``0`` disables caching entirely (every ``get`` misses).
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key, default=None):
+        """Value for ``key`` (marking it recently used) or ``default``."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters snapshot for the ``/metrics`` endpoint."""
+        with self._lock:
+            size = len(self._data)
+        return {
+            "size": size,
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }

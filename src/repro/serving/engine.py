@@ -1,0 +1,541 @@
+"""Online inference engine: predictors + vectorised micro-batching.
+
+Two predictor classes answer queries against a loaded bundle:
+
+- :class:`RetweeterPredictor` — "who will retweet cascade c?" — scores
+  candidate users with a trained RETINA model;
+- :class:`HateGenPredictor` — "will user u post hate on hashtag h at t?" —
+  scores (user, hashtag, time) triples with a fitted classifier chain.
+
+Both expose ``predict_batch(payloads)`` whose work is vectorised: feature
+rows are assembled once per (user, cascade, interval) — with an LRU cache
+so repeated queries skip extraction entirely — and a single model forward
+covers every request that shares a context.  :class:`InferenceEngine`
+wraps the predictors with a queue + worker thread that coalesces
+concurrent requests into micro-batches, which is what the HTTP layer
+submits to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.diffusion.cascade import build_candidate_set
+from repro.serving.cache import LRUCache
+from repro.serving.metrics import ServingMetrics
+from repro.serving.registry import HateGenBundle, ModelRegistry, RetinaBundle
+
+__all__ = [
+    "ServingError",
+    "RetweeterPredictor",
+    "HateGenPredictor",
+    "InferenceEngine",
+    "predictor_for_bundle",
+    "engine_from_store",
+]
+
+
+class ServingError(ValueError):
+    """Request-level failure carrying an HTTP-ish status code."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+    def as_result(self) -> dict:
+        return {"error": str(self), "status": self.status}
+
+
+def _require(payload: dict, key: str):
+    if key not in payload:
+        raise ServingError(f"missing required field {key!r}")
+    return payload[key]
+
+
+def _coerce(value, kind, field: str):
+    """Coerce a payload field, mapping failures to 400s instead of letting a
+    plain ValueError/TypeError escape the per-payload handler and poison the
+    whole micro-batch."""
+    try:
+        return kind(value)
+    except (TypeError, ValueError) as exc:
+        raise ServingError(f"invalid {field}: {value!r} is not a valid {kind.__name__}") from exc
+
+
+# ------------------------------------------------------------- retweeters
+class RetweeterPredictor:
+    """Scores candidate retweeters of a cascade with a RETINA bundle.
+
+    Payload::
+
+        {"cascade_id": <root tweet id>,
+         "user_ids": [..],       # optional; defaults to the cascade's
+                                 # deterministic candidate audience
+         "interval": <int>,      # optional, dynamic mode: one time window
+         "top_k": <int>}         # optional ranking truncation
+
+    Feature rows are cached by ``(user, cascade, interval)``; per-cascade
+    context (tweet/news embeddings, endogenous block) is cached separately
+    so a cold user on a warm cascade only pays the per-user blocks.
+    """
+
+    kind = "retweeters"
+
+    def __init__(self, bundle: RetinaBundle, *, cache_size: int = 8192):
+        self.bundle = bundle
+        self.model = bundle.model
+        self.extractor = bundle.extractor
+        self.world = bundle.extractor.world
+        self._cascades = {c.root.tweet_id: c for c in self.world.cascades}
+        # Dynamic-mode rows are identical across intervals (features are
+        # interval-independent); the interval tag keys the cache per the
+        # model's unroll length so a bundle swap cannot alias rows.
+        self._interval_tag = self.model.n_intervals if self.model.mode == "dynamic" else 0
+        self.feature_cache = LRUCache(cache_size)
+        self.context_cache = LRUCache(max(64, cache_size // 64))
+        self.metrics = ServingMetrics()
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "mode": self.model.mode,
+            "use_exogenous": self.model.use_exogenous,
+            "n_parameters": self.model.n_parameters(),
+            "n_cascades": len(self._cascades),
+            "user_feature_dim": self.extractor.user_feature_dim,
+        }
+
+    # ------------------------------------------------------------ features
+    def _cascade(self, cascade_id: int):
+        cascade = self._cascades.get(cascade_id)
+        if cascade is None:
+            raise ServingError(f"unknown cascade_id {cascade_id}", status=404)
+        return cascade
+
+    def _context(self, cascade) -> dict:
+        """Per-cascade blocks shared by every candidate row."""
+        ctx = self.context_cache.get(cascade.root.tweet_id)
+        if ctx is None:
+            ext = self.extractor
+            root = cascade.root
+            ctx = {
+                "tweet_block": ext._root_tweet_block(cascade),
+                "endo": ext.base_._endogen_block(root.timestamp),
+                "tweet_vec": ext.base_.doc2vec_.infer_vector(root.text, random_state=0),
+                "news_vecs": ext._news_vectors(root.timestamp),
+            }
+            self.context_cache.put(cascade.root.tweet_id, ctx)
+        return ctx
+
+    def _feature_row(self, cascade, uid: int, ctx: dict) -> np.ndarray:
+        """One candidate row, mirroring ``RetinaFeatureExtractor.build_sample``."""
+        key = (uid, cascade.root.tweet_id, self._interval_tag)
+        row = self.feature_cache.get(key)
+        if row is None:
+            ext = self.extractor
+            hist = ext.base_._user_block(uid)["history"]
+            peer = ext._peer_block(cascade.root.user_id, uid)
+            row = np.concatenate([peer, hist, ctx["endo"], ctx["tweet_block"]])
+            self.feature_cache.put(key, row)
+        return row
+
+    def default_candidates(self, cascade) -> list[int]:
+        """Deterministic candidate audience when the query names no users."""
+        cs = build_candidate_set(
+            cascade,
+            self.world.network,
+            n_negatives=self.extractor.n_negatives,
+            random_state=0,
+        )
+        return list(cs.users)
+
+    # ----------------------------------------------------------- prediction
+    def _validate(self, payload: dict) -> dict:
+        if not isinstance(payload, dict):
+            raise ServingError("payload must be a JSON object")
+        cascade = self._cascade(_coerce(_require(payload, "cascade_id"), int, "cascade_id"))
+        user_ids = payload.get("user_ids")
+        if user_ids is None:
+            user_ids = self.default_candidates(cascade)
+        if not isinstance(user_ids, (list, tuple)) or not user_ids:
+            raise ServingError("user_ids must be a non-empty list")
+        user_ids = [_coerce(u, int, "user_ids entry") for u in user_ids]
+        unknown = [u for u in user_ids if u not in self.world.users]
+        if unknown:
+            raise ServingError(f"unknown user_ids {unknown[:5]}", status=404)
+        interval = payload.get("interval")
+        if interval is not None:
+            interval = _coerce(interval, int, "interval")
+            if self.model.mode != "dynamic":
+                raise ServingError("interval queries require a dynamic-mode model")
+            if not 0 <= interval < self.model.n_intervals:
+                raise ServingError(
+                    f"interval must be in [0, {self.model.n_intervals}), got {interval}"
+                )
+        top_k = payload.get("top_k")
+        if top_k is not None:
+            top_k = _coerce(top_k, int, "top_k")
+            if top_k < 1:
+                raise ServingError(f"top_k must be >= 1, got {top_k}")
+        return {
+            "cascade": cascade,
+            "user_ids": user_ids,
+            "interval": interval,
+            "top_k": top_k,
+        }
+
+    def predict_batch(self, payloads: list[dict]) -> list[dict]:
+        """Answer a micro-batch; per-payload errors become error results.
+
+        Requests sharing a cascade share one model forward: their candidate
+        users are deduplicated, stacked, and scored in a single vectorised
+        call.
+        """
+        results: list[dict | None] = [None] * len(payloads)
+        groups: dict[int, list[int]] = {}
+        parsed: list[dict | None] = [None] * len(payloads)
+        for i, payload in enumerate(payloads):
+            try:
+                parsed[i] = self._validate(payload)
+            except ServingError as exc:
+                results[i] = exc.as_result()
+                continue
+            groups.setdefault(parsed[i]["cascade"].root.tweet_id, []).append(i)
+
+        for cascade_id, idxs in groups.items():
+            cascade = parsed[idxs[0]]["cascade"]
+            ctx = self._context(cascade)
+            users: list[int] = []
+            position: dict[int, int] = {}
+            for i in idxs:
+                for uid in parsed[i]["user_ids"]:
+                    if uid not in position:
+                        position[uid] = len(users)
+                        users.append(uid)
+            X = np.stack([self._feature_row(cascade, uid, ctx) for uid in users])
+            proba = self.model.predict_proba(X, ctx["tweet_vec"], ctx["news_vecs"])
+            if self.model.mode == "dynamic":
+                static_scores = self.model.static_score_from_dynamic(proba)
+            else:
+                static_scores = proba
+            for i in idxs:
+                req = parsed[i]
+                if req["interval"] is not None:
+                    scores = proba[:, req["interval"]]
+                else:
+                    scores = static_scores
+                picked = [(uid, float(scores[position[uid]])) for uid in req["user_ids"]]
+                ranking = sorted(picked, key=lambda us: -us[1])
+                if req["top_k"] is not None:
+                    ranking = ranking[: req["top_k"]]
+                results[i] = {
+                    "cascade_id": cascade_id,
+                    "mode": self.model.mode,
+                    "interval": req["interval"],
+                    "scores": {str(uid): score for uid, score in picked},
+                    "ranking": [[uid, score] for uid, score in ranking],
+                }
+        return results
+
+
+# ---------------------------------------------------------------- hategen
+class HateGenPredictor:
+    """Scores (user, hashtag, timestamp) hate-generation queries.
+
+    Payload::
+
+        {"user_id": <int>, "hashtag": <str>, "timestamp": <float hours>}
+
+    Feature vectors are cached by the query triple; the whole micro-batch
+    is transformed and scored in one classifier call.
+    """
+
+    kind = "hategen"
+
+    def __init__(self, bundle: HateGenBundle, *, cache_size: int = 8192):
+        self.bundle = bundle
+        self.model = bundle.model
+        self.transforms = list(bundle.transforms)
+        self.extractor = bundle.extractor
+        self.world = bundle.extractor.world
+        self._hashtags = {spec.tag for spec in self.world.catalog}
+        self.feature_cache = LRUCache(cache_size)
+        self.metrics = ServingMetrics()
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "model_key": self.bundle.model_key,
+            "variant": self.bundle.variant,
+            "n_users": len(self.world.users),
+            "n_hashtags": len(self._hashtags),
+        }
+
+    def _validate(self, payload: dict) -> dict:
+        if not isinstance(payload, dict):
+            raise ServingError("payload must be a JSON object")
+        user_id = _coerce(_require(payload, "user_id"), int, "user_id")
+        if user_id not in self.world.users:
+            raise ServingError(f"unknown user_id {user_id}", status=404)
+        hashtag = str(_require(payload, "hashtag"))
+        if hashtag not in self._hashtags:
+            raise ServingError(f"unknown hashtag {hashtag!r}", status=404)
+        timestamp = _coerce(_require(payload, "timestamp"), float, "timestamp")
+        return {"user_id": user_id, "hashtag": hashtag, "timestamp": timestamp}
+
+    def _vector(self, req: dict) -> np.ndarray:
+        key = (req["user_id"], req["hashtag"], req["timestamp"])
+        vec = self.feature_cache.get(key)
+        if vec is None:
+            vec = self.extractor.sample_vector(
+                req["user_id"], req["hashtag"], req["timestamp"]
+            )
+            self.feature_cache.put(key, vec)
+        return vec
+
+    def _scores(self, X: np.ndarray) -> np.ndarray:
+        if hasattr(self.model, "predict_proba"):
+            return self.model.predict_proba(X)[:, 1]
+        return self.model.decision_function(X)
+
+    def predict_batch(self, payloads: list[dict]) -> list[dict]:
+        results: list[dict | None] = [None] * len(payloads)
+        parsed, live = [], []
+        for i, payload in enumerate(payloads):
+            try:
+                parsed.append(self._validate(payload))
+                live.append(i)
+            except ServingError as exc:
+                results[i] = exc.as_result()
+        if live:
+            X = np.stack([self._vector(req) for req in parsed])
+            for t in self.transforms:
+                X = t.transform(X)
+            scores = self._scores(X)
+            labels = self.model.predict(X)
+            for req, i, score, label in zip(parsed, live, scores, labels):
+                results[i] = {
+                    **req,
+                    "score": float(score),
+                    "label": int(label),
+                    "probabilistic": hasattr(self.model, "predict_proba"),
+                }
+        return results
+
+
+# ----------------------------------------------------------------- engine
+@dataclass
+class _Request:
+    kind: str
+    payload: dict
+    future: Future
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+_SHUTDOWN = object()
+
+
+class InferenceEngine:
+    """Coalesces concurrent requests into vectorised micro-batches.
+
+    A single worker thread drains the request queue: the first request is
+    taken blocking, then up to ``max_batch_size - 1`` more are gathered
+    until ``max_wait_ms`` elapses, grouped by predictor kind, and executed
+    via ``predict_batch``.  Under load, batches fill instantly; an idle
+    stream degenerates to per-request execution with ~``max_wait_ms`` of
+    added latency at most.
+    """
+
+    def __init__(
+        self,
+        predictors: dict[str, object],
+        *,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+    ):
+        if not predictors:
+            raise ValueError("engine needs at least one predictor")
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.predictors = dict(predictors)
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._worker: threading.Thread | None = None
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> "InferenceEngine":
+        if self._worker is not None and self._worker.is_alive():
+            return self
+        self._worker = threading.Thread(
+            target=self._run, name="repro-inference-engine", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        if self._worker is None:
+            return
+        self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout=10.0)
+        self._worker = None
+
+    def __enter__(self) -> "InferenceEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- submit
+    def submit(self, kind: str, payload: dict) -> Future:
+        """Enqueue one request; resolve its result via the returned future.
+
+        Requests submitted before :meth:`start` are buffered and served in
+        the first micro-batch once the worker runs.
+        """
+        predictor = self.predictors.get(kind)
+        if predictor is None:
+            raise ServingError(
+                f"unknown predictor {kind!r}; loaded: {sorted(self.predictors)}",
+                status=404,
+            )
+        request = _Request(kind=kind, payload=payload, future=Future())
+        self._queue.put(request)
+        return request.future
+
+    def predict(self, kind: str, payload: dict, timeout: float | None = 30.0) -> dict:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(kind, payload).result(timeout=timeout)
+
+    # ------------------------------------------------------------- worker
+    def _gather(self) -> list:
+        """Block for one request, then coalesce more until batch/deadline."""
+        first = self._queue.get()
+        if first is _SHUTDOWN:
+            return [first]
+        batch = [first]
+        deadline = time.perf_counter() + self.max_wait_ms / 1e3
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            batch.append(item)
+            if item is _SHUTDOWN:
+                break
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._gather()
+            shutdown = _SHUTDOWN in batch
+            requests = [r for r in batch if r is not _SHUTDOWN]
+            by_kind: dict[str, list[_Request]] = {}
+            for r in requests:
+                by_kind.setdefault(r.kind, []).append(r)
+            for kind, group in by_kind.items():
+                predictor = self.predictors[kind]
+                predictor.metrics.record_batch()
+                try:
+                    outcomes = predictor.predict_batch([r.payload for r in group])
+                except BaseException as exc:  # engine must survive bad batches
+                    predictor.metrics.record_error()
+                    for r in group:
+                        if not r.future.set_running_or_notify_cancel():
+                            continue
+                        r.future.set_exception(exc)
+                    continue
+                now = time.perf_counter()
+                for r, outcome in zip(group, outcomes):
+                    if isinstance(outcome, dict) and "error" in outcome:
+                        predictor.metrics.record_error()
+                        n_items = 0
+                    elif isinstance(outcome, dict) and "scores" in outcome:
+                        n_items = len(outcome["scores"])
+                    else:
+                        n_items = 1
+                    predictor.metrics.record(now - r.submitted_at, n_items=n_items)
+                    if r.future.set_running_or_notify_cancel():
+                        r.future.set_result(outcome)
+            if shutdown:
+                return
+
+    # ------------------------------------------------------------- health
+    def metrics(self) -> dict:
+        """Per-predictor counters + cache stats for ``/metrics``."""
+        out = {}
+        for kind, predictor in self.predictors.items():
+            entry = dict(predictor.metrics.snapshot())
+            caches = {}
+            if hasattr(predictor, "feature_cache"):
+                caches["features"] = predictor.feature_cache.stats()
+            if hasattr(predictor, "context_cache"):
+                caches["contexts"] = predictor.context_cache.stats()
+            entry["caches"] = caches
+            out[kind] = entry
+        return out
+
+    def describe(self) -> dict:
+        """Static model info for ``/healthz``."""
+        return {kind: p.describe() for kind, p in self.predictors.items()}
+
+
+# -------------------------------------------------------------- bootstrap
+def predictor_for_bundle(bundle):
+    """The predictor class matching a bundle's kind."""
+    if bundle.kind == "retina":
+        return RetweeterPredictor(bundle)
+    return HateGenPredictor(bundle)
+
+
+def engine_from_store(
+    store: str,
+    names: list[str] | None = None,
+    *,
+    max_batch_size: int = 64,
+    max_wait_ms: float = 2.0,
+) -> InferenceEngine:
+    """Build an engine from registry bundles (what ``repro serve`` runs).
+
+    Loads the latest version of each named model (default: every model in
+    the store); bundles recorded against the same world config share one
+    regenerated world so startup pays world generation once.
+    """
+    registry = ModelRegistry(store)
+    names = list(names) if names else registry.list_models()
+    if not names:
+        raise FileNotFoundError(f"no models found in registry {store!r}")
+    predictors: dict[str, object] = {}
+    world = None
+    for name in names:
+        manifest = registry.manifest(name)
+        shared = (
+            world
+            if world is not None
+            and dataclasses.asdict(world.config) == manifest["world_config"]
+            else None
+        )
+        bundle = registry.load_bundle(name, world=shared)
+        world = bundle.extractor.world
+        predictor = predictor_for_bundle(bundle)
+        if predictor.kind in predictors:
+            raise ValueError(
+                f"two bundles of kind {predictor.kind!r} requested; each kind "
+                f"can only be served by one model (got {names})"
+            )
+        predictors[predictor.kind] = predictor
+    return InferenceEngine(
+        predictors, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
+    )

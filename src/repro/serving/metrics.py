@@ -1,0 +1,83 @@
+"""Per-request latency / throughput counters for the serving layer.
+
+Latencies are kept in a bounded ring so percentile queries stay O(window)
+and memory stays constant under sustained traffic.  All methods are
+thread-safe; HTTP handler threads record while ``/metrics`` reads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+__all__ = ["ServingMetrics"]
+
+
+class ServingMetrics:
+    """Rolling counters for one predictor endpoint.
+
+    Parameters
+    ----------
+    window:
+        Number of most recent request latencies retained for percentile
+        estimates.
+    """
+
+    def __init__(self, window: int = 4096, clock=time.perf_counter):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._started = clock()
+        self.n_requests = 0
+        self.n_items = 0
+        self.n_batches = 0
+        self.n_errors = 0
+
+    def record(self, latency_s: float, n_items: int = 1) -> None:
+        """Record one served request of ``n_items`` predictions."""
+        with self._lock:
+            self.n_requests += 1
+            self.n_items += n_items
+            self._latencies.append(latency_s)
+
+    def record_batch(self) -> None:
+        """Record one engine batch execution."""
+        with self._lock:
+            self.n_batches += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.n_errors += 1
+
+    def percentiles(self, qs=(50.0, 95.0)) -> dict[str, float]:
+        """Latency percentiles in milliseconds over the rolling window."""
+        with self._lock:
+            lat = np.fromiter(self._latencies, dtype=np.float64)
+        if lat.size == 0:
+            return {f"p{int(q)}_ms": 0.0 for q in qs}
+        return {
+            f"p{int(q)}_ms": round(float(np.percentile(lat, q)) * 1e3, 3) for q in qs
+        }
+
+    def snapshot(self) -> dict:
+        """Counters + percentiles, JSON-ready for ``/metrics``."""
+        with self._lock:
+            uptime = self._clock() - self._started
+            n_req, n_items = self.n_requests, self.n_items
+            n_batches, n_errors = self.n_batches, self.n_errors
+        snap = {
+            "requests": n_req,
+            "predictions": n_items,
+            "batches": n_batches,
+            "errors": n_errors,
+            "uptime_s": round(uptime, 3),
+            "requests_per_s": round(n_req / uptime, 3) if uptime > 0 else 0.0,
+            "mean_batch_size": round(n_req / n_batches, 3) if n_batches else 0.0,
+        }
+        snap.update(self.percentiles())
+        return snap

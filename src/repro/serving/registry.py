@@ -1,0 +1,308 @@
+"""Versioned on-disk model registry for trained predictor bundles.
+
+A *bundle* is everything needed to answer prediction queries without
+re-training: model weights, the fitted feature-extractor state, the world
+configuration (so the deterministic synthetic world can be regenerated at
+load time), and manifest metadata (kind, mode, feature dims, train config,
+metrics).
+
+Store layout::
+
+    <root>/
+      <name>/
+        v0001/
+          manifest.json      # kind, dims, world/train config, metrics
+          weights.npz        # RETINA state dict        (kind == "retina")
+          model.pkl          # fitted classifier chain  (kind == "hategen")
+          extractor.json     # feature-extractor state, JSON part
+          extractor.npz      # feature-extractor state, ndarray part
+
+Versions are immutable and monotonically increasing; ``save_bundle``
+writes into a temp directory and renames it so readers never observe a
+half-written version.  Extractor state splits into JSON + ``.npz`` via a
+generic nested-dict flattener (ndarray leaves go to the npz keyed by their
+path), keeping every artifact inspectable with stdlib + numpy only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+import re
+import shutil
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hategen.features import HateGenFeatureExtractor
+from repro.core.retina.features import RetinaFeatureExtractor
+from repro.core.retina.model import RETINA
+from repro.data.synthetic import SyntheticWorld, SyntheticWorldConfig
+
+__all__ = ["RetinaBundle", "HateGenBundle", "ModelRegistry"]
+
+MANIFEST_SCHEMA = 1
+_ARRAY_KEY = "__ndarray__"
+_VERSION_RE = re.compile(r"^v(\d{4,})$")
+
+
+# ----------------------------------------------------------- state <-> disk
+def _split_arrays(obj, arrays: dict, path: tuple):
+    """Replace ndarray leaves with references; collect them into ``arrays``."""
+    if isinstance(obj, np.ndarray):
+        key = "/".join(path)
+        arrays[key] = obj
+        return {_ARRAY_KEY: key}
+    if isinstance(obj, dict):
+        return {k: _split_arrays(v, arrays, path + (str(k),)) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_split_arrays(v, arrays, path + (str(i),)) for i, v in enumerate(obj)]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    raise TypeError(f"cannot serialize {type(obj).__name__} at {'/'.join(path)}")
+
+
+def _join_arrays(obj, arrays: dict):
+    """Inverse of :func:`_split_arrays`."""
+    if isinstance(obj, dict):
+        if set(obj) == {_ARRAY_KEY}:
+            return arrays[obj[_ARRAY_KEY]]
+        return {k: _join_arrays(v, arrays) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_join_arrays(v, arrays) for v in obj]
+    return obj
+
+
+def save_state(directory: str, stem: str, state: dict) -> None:
+    """Persist a nested state dict as ``<stem>.json`` + ``<stem>.npz``."""
+    arrays: dict[str, np.ndarray] = {}
+    meta = _split_arrays(state, arrays, ())
+    with open(os.path.join(directory, f"{stem}.json"), "w") as fh:
+        json.dump(meta, fh)
+    np.savez(os.path.join(directory, f"{stem}.npz"), **arrays)
+
+
+def load_state(directory: str, stem: str) -> dict:
+    """Load a state dict written by :func:`save_state`."""
+    with open(os.path.join(directory, f"{stem}.json")) as fh:
+        meta = json.load(fh)
+    with np.load(os.path.join(directory, f"{stem}.npz")) as data:
+        arrays = {k: data[k] for k in data.files}
+    return _join_arrays(meta, arrays)
+
+
+# ------------------------------------------------------------------ bundles
+@dataclass
+class RetinaBundle:
+    """A trained RETINA model plus everything needed to serve it."""
+
+    model: RETINA
+    extractor: RetinaFeatureExtractor
+    world_config: SyntheticWorldConfig
+    train_config: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    kind = "retina"
+
+    def model_spec(self) -> dict:
+        """Constructor arguments that rebuild an identical architecture."""
+        m = self.model
+        return {
+            "user_dim": self.extractor.user_feature_dim,
+            "tweet_dim": self.extractor.news_doc2vec_dim,
+            "news_dim": self.extractor.news_doc2vec_dim,
+            "hdim": m.hdim,
+            "mode": m.mode,
+            "use_exogenous": m.use_exogenous,
+            "n_intervals": m.n_intervals,
+            "recurrent_cell": m.recurrent_cell,
+        }
+
+
+@dataclass
+class HateGenBundle:
+    """A fitted hate-generation classifier chain plus its extractor.
+
+    ``transforms`` are applied in order to the raw feature matrix before
+    ``model`` (typically the fitted ``StandardScaler``, optionally PCA or
+    the top-k selector, matching the training variant).
+    """
+
+    model: object
+    transforms: list
+    extractor: HateGenFeatureExtractor
+    world_config: SyntheticWorldConfig
+    model_key: str = ""
+    variant: str = ""
+    train_config: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    kind = "hategen"
+
+
+# ----------------------------------------------------------------- registry
+class ModelRegistry:
+    """Append-only versioned store of predictor bundles under one root dir."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------- listing
+    def list_models(self) -> list[str]:
+        """Model names with at least one committed version."""
+        names = []
+        for entry in sorted(os.listdir(self.root)):
+            if os.path.isdir(os.path.join(self.root, entry)) and self.list_versions(entry):
+                names.append(entry)
+        return names
+
+    def list_versions(self, name: str) -> list[int]:
+        """Committed version numbers for ``name``, ascending."""
+        model_dir = os.path.join(self.root, name)
+        if not os.path.isdir(model_dir):
+            return []
+        versions = []
+        for entry in os.listdir(model_dir):
+            m = _VERSION_RE.match(entry)
+            if m and os.path.exists(os.path.join(model_dir, entry, "manifest.json")):
+                versions.append(int(m.group(1)))
+        return sorted(versions)
+
+    def latest_version(self, name: str) -> int:
+        versions = self.list_versions(name)
+        if not versions:
+            raise FileNotFoundError(f"no versions of {name!r} in registry {self.root}")
+        return versions[-1]
+
+    def _version_dir(self, name: str, version: int) -> str:
+        return os.path.join(self.root, name, f"v{version:04d}")
+
+    def manifest(self, name: str, version: int | None = None) -> dict:
+        """The manifest of one version (latest by default)."""
+        version = version if version is not None else self.latest_version(name)
+        path = os.path.join(self._version_dir(name, version), "manifest.json")
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"no manifest for {name} v{version:04d}")
+        with open(path) as fh:
+            return json.load(fh)
+
+    # -------------------------------------------------------------- saving
+    def save_bundle(self, name: str, bundle) -> dict:
+        """Persist a bundle as the next version of ``name``; return its manifest."""
+        if not re.fullmatch(r"[A-Za-z0-9._-]+", name):
+            raise ValueError(f"invalid model name {name!r}")
+        if bundle.kind not in ("retina", "hategen"):
+            raise ValueError(f"unknown bundle kind {bundle.kind!r}")
+        model_dir = os.path.join(self.root, name)
+        os.makedirs(model_dir, exist_ok=True)
+        tmp_dir = os.path.join(model_dir, f".tmp-{os.getpid()}-{id(bundle):x}")
+        os.makedirs(tmp_dir)
+        try:
+            manifest = {
+                "schema": MANIFEST_SCHEMA,
+                "name": name,
+                "kind": bundle.kind,
+                "created_at": time.time(),
+                "world_config": dataclasses.asdict(bundle.world_config),
+                "train_config": dict(bundle.train_config),
+                "metrics": {k: float(v) for k, v in bundle.metrics.items()},
+            }
+            if bundle.kind == "retina":
+                manifest["model"] = bundle.model_spec()
+                manifest["feature_dims"] = {
+                    "user": bundle.extractor.user_feature_dim,
+                    "tweet": bundle.extractor.news_doc2vec_dim,
+                    "news": bundle.extractor.news_doc2vec_dim,
+                }
+                manifest["n_parameters"] = bundle.model.n_parameters()
+                bundle.model.save(os.path.join(tmp_dir, "weights.npz"))
+            else:
+                manifest["model"] = {
+                    "model_key": bundle.model_key,
+                    "variant": bundle.variant,
+                }
+                with open(os.path.join(tmp_dir, "model.pkl"), "wb") as fh:
+                    pickle.dump(
+                        {"model": bundle.model, "transforms": list(bundle.transforms)},
+                        fh,
+                    )
+            save_state(tmp_dir, "extractor", bundle.extractor.to_state())
+            # Claim a version by renaming into place; a concurrent saver that
+            # wins the same number makes the rename fail, so recompute and
+            # retry rather than discarding a fully trained bundle.
+            for _ in range(100):
+                versions = self.list_versions(name)
+                version = (versions[-1] + 1) if versions else 1
+                manifest["version"] = version
+                # Manifest last: its presence marks the version as committed.
+                with open(os.path.join(tmp_dir, "manifest.json"), "w") as fh:
+                    json.dump(manifest, fh, indent=2, sort_keys=True)
+                try:
+                    os.rename(tmp_dir, self._version_dir(name, version))
+                    break
+                except OSError:
+                    if not os.path.exists(self._version_dir(name, version)):
+                        raise
+            else:
+                raise RuntimeError(
+                    f"could not claim a version for {name!r} after 100 attempts"
+                )
+        except BaseException:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+            raise
+        return manifest
+
+    # ------------------------------------------------------------- loading
+    def load_bundle(
+        self, name: str, version: int | None = None, *, world: SyntheticWorld | None = None
+    ):
+        """Load a bundle (latest version by default).
+
+        The synthetic world is regenerated from the manifest's recorded
+        config unless an already-built ``world`` is supplied (it must come
+        from the same config for features to match training).
+        """
+        manifest = self.manifest(name, version)
+        directory = self._version_dir(name, manifest["version"])
+        world_config = SyntheticWorldConfig(**manifest["world_config"])
+        if world is None:
+            world = SyntheticWorld.generate(world_config)
+        elif world.config != world_config:
+            raise ValueError(
+                f"supplied world config {world.config} does not match the "
+                f"bundle's recorded config {world_config}"
+            )
+        state = load_state(directory, "extractor")
+        if manifest["kind"] == "retina":
+            extractor = RetinaFeatureExtractor.from_state(world, state)
+            model = RETINA(**manifest["model"], random_state=0)
+            model.load(os.path.join(directory, "weights.npz"))
+            model.eval()
+            return RetinaBundle(
+                model=model,
+                extractor=extractor,
+                world_config=world_config,
+                train_config=manifest["train_config"],
+                metrics=manifest["metrics"],
+            )
+        extractor = HateGenFeatureExtractor.from_state(world, state)
+        with open(os.path.join(directory, "model.pkl"), "rb") as fh:
+            payload = pickle.load(fh)
+        return HateGenBundle(
+            model=payload["model"],
+            transforms=payload["transforms"],
+            extractor=extractor,
+            world_config=world_config,
+            model_key=manifest["model"]["model_key"],
+            variant=manifest["model"]["variant"],
+            train_config=manifest["train_config"],
+            metrics=manifest["metrics"],
+        )

@@ -1,0 +1,182 @@
+"""Stdlib HTTP front-end for the inference engine.
+
+Endpoints (all JSON)::
+
+    POST /predict/retweeters   {"cascade_id": 17, "user_ids": [3, 5], ...}
+    POST /predict/hategen      {"user_id": 3, "hashtag": "ht0", "timestamp": 100.0}
+    GET  /healthz              liveness + loaded-model info
+    GET  /metrics              per-predictor latency/throughput/cache counters
+
+Built on ``ThreadingHTTPServer`` — each connection gets a thread, and all
+threads funnel their requests through the shared
+:class:`~repro.serving.engine.InferenceEngine`, which is what makes
+micro-batching across concurrent clients happen.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serving.engine import InferenceEngine, ServingError
+
+__all__ = ["PredictionServer", "serve_forever"]
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serving/1"
+    protocol_version = "HTTP/1.1"
+    # Headers and body go out as separate small writes; without TCP_NODELAY
+    # they collide with delayed ACKs and every keep-alive response after the
+    # first stalls ~40 ms.
+    disable_nagle_algorithm = True
+
+    # ------------------------------------------------------------- plumbing
+    def log_message(self, fmt, *args):  # noqa: D102 — quiet by default
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, obj: dict) -> None:
+        body = json.dumps(obj).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServingError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise ServingError(f"body too large ({length} bytes)", status=413)
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServingError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServingError("body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        if self.path == "/healthz":
+            self._send_json(
+                200, {"status": "ok", "models": self.server.engine.describe()}
+            )
+        elif self.path == "/metrics":
+            self._send_json(200, self.server.engine.metrics())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        if not self.path.startswith("/predict/"):
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+            return
+        kind = self.path[len("/predict/") :]
+        try:
+            payload = self._read_json()
+            result = self.server.engine.predict(
+                kind, payload, timeout=self.server.request_timeout
+            )
+        except ServingError as exc:
+            self._send_json(exc.status, exc.as_result())
+            return
+        except Exception as exc:  # engine/model failure — keep serving
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        if "error" in result:
+            self._send_json(int(result.get("status", 400)), result)
+        else:
+            self._send_json(200, result)
+
+
+class _EngineHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # Default backlog (5) drops connections under bursty load; raise it so
+    # the throughput benchmark's connection churn doesn't see RSTs.
+    request_queue_size = 128
+
+    def __init__(self, address, engine: InferenceEngine, *, verbose: bool, request_timeout: float):
+        super().__init__(address, _Handler)
+        self.engine = engine
+        self.verbose = verbose
+        self.request_timeout = request_timeout
+
+
+class PredictionServer:
+    """Owns the HTTP server + engine lifecycle.
+
+    ``port=0`` binds an ephemeral port (the actual one is in ``address``),
+    which is what the tests and the throughput benchmark use.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        *,
+        verbose: bool = False,
+        request_timeout: float = 60.0,
+    ):
+        self.engine = engine
+        self._httpd = _EngineHTTPServer(
+            (host, port), engine, verbose=verbose, request_timeout=request_timeout
+        )
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) actually bound."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "PredictionServer":
+        """Start the engine worker and serve HTTP in a background thread."""
+        self.engine.start()
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-serving-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.engine.stop()
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_forever(engine: InferenceEngine, host: str, port: int, *, verbose: bool = True) -> None:
+    """Blocking serve loop for the CLI (Ctrl-C to stop)."""
+    server = PredictionServer(engine, host, port, verbose=verbose)
+    server.engine.start()
+    host_, port_ = server.address
+    print(f"serving on http://{host_}:{port_}  (models: {sorted(engine.predictors)})")
+    try:
+        server._httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()

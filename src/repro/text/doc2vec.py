@@ -175,3 +175,43 @@ class Doc2Vec:
         if idx is None:
             return np.zeros(self.vector_size)
         return self.word_vectors_[idx].copy()
+
+    # -------------------------------------------------------- serialization
+    def to_state(self) -> dict:
+        """Fitted state as a plain dict (ndarray leaves allowed)."""
+        check_fitted(self, "word_vectors_")
+        if self.tokenizer is not None:
+            raise ValueError("cannot serialize a Doc2Vec with a custom tokenizer")
+        return {
+            "params": {
+                "vector_size": self.vector_size,
+                "epochs": self.epochs,
+                "negative": self.negative,
+                "min_count": self.min_count,
+                "alpha": self.alpha,
+                "window_subsample": self.window_subsample,
+            },
+            "vocab": sorted(self.vocab_, key=self.vocab_.get),
+            "word_vectors": self.word_vectors_.copy(),
+            "doc_vectors": self.doc_vectors_.copy(),
+            "noise_cdf": self._noise_cdf.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Doc2Vec":
+        """Rebuild a fitted model from :meth:`to_state` output.
+
+        ``infer_vector`` on the restored model reproduces the original
+        bit-for-bit when called with an explicit ``random_state``.
+        """
+        model = cls(**state["params"])
+        model.vocab_ = {w: i for i, w in enumerate(state["vocab"])}
+        model.word_vectors_ = np.asarray(state["word_vectors"], dtype=np.float64)
+        model.doc_vectors_ = np.asarray(state["doc_vectors"], dtype=np.float64)
+        model._noise_cdf = np.asarray(state["noise_cdf"], dtype=np.float64)
+        if model.word_vectors_.shape != (len(model.vocab_), model.vector_size):
+            raise ValueError(
+                f"word_vectors shape {model.word_vectors_.shape} inconsistent with "
+                f"vocab size {len(model.vocab_)} x vector_size {model.vector_size}"
+            )
+        return model

@@ -122,3 +122,35 @@ class TfidfVectorizer(BaseEstimator, TransformerMixin):
         for term, idx in self.vocabulary_.items():
             names[idx] = term
         return names
+
+    # -------------------------------------------------------- serialization
+    def to_state(self) -> dict:
+        """Fitted state as a plain dict (ndarray leaves allowed)."""
+        check_fitted(self, "vocabulary_")
+        if self.tokenizer is not None:
+            raise ValueError("cannot serialize a vectorizer with a custom tokenizer")
+        return {
+            "params": {
+                "ngram_range": list(self.ngram_range),
+                "max_features": self.max_features,
+                "rank_by": self.rank_by,
+                "min_df": self.min_df,
+                "sublinear_tf": self.sublinear_tf,
+            },
+            "vocabulary": self.get_feature_names(),
+            "idf": self.idf_.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TfidfVectorizer":
+        """Rebuild a fitted vectorizer from :meth:`to_state` output."""
+        params = dict(state["params"])
+        params["ngram_range"] = tuple(params["ngram_range"])
+        vec = cls(**params)
+        vec.vocabulary_ = {t: i for i, t in enumerate(state["vocabulary"])}
+        vec.idf_ = np.asarray(state["idf"], dtype=np.float64)
+        if len(vec.idf_) != len(vec.vocabulary_):
+            raise ValueError(
+                f"idf length {len(vec.idf_)} != vocabulary size {len(vec.vocabulary_)}"
+            )
+        return vec

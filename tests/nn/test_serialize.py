@@ -4,7 +4,19 @@ import numpy as np
 import pytest
 
 from repro.core.retina import RETINA
-from repro.nn import Dense, Sequential, Tensor
+from repro.nn import (
+    GRU,
+    Dense,
+    Embedding,
+    GRUCell,
+    LayerNorm,
+    LSTMCell,
+    Module,
+    RNNCell,
+    ScaledDotProductAttention,
+    Sequential,
+    Tensor,
+)
 
 rng = np.random.default_rng(0)
 
@@ -70,3 +82,106 @@ class TestStateDict:
         model = RETINA(10, 6, 6, hdim=8, mode="static", random_state=0)
         named = model._named_parameters()
         assert len(named) == len(model.parameters())
+
+
+def _all_tensors(obj, prefix=""):
+    """Every Tensor reachable from a module tree, keyed by attribute path."""
+    found = {}
+    if isinstance(obj, Tensor):
+        found[prefix] = obj
+    elif isinstance(obj, Module):
+        for key, value in vars(obj).items():
+            found.update(_all_tensors(value, f"{prefix}.{key}" if prefix else key))
+    elif isinstance(obj, (list, tuple)):
+        for i, value in enumerate(obj):
+            found.update(_all_tensors(value, f"{prefix}[{i}]"))
+    elif isinstance(obj, dict):
+        for key, value in obj.items():
+            found.update(_all_tensors(value, f"{prefix}.{key}"))
+    return found
+
+
+def _x(*shape) -> Tensor:
+    """A deterministic input tensor — identical on every call."""
+    return Tensor(np.random.default_rng(1).normal(size=shape))
+
+
+#: (layer factory, forward runner) — forward exercises the restored weights.
+LAYER_CASES = {
+    "dense": (
+        lambda: Dense(4, 3, activation="relu", random_state=0),
+        lambda m: m(_x(2, 4)).numpy(),
+    ),
+    "dense-nobias": (
+        lambda: Dense(4, 3, bias=False, random_state=0),
+        lambda m: m(_x(2, 4)).numpy(),
+    ),
+    "layernorm": (
+        lambda: LayerNorm(5),
+        lambda m: m(_x(2, 5)).numpy(),
+    ),
+    "embedding": (
+        lambda: Embedding(7, 4, random_state=0),
+        lambda m: m([0, 3, 6]).numpy(),
+    ),
+    "rnn-cell": (
+        lambda: RNNCell(3, 4, random_state=0),
+        lambda m: m(_x(2, 3), Tensor(np.zeros((2, 4)))).numpy(),
+    ),
+    "gru-cell": (
+        lambda: GRUCell(3, 4, random_state=0),
+        lambda m: m(_x(2, 3), Tensor(np.zeros((2, 4)))).numpy(),
+    ),
+    "lstm-cell": (
+        lambda: LSTMCell(3, 4, random_state=0),
+        lambda m: m(
+            _x(2, 3),
+            (Tensor(np.zeros((2, 4))), Tensor(np.zeros((2, 4)))),
+        )[0].numpy(),
+    ),
+    "gru-sequence": (
+        lambda: GRU(3, 4, random_state=0),
+        lambda m: m(_x(5, 2, 3)).numpy(),
+    ),
+    "attention": (
+        lambda: ScaledDotProductAttention(4, 6, hdim=5, random_state=0),
+        lambda m: m(_x(2, 4), _x(2, 3, 6)).numpy(),
+    ),
+    "sequential": (
+        lambda: Sequential(
+            Dense(4, 6, activation="tanh", random_state=0),
+            LayerNorm(6),
+            Dense(6, 2, random_state=1),
+        ),
+        lambda m: m(_x(2, 4)).numpy(),
+    ),
+}
+
+
+class TestEveryLayerRoundTrips:
+    """Audit: no layer type may omit a parameter from its state dict."""
+
+    @pytest.mark.parametrize("case", sorted(LAYER_CASES))
+    def test_state_dict_covers_every_tensor(self, case):
+        factory, _ = LAYER_CASES[case]
+        module = factory()
+        tensors = _all_tensors(module)
+        state = module.state_dict()
+        trainable = {name for name, t in tensors.items() if t.requires_grad}
+        assert trainable == set(state), (
+            f"{case}: state dict omits {sorted(trainable - set(state))} "
+            f"or invents {sorted(set(state) - trainable)}"
+        )
+
+    @pytest.mark.parametrize("case", sorted(LAYER_CASES))
+    def test_save_load_restores_forward_exactly(self, case, tmp_path):
+        factory, run = LAYER_CASES[case]
+        module = factory()
+        before = run(module)
+        path = tmp_path / f"{case}.npz"
+        module.save(path)
+        for p in module.parameters():
+            p.data = p.data + rng.normal(scale=0.5, size=p.data.shape)
+        assert not np.allclose(run(module), before)
+        module.load(path)
+        np.testing.assert_array_equal(run(module), before)

@@ -1,0 +1,102 @@
+"""Unit tests for the LRU cache and serving metrics."""
+
+import threading
+
+import pytest
+
+from repro.serving import LRUCache, ServingMetrics
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("b", "fallback") == "fallback"
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now least recently used
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_maxsize_zero_disables(self):
+        cache = LRUCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=-1)
+
+    def test_hit_rate_and_stats(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_thread_safety_under_contention(self):
+        cache = LRUCache(maxsize=64)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(500):
+                    cache.put((base, i % 80), i)
+                    cache.get((base, (i + 1) % 80))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64
+
+
+class TestServingMetrics:
+    def test_counters_accumulate(self):
+        m = ServingMetrics()
+        m.record(0.010, n_items=3)
+        m.record(0.020)
+        m.record_batch()
+        snap = m.snapshot()
+        assert snap["requests"] == 2
+        assert snap["predictions"] == 4
+        assert snap["batches"] == 1
+        assert snap["mean_batch_size"] == 2.0
+
+    def test_percentiles_in_ms(self):
+        m = ServingMetrics()
+        for lat in (0.001, 0.002, 0.003, 0.100):
+            m.record(lat)
+        pcts = m.percentiles((50.0, 95.0))
+        assert 1.0 <= pcts["p50_ms"] <= 3.0
+        assert pcts["p95_ms"] > pcts["p50_ms"]
+
+    def test_empty_percentiles_are_zero(self):
+        assert ServingMetrics().percentiles() == {"p50_ms": 0.0, "p95_ms": 0.0}
+
+    def test_window_bounds_memory(self):
+        m = ServingMetrics(window=8)
+        for _ in range(100):
+            m.record(0.001)
+        assert len(m._latencies) == 8
+
+    def test_throughput_uses_injected_clock(self):
+        ticks = iter([0.0, 2.0, 2.0, 2.0])
+        m = ServingMetrics(clock=lambda: next(ticks))
+        m.record(0.001)
+        snap = m.snapshot()
+        assert snap["uptime_s"] == 2.0
+        assert snap["requests_per_s"] == 0.5

@@ -1,0 +1,292 @@
+"""Inference-engine tests: parity, batching, caching, error isolation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    HateGenPredictor,
+    InferenceEngine,
+    RetweeterPredictor,
+    ServingError,
+)
+
+
+@pytest.fixture()
+def retweeter(loaded_bundles):
+    return RetweeterPredictor(loaded_bundles["retina"])
+
+
+@pytest.fixture()
+def hategen(loaded_bundles):
+    return HateGenPredictor(loaded_bundles["hategen"])
+
+
+class TestRetweeterPredictor:
+    def test_scores_match_in_process_trainer(self, retweeter, trained_retina):
+        trainer, _, test_samples = trained_retina
+        sample = test_samples[0]
+        payload = {
+            "cascade_id": sample.candidate_set.cascade.root.tweet_id,
+            "user_ids": sample.candidate_set.users,
+        }
+        result = retweeter.predict_batch([payload])[0]
+        got = np.array([result["scores"][str(u)] for u in sample.candidate_set.users])
+        np.testing.assert_allclose(got, trainer.predict_static_scores(sample), atol=1e-12)
+
+    def test_requests_sharing_a_cascade_are_coalesced(self, retweeter, trained_retina):
+        _, _, test_samples = trained_retina
+        sample = test_samples[0]
+        cid = sample.candidate_set.cascade.root.tweet_id
+        users = sample.candidate_set.users
+        half = len(users) // 2
+        results = retweeter.predict_batch(
+            [
+                {"cascade_id": cid, "user_ids": users[:half]},
+                {"cascade_id": cid, "user_ids": users[half:]},
+                {"cascade_id": cid, "user_ids": users},
+            ]
+        )
+        merged = {**results[0]["scores"], **results[1]["scores"]}
+        assert merged == results[2]["scores"]
+
+    def test_feature_cache_hits_on_repeat(self, retweeter, trained_retina):
+        _, _, test_samples = trained_retina
+        sample = test_samples[1]
+        payload = {
+            "cascade_id": sample.candidate_set.cascade.root.tweet_id,
+            "user_ids": sample.candidate_set.users,
+        }
+        retweeter.feature_cache.clear()
+        first = retweeter.predict_batch([payload])[0]
+        misses = retweeter.feature_cache.misses
+        second = retweeter.predict_batch([payload])[0]
+        assert retweeter.feature_cache.misses == misses  # all rows cached
+        assert retweeter.feature_cache.hits >= len(sample.candidate_set.users)
+        assert first["scores"] == second["scores"]
+
+    def test_default_candidates_when_users_omitted(self, retweeter, trained_retina):
+        _, _, test_samples = trained_retina
+        cid = test_samples[0].candidate_set.cascade.root.tweet_id
+        result = retweeter.predict_batch([{"cascade_id": cid, "top_k": 5}])[0]
+        assert len(result["ranking"]) == 5
+        assert len(result["scores"]) >= 5
+        # Ranking is sorted descending.
+        scores = [s for _, s in result["ranking"]]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_cascade_is_per_request_error(self, retweeter, trained_retina):
+        _, _, test_samples = trained_retina
+        good = {
+            "cascade_id": test_samples[0].candidate_set.cascade.root.tweet_id,
+            "user_ids": test_samples[0].candidate_set.users[:3],
+        }
+        bad = {"cascade_id": 10**9}
+        results = retweeter.predict_batch([bad, good])
+        assert results[0]["status"] == 404 and "unknown cascade" in results[0]["error"]
+        assert "scores" in results[1]
+
+    def test_interval_requires_dynamic_model(self, retweeter, trained_retina):
+        _, _, test_samples = trained_retina
+        cid = test_samples[0].candidate_set.cascade.root.tweet_id
+        result = retweeter.predict_batch([{"cascade_id": cid, "interval": 2}])[0]
+        assert "dynamic" in result["error"]
+
+    def test_missing_cascade_id_rejected(self, retweeter):
+        result = retweeter.predict_batch([{}])[0]
+        assert "cascade_id" in result["error"]
+
+    def test_bad_types_do_not_poison_the_batch(self, retweeter, trained_retina):
+        """A non-numeric field becomes that payload's 400, not a batch crash."""
+        _, _, test_samples = trained_retina
+        good = {
+            "cascade_id": test_samples[0].candidate_set.cascade.root.tweet_id,
+            "user_ids": test_samples[0].candidate_set.users[:2],
+        }
+        results = retweeter.predict_batch(
+            [
+                {"cascade_id": "abc"},
+                {"cascade_id": good["cascade_id"], "user_ids": ["x"]},
+                {"cascade_id": good["cascade_id"], "top_k": {}},
+                good,
+            ]
+        )
+        assert "not a valid int" in results[0]["error"]
+        assert "not a valid int" in results[1]["error"]
+        assert "not a valid int" in results[2]["error"]
+        assert "scores" in results[3]
+
+
+class TestDynamicMode:
+    @pytest.fixture()
+    def dynamic_retweeter(self, loaded_bundles):
+        from repro.core.retina import RETINA
+        from repro.serving import RetinaBundle
+
+        extractor = loaded_bundles["retina"].extractor
+        model = RETINA(
+            user_dim=extractor.user_feature_dim,
+            tweet_dim=extractor.news_doc2vec_dim,
+            news_dim=extractor.news_doc2vec_dim,
+            mode="dynamic",
+            random_state=0,
+        )
+        bundle = RetinaBundle(
+            model=model,
+            extractor=extractor,
+            world_config=loaded_bundles["retina"].world_config,
+        )
+        return RetweeterPredictor(bundle)
+
+    def test_interval_selects_one_window(self, dynamic_retweeter, trained_retina):
+        _, _, test_samples = trained_retina
+        sample = test_samples[0]
+        cid = sample.candidate_set.cascade.root.tweet_id
+        users = sample.candidate_set.users[:4]
+        per_interval = [
+            dynamic_retweeter.predict_batch(
+                [{"cascade_id": cid, "user_ids": users, "interval": j}]
+            )[0]
+            for j in range(dynamic_retweeter.model.n_intervals)
+        ]
+        static = dynamic_retweeter.predict_batch(
+            [{"cascade_id": cid, "user_ids": users}]
+        )[0]
+        for uid in users:
+            probs = np.array([r["scores"][str(uid)] for r in per_interval])
+            # Ever-retweets score collapses the per-interval probabilities.
+            expected = 1.0 - np.prod(1.0 - probs)
+            assert static["scores"][str(uid)] == pytest.approx(expected)
+
+    def test_out_of_range_interval_rejected(self, dynamic_retweeter, trained_retina):
+        _, _, test_samples = trained_retina
+        cid = test_samples[0].candidate_set.cascade.root.tweet_id
+        result = dynamic_retweeter.predict_batch(
+            [{"cascade_id": cid, "interval": 99}]
+        )[0]
+        assert "interval" in result["error"]
+
+
+class TestHateGenPredictor:
+    def test_scores_match_in_process_chain(self, hategen, trained_hategen, serving_world):
+        pipeline, test_tweets = trained_hategen
+        tweets = test_tweets[:5]
+        X, _ = pipeline.extractor.matrix(tweets)
+        for t in pipeline.fitted_transforms_:
+            X = t.transform(X)
+        expected = pipeline.fitted_model_.predict_proba(X)[:, 1]
+        payloads = [
+            {"user_id": t.user_id, "hashtag": t.hashtag, "timestamp": t.timestamp}
+            for t in tweets
+        ]
+        results = hategen.predict_batch(payloads)
+        got = np.array([r["score"] for r in results])
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+        assert all(r["label"] in (0, 1) for r in results)
+
+    def test_unknown_user_and_hashtag_are_404(self, hategen):
+        results = hategen.predict_batch(
+            [
+                {"user_id": 10**9, "hashtag": "x", "timestamp": 1.0},
+                {"user_id": 0, "hashtag": "definitely-not-a-tag", "timestamp": 1.0},
+            ]
+        )
+        assert results[0]["status"] == 404
+        assert results[1]["status"] == 404
+
+    def test_vector_cache_reused(self, hategen, trained_hategen):
+        _, test_tweets = trained_hategen
+        t = test_tweets[0]
+        payload = {"user_id": t.user_id, "hashtag": t.hashtag, "timestamp": t.timestamp}
+        hategen.feature_cache.clear()
+        hategen.predict_batch([payload])
+        misses = hategen.feature_cache.misses
+        hategen.predict_batch([payload])
+        assert hategen.feature_cache.misses == misses
+
+
+class TestInferenceEngine:
+    def test_unknown_kind_rejected(self, retweeter):
+        engine = InferenceEngine({"retweeters": retweeter})
+        with pytest.raises(ServingError):
+            engine.submit("nope", {})
+
+    def test_engine_from_store_rejects_duplicate_kinds(self, registry):
+        from repro.serving import engine_from_store
+
+        with pytest.raises(ValueError, match="kind 'retweeters'"):
+            engine_from_store(str(registry.root), ["retina", "retina"])
+
+    def test_prestart_submissions_form_one_batch(self, retweeter, trained_retina):
+        _, _, test_samples = trained_retina
+        cid = test_samples[0].candidate_set.cascade.root.tweet_id
+        users = test_samples[0].candidate_set.users
+        engine = InferenceEngine({"retweeters": retweeter}, max_wait_ms=50.0)
+        n_before = retweeter.metrics.n_batches
+        futures = [
+            engine.submit("retweeters", {"cascade_id": cid, "user_ids": [u]})
+            for u in users[:6]
+        ]
+        with engine:
+            results = [f.result(timeout=30.0) for f in futures]
+        assert all("scores" in r for r in results)
+        assert retweeter.metrics.n_batches == n_before + 1
+
+    def test_concurrent_submitters_all_answered(self, retweeter, trained_retina):
+        _, _, test_samples = trained_retina
+        cid = test_samples[0].candidate_set.cascade.root.tweet_id
+        users = test_samples[0].candidate_set.users
+        engine = InferenceEngine({"retweeters": retweeter}, max_wait_ms=5.0)
+        results, errors = [], []
+
+        def client(uid):
+            try:
+                results.append(
+                    engine.predict("retweeters", {"cascade_id": cid, "user_ids": [uid]})
+                )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        with engine:
+            threads = [threading.Thread(target=client, args=(u,)) for u in users[:10]]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert len(results) == 10
+        assert all("scores" in r for r in results)
+
+    def test_engine_survives_predictor_crash(self, retweeter, trained_retina):
+        _, _, test_samples = trained_retina
+        cid = test_samples[0].candidate_set.cascade.root.tweet_id
+
+        class Exploding:
+            kind = "boom"
+            metrics = retweeter.metrics
+
+            def predict_batch(self, payloads):
+                raise RuntimeError("kaboom")
+
+        engine = InferenceEngine({"retweeters": retweeter, "boom": Exploding()})
+        with engine:
+            bad = engine.submit("boom", {})
+            with pytest.raises(RuntimeError, match="kaboom"):
+                bad.result(timeout=30.0)
+            good = engine.predict(
+                "retweeters",
+                {"cascade_id": cid, "user_ids": test_samples[0].candidate_set.users[:2]},
+            )
+        assert "scores" in good
+
+    def test_metrics_and_describe(self, retweeter, trained_retina):
+        _, _, test_samples = trained_retina
+        cid = test_samples[0].candidate_set.cascade.root.tweet_id
+        engine = InferenceEngine({"retweeters": retweeter})
+        with engine:
+            engine.predict("retweeters", {"cascade_id": cid, "top_k": 3})
+        snap = engine.metrics()["retweeters"]
+        assert snap["requests"] >= 1
+        assert "features" in snap["caches"]
+        assert engine.describe()["retweeters"]["mode"] == "static"

@@ -1,0 +1,148 @@
+"""HTTP server tests, including the end-to-end serving acceptance path:
+train -> save bundle -> load (world regenerated) -> serve -> POST -> scores
+identical to in-process ``trainer.predict_static_scores``.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    HateGenPredictor,
+    InferenceEngine,
+    PredictionServer,
+    RetweeterPredictor,
+)
+
+
+def _post(url: str, payload: dict):
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return resp.status, json.load(resp)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=60) as resp:
+        return resp.status, json.load(resp)
+
+
+@pytest.fixture(scope="module")
+def server(registry):
+    """A live server over bundles loaded from disk with regenerated worlds.
+
+    The retina bundle regenerates its world from the manifest; the hategen
+    bundle shares it — exactly what ``repro serve`` does.
+    """
+    retina = registry.load_bundle("retina")
+    hategen = registry.load_bundle("hategen", world=retina.extractor.world)
+    engine = InferenceEngine(
+        {
+            "retweeters": RetweeterPredictor(retina),
+            "hategen": HateGenPredictor(hategen),
+        },
+        max_batch_size=32,
+        max_wait_ms=1.0,
+    )
+    with PredictionServer(engine, port=0) as srv:
+        yield srv
+
+
+class TestEndToEnd:
+    def test_retweeter_scores_identical_to_in_process(self, server, trained_retina):
+        trainer, _, test_samples = trained_retina
+        for sample in test_samples[:3]:
+            expected = trainer.predict_static_scores(sample)
+            status, result = _post(
+                server.url + "/predict/retweeters",
+                {
+                    "cascade_id": sample.candidate_set.cascade.root.tweet_id,
+                    "user_ids": sample.candidate_set.users,
+                },
+            )
+            assert status == 200
+            got = np.array(
+                [result["scores"][str(u)] for u in sample.candidate_set.users]
+            )
+            np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_hategen_endpoint(self, server, trained_hategen):
+        _, test_tweets = trained_hategen
+        t = test_tweets[0]
+        status, result = _post(
+            server.url + "/predict/hategen",
+            {"user_id": t.user_id, "hashtag": t.hashtag, "timestamp": t.timestamp},
+        )
+        assert status == 200
+        assert 0.0 <= result["score"] <= 1.0
+        assert result["label"] in (0, 1)
+
+    def test_healthz(self, server):
+        status, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["models"]["retweeters"]["mode"] == "static"
+        assert body["models"]["hategen"]["model_key"] == "logreg"
+
+    def test_metrics_after_traffic(self, server, trained_retina):
+        _, _, test_samples = trained_retina
+        cid = test_samples[0].candidate_set.cascade.root.tweet_id
+        _post(server.url + "/predict/retweeters", {"cascade_id": cid, "top_k": 3})
+        status, body = _get(server.url + "/metrics")
+        assert status == 200
+        snap = body["retweeters"]
+        assert snap["requests"] >= 1
+        assert "p50_ms" in snap and "p95_ms" in snap
+        assert "features" in snap["caches"]
+
+
+class TestErrorHandling:
+    def _post_error(self, url, payload):
+        try:
+            _post(url, payload)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.load(exc)
+        raise AssertionError("expected an HTTP error")
+
+    def test_unknown_route_404(self, server):
+        code, body = self._post_error(server.url + "/predict/nothing", {"a": 1})
+        assert code == 404
+
+    def test_unknown_cascade_404(self, server):
+        code, body = self._post_error(
+            server.url + "/predict/retweeters", {"cascade_id": 10**9}
+        )
+        assert code == 404
+        assert "unknown cascade" in body["error"]
+
+    def test_missing_field_400(self, server):
+        code, body = self._post_error(server.url + "/predict/retweeters", {})
+        assert code == 400
+        assert "cascade_id" in body["error"]
+
+    def test_invalid_json_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/predict/retweeters",
+            data=b"not json{",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            urllib.request.urlopen(req, timeout=60)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+        else:
+            raise AssertionError("expected 400")
+
+    def test_get_unknown_route_404(self, server):
+        try:
+            _get(server.url + "/nope")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+        else:
+            raise AssertionError("expected 404")

@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import urllib.request
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -29,6 +32,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train-retina", "--mode", "hybrid"])
 
+    def test_serve_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_predict_options(self):
+        args = build_parser().parse_args(
+            ["predict", "--store", "s", "--name", "m", "--cascade", "7",
+             "--users", "1", "2", "--top-k", "3"]
+        )
+        assert args.cascade == 7
+        assert args.users == [1, 2]
+        assert args.top_k == 3
+
 
 class TestCommands:
     def test_generate(self, capsys):
@@ -41,17 +57,97 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Fig 1a" in out and "Echo-chamber" in out
 
-    def test_train_retina_and_save(self, tmp_path, capsys):
-        path = str(tmp_path / "w.npz")
-        code = main(
-            ["train-retina", *FAST_WORLD, "--epochs", "1", "--save", path]
-        )
-        assert code == 0
-        out = capsys.readouterr().out
-        assert "macro_f1" in out
-        assert (tmp_path / "w.npz").exists()
-
     def test_train_hategen(self, capsys):
         code = main(["train-hategen", *FAST_WORLD, "--model", "logreg", "--variant", "ds"])
         assert code == 0
         assert "macro-F1" in capsys.readouterr().out
+
+
+class TestSaveServePredictRoundTrip:
+    """train-retina --save -> serve over HTTP -> repro predict, one store."""
+
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("cli-registry"))
+
+    @pytest.fixture(scope="class")
+    def saved_bundle(self, store):
+        code = main(
+            ["train-retina", *FAST_WORLD, "--epochs", "1",
+             "--save", store, "--name", "retina-cli"]
+        )
+        assert code == 0
+        return store
+
+    def test_save_writes_versioned_bundle(self, saved_bundle, capsys):
+        from repro.serving import ModelRegistry
+
+        registry = ModelRegistry(saved_bundle)
+        assert registry.list_versions("retina-cli") == [1]
+        manifest = registry.manifest("retina-cli")
+        assert manifest["kind"] == "retina"
+        assert manifest["train_config"]["epochs"] == 1
+        assert "macro_f1" in manifest["metrics"]
+
+    def test_serve_round_trip_over_http(self, saved_bundle):
+        from repro.serving import PredictionServer, engine_from_store
+
+        engine = engine_from_store(saved_bundle, ["retina-cli"], max_wait_ms=1.0)
+        predictor = engine.predictors["retweeters"]
+        cascade_id = next(iter(predictor._cascades))
+        with PredictionServer(engine, port=0) as server:
+            body = json.dumps({"cascade_id": cascade_id, "top_k": 3}).encode()
+            req = urllib.request.Request(
+                server.url + "/predict/retweeters",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                result = json.load(resp)
+        assert result["cascade_id"] == cascade_id
+        assert len(result["ranking"]) == 3
+
+    def test_cli_predict_from_store(self, saved_bundle, capsys):
+        from repro.serving import ModelRegistry, predictor_for_bundle
+
+        # Find a valid cascade id the same way the server does.
+        bundle = ModelRegistry(saved_bundle).load_bundle("retina-cli")
+        cascade_id = bundle.extractor.world.cascades[0].root.tweet_id
+        code = main(
+            ["predict", "--store", saved_bundle, "--name", "retina-cli",
+             "--cascade", str(cascade_id), "--top-k", "2"]
+        )
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["cascade_id"] == cascade_id
+        assert len(result["ranking"]) == 2
+
+    def test_cli_predict_missing_args(self, saved_bundle, capsys):
+        code = main(["predict", "--store", saved_bundle, "--name", "retina-cli"])
+        assert code == 2
+        assert "--cascade" in capsys.readouterr().err
+
+
+class TestHateGenSave:
+    def test_train_hategen_save_and_predict(self, tmp_path, capsys):
+        store = str(tmp_path / "registry")
+        code = main(
+            ["train-hategen", *FAST_WORLD, "--model", "logreg", "--variant", "ds",
+             "--save", store, "--name", "hategen-cli"]
+        )
+        assert code == 0
+        assert "bundle saved" in capsys.readouterr().out
+
+        from repro.serving import ModelRegistry
+
+        bundle = ModelRegistry(store).load_bundle("hategen-cli")
+        tweet = bundle.extractor.world.tweets[0]
+        code = main(
+            ["predict", "--store", store, "--name", "hategen-cli",
+             "--user", str(tweet.user_id), "--hashtag", tweet.hashtag,
+             "--timestamp", str(tweet.timestamp)]
+        )
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        assert 0.0 <= result["score"] <= 1.0
+        assert result["label"] in (0, 1)
