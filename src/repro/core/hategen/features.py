@@ -12,10 +12,12 @@ Feature groups (named for the ablation of Table V):
 - ``exogen`` — mean tf-idf vector of the 60 most recent news headlines
   (top 300 features).
 
-User-history blocks are cached per user from the pre-window activity
-history; in-window drift within the observation window is negligible for
-the synthetic corpus and the cache turns extraction from O(samples x
-history) into O(users).
+User-history blocks live in a columnar :class:`~repro.features.FeatureStore`
+built at fit time: per-user blocks are dense matrix rows computed lazily in
+batches (one tf-idf transform per batch), shared with the RETINA extractor
+and the serving layer.  In-window drift within the observation window is
+negligible for the synthetic corpus, so extraction is O(users), not
+O(samples x history).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ import numpy as np
 
 from repro.data.schema import Tweet
 from repro.data.synthetic import SyntheticWorld
+from repro.features import FeatureStore
 from repro.text.doc2vec import Doc2Vec
 from repro.text.lexicon import HateLexicon, default_hate_lexicon
 from repro.text.similarity import cosine_similarity
@@ -80,8 +83,9 @@ class HateGenFeatureExtractor:
         self.text_vectorizer_: TfidfVectorizer | None = None
         self.news_vectorizer_: TfidfVectorizer | None = None
         self.doc2vec_: Doc2Vec | None = None
-        self._user_cache: dict[int, dict] = {}
+        self.store_: FeatureStore | None = None
         self._group_slices: dict[str, slice] | None = None
+        self._endogen_cache: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------ fit
     def fit(self, train_tweets: list[Tweet]) -> "HateGenFeatureExtractor":
@@ -109,8 +113,20 @@ class HateGenFeatureExtractor:
         ).fit(corpus)
         self._precompute_news()
         self._precompute_trending()
-        self._user_cache.clear()
+        self._build_store()
         return self
+
+    def _build_store(self) -> None:
+        """(Re)build the columnar per-user store from the fitted text models."""
+        self.store_ = FeatureStore(
+            self.world,
+            text_vectorizer=self.text_vectorizer_,
+            lexicon=self.lexicon,
+            doc2vec=self.doc2vec_,
+            history_size=self.history_size,
+            doc2vec_dim=self.doc2vec_dim,
+        )
+        self._endogen_cache.clear()
 
     def _precompute_news(self) -> None:
         """tf-idf matrix over headlines + prefix sums for window averages."""
@@ -136,58 +152,8 @@ class HateGenFeatureExtractor:
 
     # -------------------------------------------------------------- blocks
     def _user_block(self, user_id: int) -> dict:
-        """Cached per-user history features and mean Doc2Vec vector."""
-        cached = self._user_cache.get(user_id)
-        if cached is not None:
-            return cached
-        world = self.world
-        recent = world.user_history_before(user_id, 0.0, self.history_size)
-        texts = [t.text for t in recent]
-        joined = " ".join(texts)
-        tfidf = (
-            self.text_vectorizer_.transform([joined])[0]
-            if joined
-            else np.zeros(len(self.text_vectorizer_.vocabulary_))
-        )
-        n_hate = sum(t.is_hate for t in recent)
-        n_non = len(recent) - n_hate
-        hate_ratio = n_hate / (n_non + 1.0)
-        lex_vec = self.lexicon.vector_over(texts)
-        # Retweet-reception ratios from this user's in-window cascades.
-        rts_hate = rts_non = n_rt_hate = n_rt_non = 0
-        for c in world.cascades:
-            if c.root.user_id != user_id:
-                continue
-            if c.root.is_hate:
-                rts_hate += c.size
-                n_rt_hate += 1 if c.size > 0 else 0
-            else:
-                rts_non += c.size
-                n_rt_non += 1 if c.size > 0 else 0
-        rt_count_ratio = rts_hate / (rts_non + 1.0)
-        rt_tweet_ratio = n_rt_hate / (n_rt_non + 1.0)
-        user = world.users[user_id]
-        scalars = np.array(
-            [
-                hate_ratio,
-                rt_count_ratio,
-                rt_tweet_ratio,
-                float(world.network.follower_count(user_id)),
-                user.account_age_days / 365.0,
-                float(len({t.hashtag for t in recent})),
-            ]
-        )
-        if texts:
-            doc_vecs = [self.doc2vec_.infer_vector(t, random_state=0) for t in texts[-5:]]
-            mean_vec = np.mean(doc_vecs, axis=0)
-        else:
-            mean_vec = np.zeros(self.doc2vec_dim)
-        block = {
-            "history": np.concatenate([tfidf, lex_vec, scalars]),
-            "doc_vec": mean_vec,
-        }
-        self._user_cache[user_id] = block
-        return block
+        """Per-user history features and mean Doc2Vec vector (store-backed)."""
+        return self.store_.user_block(user_id)
 
     def _topic_block(self, user_id: int, hashtag: str) -> np.ndarray:
         tag_vec = self.doc2vec_.word_vector(f"#{hashtag.lower()}")
@@ -196,12 +162,15 @@ class HateGenFeatureExtractor:
 
     def _endogen_block(self, timestamp: float) -> np.ndarray:
         day = int(timestamp // DAY_HOURS)
-        trending = self._trending.get(day, set())
-        vec = np.zeros(len(self._tag_index))
-        for tag in trending:
-            idx = self._tag_index.get(tag)
-            if idx is not None:
-                vec[idx] = 1.0
+        vec = self._endogen_cache.get(day)
+        if vec is None:
+            trending = self._trending.get(day, set())
+            vec = np.zeros(len(self._tag_index))
+            for tag in trending:
+                idx = self._tag_index.get(tag)
+                if idx is not None:
+                    vec[idx] = 1.0
+            self._endogen_cache[day] = vec
         return vec
 
     def _exogen_block(self, timestamp: float) -> np.ndarray:
@@ -211,7 +180,28 @@ class HateGenFeatureExtractor:
             return np.zeros(self._news_prefix.shape[1])
         return (self._news_prefix[idx] - self._news_prefix[lo]) / (idx - lo)
 
+    def _exogen_rows(self, timestamps: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_exogen_block`: one searchsorted over all samples."""
+        idx = np.searchsorted(self._news_times, timestamps, side="left")
+        lo = np.maximum(0, idx - self.news_window)
+        span = idx - lo
+        rows = (self._news_prefix[idx] - self._news_prefix[lo]) / np.maximum(
+            span, 1
+        )[:, None]
+        rows[span == 0] = 0.0
+        return rows
+
     # ------------------------------------------------------------ assembly
+    def _ensure_group_slices(self, widths: dict[str, int]) -> None:
+        """Record the Table V ablation column ranges once per fitted state."""
+        if self._group_slices is None:
+            slices, lo = {}, 0
+            for g in FeatureGroups:
+                hi = lo + widths[g]
+                slices[g] = slice(lo, hi)
+                lo = hi
+            self._group_slices = slices
+
     def sample_vector(self, user_id: int, hashtag: str, timestamp: float) -> np.ndarray:
         """Full feature vector for one (user, hashtag, t0) sample."""
         check_fitted(self, "text_vectorizer_")
@@ -221,13 +211,7 @@ class HateGenFeatureExtractor:
             "endogen": self._endogen_block(timestamp),
             "exogen": self._exogen_block(timestamp),
         }
-        if self._group_slices is None:
-            slices, lo = {}, 0
-            for g in FeatureGroups:
-                hi = lo + len(blocks[g])
-                slices[g] = slice(lo, hi)
-                lo = hi
-            self._group_slices = slices
+        self._ensure_group_slices({g: len(b) for g, b in blocks.items()})
         return np.concatenate([blocks[g] for g in FeatureGroups])
 
     def matrix(
@@ -247,11 +231,27 @@ class HateGenFeatureExtractor:
             custom labeller retargets the entire pipeline without touching
             the feature machinery.
         """
+        check_fitted(self, "text_vectorizer_")
         if label_fn is None:
             label_fn = lambda t: int(t.is_hate)
-        X = np.stack(
-            [self.sample_vector(t.user_id, t.hashtag, t.timestamp) for t in tweets]
-        )
+        # Columnar assembly: every block for all samples at once, stitched
+        # with one concatenate — each row is bit-identical to the
+        # per-sample ``sample_vector`` concatenation.
+        users = [t.user_id for t in tweets]
+        hist = self.store_.history_rows(users)
+        tag_vecs: dict[str, np.ndarray] = {}
+        topic = np.empty((len(tweets), 1))
+        for i, t in enumerate(tweets):
+            tag_vec = tag_vecs.get(t.hashtag)
+            if tag_vec is None:
+                tag_vec = self.doc2vec_.word_vector(f"#{t.hashtag.lower()}")
+                tag_vecs[t.hashtag] = tag_vec
+            topic[i, 0] = cosine_similarity(self.store_.doc_vec(t.user_id), tag_vec)
+        endo = np.stack([self._endogen_block(t.timestamp) for t in tweets])
+        exo = self._exogen_rows(np.array([t.timestamp for t in tweets]))
+        blocks = {"history": hist, "topic": topic, "endogen": endo, "exogen": exo}
+        self._ensure_group_slices({g: b.shape[1] for g, b in blocks.items()})
+        X = np.concatenate([blocks[g] for g in FeatureGroups], axis=1)
         y = np.array([int(label_fn(t)) for t in tweets], dtype=np.int64)
         return X, y
 
@@ -311,4 +311,5 @@ class HateGenFeatureExtractor:
         extractor.doc2vec_ = Doc2Vec.from_state(state["doc2vec"])
         extractor._precompute_news()
         extractor._precompute_trending()
+        extractor._build_store()
         return extractor

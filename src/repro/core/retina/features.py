@@ -21,6 +21,7 @@ from repro.core.hategen.features import HateGenFeatureExtractor
 from repro.data.schema import Cascade
 from repro.data.synthetic import SyntheticWorld
 from repro.diffusion.cascade import CandidateSet, build_candidate_set
+from repro.features import FeatureStore, assemble_rows
 from repro.text.tfidf import TfidfVectorizer
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_fitted
@@ -30,21 +31,36 @@ __all__ = ["RetinaSample", "RetinaFeatureExtractor"]
 
 @dataclass
 class RetinaSample:
-    """Everything RETINA consumes for one cascade.
+    """Everything RETINA consumes for one cascade, stored block-structured.
 
-    ``user_features`` is (n_candidates, d_user); ``tweet_vec`` is the
-    Doc2Vec query (d_tweet,); ``news_vecs`` is (k, d_news); ``news_tfidf``
-    is the engineered exogenous alternative for non-attention baselines.
+    ``cand_features`` is (n_candidates, d_cand): the peer + history blocks
+    that actually vary per candidate.  ``shared_features`` is (d_shared,):
+    the endogenous + root-tweet blocks every candidate of the cascade
+    shares, stored once instead of tiled into each row.  Full rows are
+    assembled lazily via :meth:`rows` (or the ``user_features`` property,
+    which materialises all of them); ``tweet_vec`` is the Doc2Vec query
+    (d_tweet,); ``news_vecs`` is (k, d_news); ``news_tfidf`` is the
+    engineered exogenous alternative for non-attention baselines.
     ``interval_labels`` is (n_candidates, n_intervals) for dynamic mode.
     """
 
     candidate_set: CandidateSet
-    user_features: np.ndarray
+    cand_features: np.ndarray
+    shared_features: np.ndarray
     tweet_vec: np.ndarray
     news_vecs: np.ndarray
     news_tfidf: np.ndarray
     labels: np.ndarray
     interval_labels: np.ndarray | None = None
+
+    def rows(self, idx=None) -> np.ndarray:
+        """Assemble full feature rows, optionally only the selected ones."""
+        return assemble_rows(self.cand_features, self.shared_features, idx)
+
+    @property
+    def user_features(self) -> np.ndarray:
+        """The dense (n_candidates, d_user) matrix (materialised on demand)."""
+        return self.rows()
 
     @property
     def is_hate(self) -> bool:
@@ -107,19 +123,52 @@ class RetinaFeatureExtractor:
                 key = (c.root.user_id, r.user_id)
                 counts[key] = counts.get(key, 0) + 1
         self._retweeted_before = counts
+        self.base_.store_.set_prior_retweets(counts)
         return self
 
     # -------------------------------------------------------------- pieces
+    @property
+    def store_(self) -> FeatureStore:
+        """The columnar per-user store (shared with the base extractor).
+
+        Re-seeds the prior-retweet CSR if the base extractor was refit (a
+        fresh store starts without it, while the counts live here).
+        """
+        check_fitted(self, "base_")
+        store = self.base_.store_
+        if self._retweeted_before is not None and store._prior_indptr is None:
+            store.set_prior_retweets(self._retweeted_before)
+        return store
+
     def _peer_block(self, root_user: int, candidate: int) -> np.ndarray:
+        """One (root, candidate) peer pair; batch queries use the store."""
         spl = self.world.network.shortest_path_length(root_user, candidate, cutoff=4)
         prior = self._retweeted_before.get((root_user, candidate), 0)
         return np.array([float(spl), float(prior)])
+
+    def candidate_block(self, cascade: Cascade, user_ids) -> np.ndarray:
+        """(n, d_cand) per-candidate rows [peer | history] for a user list.
+
+        One single-source BFS from the root covers every candidate's
+        shortest-path feature; prior-retweet counts come from the store's
+        CSR index and history blocks from its dense matrix.
+        """
+        check_fitted(self, "base_")
+        peer = self.store_.peer_block(cascade.root.user_id, user_ids, cutoff=4)
+        hist = self.store_.history_rows(user_ids)
+        return np.concatenate([peer, hist], axis=1)
 
     def _root_tweet_block(self, cascade: Cascade) -> np.ndarray:
         text = cascade.root.text
         tfidf = self.tweet_vectorizer_.transform([text])[0]
         lex = self.base_.lexicon.vector(text)
         return np.concatenate([tfidf, lex])
+
+    def _root_tweet_blocks(self, cascades: list[Cascade]) -> np.ndarray:
+        """Batched :meth:`_root_tweet_block`: one tf-idf transform for all roots."""
+        tfidf = self.tweet_vectorizer_.transform([c.root.text for c in cascades])
+        lex = np.stack([self.base_.lexicon.vector(c.root.text) for c in cascades])
+        return np.concatenate([tfidf, lex], axis=1)
 
     def _news_vectors(self, timestamp: float) -> np.ndarray:
         """Doc2Vec matrix of the k most recent headlines before t."""
@@ -130,6 +179,31 @@ class RetinaFeatureExtractor:
             return np.zeros((1, self.news_doc2vec_dim))
         return self._news_vec_cache[lo:idx]
 
+    @staticmethod
+    def _interval_labels(
+        cascade: Cascade, users: list[int], edges: np.ndarray
+    ) -> np.ndarray:
+        """One-hot (n_candidates, n_intervals) labels, all candidates at once.
+
+        ``searchsorted(..., side="right")`` over the full delta vector
+        replaces the seed's per-candidate loop; a retweet landing exactly on
+        an interval edge belongs to the interval *starting* there (and the
+        final interval is closed on both sides), matching the seed rule.
+        """
+        n_int = len(edges) - 1
+        labels = np.zeros((len(users), n_int))
+        rt_time = {
+            r.user_id: r.timestamp - cascade.root.timestamp for r in cascade.retweets
+        }
+        rows = np.fromiter(
+            (i for i, uid in enumerate(users) if uid in rt_time), dtype=np.int64
+        )
+        if len(rows):
+            dts = np.array([rt_time[users[i]] for i in rows])
+            cols = np.searchsorted(edges, dts, side="right") - 1
+            labels[rows, np.clip(cols, 0, n_int - 1)] = 1.0
+        return labels
+
     # -------------------------------------------------------------- sample
     def build_sample(
         self,
@@ -138,8 +212,15 @@ class RetinaFeatureExtractor:
         interval_edges_hours: np.ndarray | None = None,
         candidate_set: CandidateSet | None = None,
         random_state=None,
+        _tweet_block: np.ndarray | None = None,
     ) -> RetinaSample:
-        """Assemble one cascade's features (and interval labels if edges given)."""
+        """Assemble one cascade's features (and interval labels if edges given).
+
+        The per-candidate block comes from :meth:`candidate_block` (one BFS,
+        columnar history gather); the endogenous + tweet blocks are stored
+        once per sample, never tiled.  ``_tweet_block`` lets
+        :meth:`build_samples` pass a row of its batched tf-idf transform.
+        """
         check_fitted(self, "base_")
         rng = ensure_rng(
             random_state if random_state is not None else self.random_state
@@ -148,34 +229,24 @@ class RetinaFeatureExtractor:
             cascade, self.world.network, n_negatives=self.n_negatives, random_state=rng
         )
         root = cascade.root
-        tweet_block = self._root_tweet_block(cascade)
+        tweet_block = (
+            _tweet_block if _tweet_block is not None else self._root_tweet_block(cascade)
+        )
         endo = self.base_._endogen_block(root.timestamp)
-        rows = []
-        for uid in cs.users:
-            hist = self.base_._user_block(uid)["history"]
-            peer = self._peer_block(root.user_id, uid)
-            rows.append(np.concatenate([peer, hist, endo, tweet_block]))
-        user_features = np.stack(rows)
-        tweet_vec = self.base_.doc2vec_.infer_vector(root.text, random_state=0)
+        shared = np.concatenate([endo, tweet_block])
+        cand = self.candidate_block(cascade, cs.users)
+        tweet_vec = self.store_.tweet_vec(root)
         news_vecs = self._news_vectors(root.timestamp)
         news_tfidf = self.base_._exogen_block(root.timestamp)
 
         interval_labels = None
         if interval_edges_hours is not None:
             edges = np.asarray(interval_edges_hours, dtype=np.float64)
-            n_int = len(edges) - 1
-            interval_labels = np.zeros((len(cs.users), n_int))
-            rt_time = {r.user_id: r.timestamp - root.timestamp for r in cascade.retweets}
-            for i, uid in enumerate(cs.users):
-                dt = rt_time.get(uid)
-                if dt is None:
-                    continue
-                j = int(np.searchsorted(edges, dt, side="right")) - 1
-                j = min(max(j, 0), n_int - 1)
-                interval_labels[i, j] = 1.0
+            interval_labels = self._interval_labels(cascade, cs.users, edges)
         return RetinaSample(
             candidate_set=cs,
-            user_features=user_features,
+            cand_features=cand,
+            shared_features=shared,
             tweet_vec=tweet_vec,
             news_vecs=news_vecs,
             news_tfidf=news_tfidf,
@@ -190,22 +261,42 @@ class RetinaFeatureExtractor:
         interval_edges_hours: np.ndarray | None = None,
         random_state=None,
     ) -> list[RetinaSample]:
-        """Batch :meth:`build_sample` with one RNG stream."""
+        """Batch :meth:`build_sample` with one RNG stream.
+
+        Columnar batching across the whole cascade list: candidate sets are
+        drawn first (same RNG sequence as the seed per-cascade loop), every
+        touched user's history block is built in one store batch, and the
+        root-tweet tf-idf block is one batched transform over all roots.
+        """
+        check_fitted(self, "base_")
         rng = ensure_rng(
             random_state if random_state is not None else self.random_state
         )
-        return [
-            self.build_sample(
-                c, interval_edges_hours=interval_edges_hours, random_state=rng
+        cascades = list(cascades)
+        sets = [
+            build_candidate_set(
+                c, self.world.network, n_negatives=self.n_negatives, random_state=rng
             )
             for c in cascades
+        ]
+        self.store_.ensure([uid for cs in sets for uid in cs.users])
+        tweet_blocks = self._root_tweet_blocks(cascades) if cascades else []
+        return [
+            self.build_sample(
+                c,
+                interval_edges_hours=interval_edges_hours,
+                candidate_set=cs,
+                random_state=rng,
+                _tweet_block=tweet_blocks[i],
+            )
+            for i, (c, cs) in enumerate(zip(cascades, sets))
         ]
 
     @property
     def user_feature_dim(self) -> int:
         """Dimensionality of the per-candidate feature vector."""
         check_fitted(self, "base_")
-        hist = len(self.base_._user_block(0)["history"])
+        hist = self.store_.history_dim
         endo = len(self.world.catalog)
         tweet = len(self.tweet_vectorizer_.vocabulary_) + len(self.base_.lexicon)
         return 2 + hist + endo + tweet
@@ -251,4 +342,5 @@ class RetinaFeatureExtractor:
         extractor._retweeted_before = {
             (int(ru), int(cu)): int(n) for ru, cu, n in retweeted
         }
+        extractor.base_.store_.set_prior_retweets(extractor._retweeted_before)
         return extractor

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.features import assemble_rows
 from repro.nn import (
     Dense,
     GRUCell,
@@ -149,6 +150,21 @@ class RETINA(Module):
             Tensor(np.asarray(news_vecs, dtype=np.float64)),
         )
         return logits.sigmoid().numpy()
+
+    def predict_proba_blocks(
+        self, cand_features, shared_features, tweet_vec, news_vecs
+    ) -> np.ndarray:
+        """:meth:`predict_proba` on a block-structured candidate batch.
+
+        Full rows — the (B, d_cand) per-candidate block with the (d_shared,)
+        per-cascade block appended — exist only transiently for this forward
+        pass; callers keep the blocks, not the tiled matrix.
+        """
+        X = assemble_rows(
+            np.asarray(cand_features, dtype=np.float64),
+            np.asarray(shared_features, dtype=np.float64),
+        )
+        return self.predict_proba(X, tweet_vec, news_vecs)
 
     @staticmethod
     def static_score_from_dynamic(interval_proba: np.ndarray) -> np.ndarray:

@@ -82,7 +82,9 @@ class RetinaTrainer:
                         neg, size=max(1, self.batch_size - len(pos)), replace=False
                     ) if len(neg) else np.array([], dtype=int)
                     idx = np.concatenate([pos, keep_neg])
-                X = Tensor(sample.user_features[idx])
+                # Lazy assembly: only the mini-batch rows are materialised;
+                # the sample itself never stores the tiled shared block.
+                X = Tensor(sample.rows(idx))
                 tweet = Tensor(sample.tweet_vec)
                 news = Tensor(sample.news_vecs)
                 logits = self.model(X, tweet, news)
@@ -103,8 +105,11 @@ class RetinaTrainer:
         Static mode: (n,) P(retweet).  Dynamic mode: (n, n_intervals)
         per-interval probabilities.
         """
-        return self.model.predict_proba(
-            sample.user_features, sample.tweet_vec, sample.news_vecs
+        return self.model.predict_proba_blocks(
+            sample.cand_features,
+            sample.shared_features,
+            sample.tweet_vec,
+            sample.news_vecs,
         )
 
     def predict_static_scores(self, sample: RetinaSample) -> np.ndarray:

@@ -1,0 +1,30 @@
+"""Columnar, block-structured feature pipeline (paper Sec. IV / V-A).
+
+``repro.features`` is the shared substrate under both prediction tasks:
+
+- :class:`FeatureStore` — dense/CSR per-user feature arrays (history
+  matrix, mean Doc2Vec vectors, prior-retweet counts, cached single-source
+  peer distances), built once per fitted extractor and shared by
+  ``repro.core.retina``, ``repro.core.hategen`` and ``repro.serving``;
+- :func:`assemble_rows` — lazy assembly of block-structured sample rows,
+  so per-cascade blocks are stored once instead of tiled per candidate;
+- :func:`build_sample_reference` / :func:`build_samples_reference` — the
+  frozen seed per-candidate path, kept for golden parity tests and the
+  before/after feature-build benchmark.
+"""
+
+from repro.features.blocks import assemble_rows
+from repro.features.reference import (
+    ReferenceSample,
+    build_sample_reference,
+    build_samples_reference,
+)
+from repro.features.store import FeatureStore
+
+__all__ = [
+    "FeatureStore",
+    "assemble_rows",
+    "ReferenceSample",
+    "build_sample_reference",
+    "build_samples_reference",
+]

@@ -1,0 +1,193 @@
+"""The seed per-candidate feature path, frozen as a reference.
+
+This module preserves the original (pre-columnar) RETINA feature algorithm
+verbatim: a fresh per-pair BFS for every candidate, per-user history blocks
+computed one at a time, a single-document tf-idf transform per cascade, and
+a Python loop over interval labels.  It exists so that
+
+- the golden parity tests can assert the columnar pipeline reproduces the
+  seed features bit-for-bit, and
+- ``benchmarks/bench_feature_build.py`` can time before vs after on the
+  same fitted extractor.
+
+Nothing in the library's hot path imports this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+__all__ = ["ReferenceSample", "build_sample_reference", "build_samples_reference"]
+
+
+@dataclass
+class ReferenceSample:
+    """Dense seed-path sample: the tiled ``user_features`` matrix and labels."""
+
+    candidate_set: object
+    user_features: np.ndarray
+    tweet_vec: np.ndarray
+    news_vecs: np.ndarray
+    news_tfidf: np.ndarray
+    labels: np.ndarray
+    interval_labels: np.ndarray | None = None
+
+
+def _reference_user_block(base, user_id: int, cache: dict) -> dict:
+    """Seed ``HateGenFeatureExtractor._user_block``, byte for byte.
+
+    Recomputes the per-user history block from the raw world — deliberately
+    independent of :class:`~repro.features.store.FeatureStore` so parity
+    failures in the store cannot hide here.
+    """
+    cached = cache.get(user_id)
+    if cached is not None:
+        return cached
+    world = base.world
+    recent = world.user_history_before(user_id, 0.0, base.history_size)
+    texts = [t.text for t in recent]
+    joined = " ".join(texts)
+    tfidf = (
+        base.text_vectorizer_.transform([joined])[0]
+        if joined
+        else np.zeros(len(base.text_vectorizer_.vocabulary_))
+    )
+    n_hate = sum(t.is_hate for t in recent)
+    n_non = len(recent) - n_hate
+    hate_ratio = n_hate / (n_non + 1.0)
+    lex_vec = base.lexicon.vector_over(texts)
+    rts_hate = rts_non = n_rt_hate = n_rt_non = 0
+    for c in world.cascades:
+        if c.root.user_id != user_id:
+            continue
+        if c.root.is_hate:
+            rts_hate += c.size
+            n_rt_hate += 1 if c.size > 0 else 0
+        else:
+            rts_non += c.size
+            n_rt_non += 1 if c.size > 0 else 0
+    rt_count_ratio = rts_hate / (rts_non + 1.0)
+    rt_tweet_ratio = n_rt_hate / (n_rt_non + 1.0)
+    user = world.users[user_id]
+    scalars = np.array(
+        [
+            hate_ratio,
+            rt_count_ratio,
+            rt_tweet_ratio,
+            float(world.network.follower_count(user_id)),
+            user.account_age_days / 365.0,
+            float(len({t.hashtag for t in recent})),
+        ]
+    )
+    if texts:
+        doc_vecs = [base.doc2vec_.infer_vector(t, random_state=0) for t in texts[-5:]]
+        mean_vec = np.mean(doc_vecs, axis=0)
+    else:
+        mean_vec = np.zeros(base.doc2vec_dim)
+    block = {"history": np.concatenate([tfidf, lex_vec, scalars]), "doc_vec": mean_vec}
+    cache[user_id] = block
+    return block
+
+
+def build_sample_reference(
+    extractor,
+    cascade,
+    *,
+    interval_edges_hours=None,
+    candidate_set=None,
+    random_state=None,
+    _user_cache: dict | None = None,
+):
+    """Seed ``RetinaFeatureExtractor.build_sample``: one candidate at a time."""
+    from repro.diffusion.cascade import build_candidate_set
+
+    check_fitted(extractor, "base_")
+    base = extractor.base_
+    rng = ensure_rng(
+        random_state if random_state is not None else extractor.random_state
+    )
+    cs = candidate_set or build_candidate_set(
+        cascade,
+        extractor.world.network,
+        n_negatives=extractor.n_negatives,
+        random_state=rng,
+    )
+    root = cascade.root
+    # Seed tweet block: one single-document transform per cascade.
+    tfidf = extractor.tweet_vectorizer_.transform([root.text])[0]
+    tweet_block = np.concatenate([tfidf, base.lexicon.vector(root.text)])
+    endo = base._endogen_block(root.timestamp)
+    cache = _user_cache if _user_cache is not None else {}
+    rows = []
+    for uid in cs.users:
+        hist = _reference_user_block(base, uid, cache)["history"]
+        # Seed peer block: a fresh BFS per (root, candidate) pair.
+        spl = extractor.world.network.shortest_path_length(
+            root.user_id, uid, cutoff=4
+        )
+        prior = extractor._retweeted_before.get((root.user_id, uid), 0)
+        peer = np.array([float(spl), float(prior)])
+        rows.append(np.concatenate([peer, hist, endo, tweet_block]))
+    user_features = np.stack(rows)
+    tweet_vec = base.doc2vec_.infer_vector(root.text, random_state=0)
+    news_vecs = extractor._news_vectors(root.timestamp)
+    news_tfidf = base._exogen_block(root.timestamp)
+
+    interval_labels = None
+    if interval_edges_hours is not None:
+        edges = np.asarray(interval_edges_hours, dtype=np.float64)
+        n_int = len(edges) - 1
+        interval_labels = np.zeros((len(cs.users), n_int))
+        rt_time = {r.user_id: r.timestamp - root.timestamp for r in cascade.retweets}
+        for i, uid in enumerate(cs.users):
+            dt = rt_time.get(uid)
+            if dt is None:
+                continue
+            j = int(np.searchsorted(edges, dt, side="right")) - 1
+            j = min(max(j, 0), n_int - 1)
+            interval_labels[i, j] = 1.0
+    return ReferenceSample(
+        candidate_set=cs,
+        user_features=user_features,
+        tweet_vec=tweet_vec,
+        news_vecs=news_vecs,
+        news_tfidf=news_tfidf,
+        labels=cs.labels.astype(np.float64),
+        interval_labels=interval_labels,
+    )
+
+
+def build_samples_reference(
+    extractor,
+    cascades,
+    *,
+    interval_edges_hours=None,
+    random_state=None,
+    user_cache: dict | None = None,
+):
+    """Seed ``build_samples``: the per-candidate path over a cascade list.
+
+    User blocks are cached across cascades (matching the seed extractor's
+    lifetime cache) but never shared with the columnar store, so parity
+    checks stay independent.  Pass ``user_cache`` to keep the cache across
+    calls — the benchmark uses that to time the warm steady state.
+    """
+    rng = ensure_rng(
+        random_state if random_state is not None else extractor.random_state
+    )
+    cache: dict = user_cache if user_cache is not None else {}
+    return [
+        build_sample_reference(
+            extractor,
+            c,
+            interval_edges_hours=interval_edges_hours,
+            random_state=rng,
+            _user_cache=cache,
+        )
+        for c in cascades
+    ]

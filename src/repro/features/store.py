@@ -1,0 +1,295 @@
+"""Columnar per-user feature store shared by the RETINA and hate-gen paths.
+
+The paper's per-candidate features decompose into blocks that depend only on
+the user (activity history H_{i,t}, mean Doc2Vec vector), only on the
+(root, candidate) pair (peer distance, prior retweets), or only on the
+cascade (endogenous/tweet blocks).  The seed pipeline recomputed or
+re-looked-up these one candidate at a time; :class:`FeatureStore` keeps them
+as dense matrices and CSR arrays keyed by user id so whole candidate lists
+are a fancy-index away:
+
+- ``history`` — (n_users, d_hist) dense matrix of per-user history blocks,
+  filled lazily in *batches* (one tf-idf transform per ``ensure`` call);
+- ``doc_vecs`` — (n_users, d2v) mean Doc2Vec vectors for the topic feature;
+- prior-retweet counts — CSR over (root user, candidate) pairs, looked up
+  for a whole candidate list with one ``searchsorted``;
+- peer distances — one single-source BFS per root user
+  (:meth:`InformationNetwork.distances_from`), cached across cascades that
+  share a root.
+
+Every value is bit-identical to the seed per-candidate computation: batch
+tf-idf rows equal single-document rows, BFS layers equal per-pair BFS hop
+counts, and scalar features are computed with the same expressions in the
+same order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FeatureStore"]
+
+#: Scalars appended to each user's history block, in seed order: hate ratio,
+#: retweet-count ratio, retweeted-tweet ratio, follower count, account age
+#: (years), number of distinct recent hashtags.
+N_HISTORY_SCALARS = 6
+
+
+class FeatureStore:
+    """Dense/CSR per-user feature arrays over one synthetic world.
+
+    Parameters
+    ----------
+    world:
+        The :class:`~repro.data.synthetic.SyntheticWorld` to index.
+    text_vectorizer / lexicon / doc2vec:
+        The fitted text models of the owning extractor; user blocks are
+        computed with these, so the store is built at ``fit``/``from_state``
+        time.
+    history_size:
+        Recent-tweet window of H_{i,t} (paper: 30).
+    doc2vec_dim:
+        Dimensionality of the mean user Doc2Vec vector.
+    """
+
+    def __init__(
+        self,
+        world,
+        *,
+        text_vectorizer,
+        lexicon,
+        doc2vec,
+        history_size: int,
+        doc2vec_dim: int,
+    ):
+        self.world = world
+        self.text_vectorizer = text_vectorizer
+        self.lexicon = lexicon
+        self.doc2vec = doc2vec
+        self.history_size = history_size
+        self.doc2vec_dim = doc2vec_dim
+
+        self._uids = np.array(sorted(world.users), dtype=np.int64)
+        self._index = {int(u): i for i, u in enumerate(self._uids)}
+        n = len(self._uids)
+        d_text = len(text_vectorizer.vocabulary_)
+        self._d_hist = d_text + len(lexicon) + N_HISTORY_SCALARS
+        self.history = np.zeros((n, self._d_hist))
+        self.doc_vecs = np.zeros((n, doc2vec_dim))
+        self._built = np.zeros(n, dtype=bool)
+
+        # One pass over the world: in-window tweets grouped per user (order
+        # preserved, mirroring ``user_history_before``) and retweet-reception
+        # sums per root user (the seed recomputed these per user per block).
+        in_window: dict[int, list] = {}
+        for tw in world.tweets:
+            in_window.setdefault(tw.user_id, []).append(tw)
+        self._in_window = in_window
+        self._rts_hate = np.zeros(n, dtype=np.int64)
+        self._rts_non = np.zeros(n, dtype=np.int64)
+        self._n_rt_hate = np.zeros(n, dtype=np.int64)
+        self._n_rt_non = np.zeros(n, dtype=np.int64)
+        for c in world.cascades:
+            i = self._index.get(c.root.user_id)
+            if i is None:
+                continue
+            if c.root.is_hate:
+                self._rts_hate[i] += c.size
+                self._n_rt_hate[i] += 1 if c.size > 0 else 0
+            else:
+                self._rts_non[i] += c.size
+                self._n_rt_non[i] += 1 if c.size > 0 else 0
+
+        # Prior-retweet CSR (set by the RETINA extractor from its train split).
+        self._prior_indptr: np.ndarray | None = None
+        self._prior_cols: np.ndarray | None = None
+        self._prior_data: np.ndarray | None = None
+
+        # Single-source BFS results keyed by (root, cutoff).  FIFO-capped:
+        # the per-root dicts are the store's only large variable-size
+        # entries, and a long-running server must not grow without bound.
+        self._dist_cache: dict[tuple[int, int], dict[int, int]] = {}
+        self._dist_cache_cap = 4096
+        # Doc2Vec tweet embeddings keyed by tweet text (inference is
+        # deterministic at random_state=0 and depends only on the text, so
+        # rebuilds and serving share it and edited copies can never alias).
+        self._tweet_vec_cache: dict[str, np.ndarray] = {}
+
+    # ---------------------------------------------------------------- sizes
+    @property
+    def n_users(self) -> int:
+        return len(self._uids)
+
+    @property
+    def history_dim(self) -> int:
+        """Width of one user history block."""
+        return self._d_hist
+
+    # ------------------------------------------------------- history blocks
+    def _recent(self, uid: int) -> list:
+        """The user's ``history_size`` most recent tweets before t=0.
+
+        Mirrors ``SyntheticWorld.user_history_before(uid, 0.0, k)`` exactly
+        (pool order, stable sort) but reads the pre-grouped in-window index
+        instead of scanning every world tweet per user.
+        """
+        pool = list(self.world.history.get(uid, []))
+        pool.extend(self._in_window.get(uid, []))
+        pool = [tw for tw in pool if tw.timestamp < 0.0]
+        pool.sort(key=lambda tw: tw.timestamp)
+        return pool[-self.history_size :]
+
+    def ensure(self, user_ids) -> None:
+        """Compute history blocks for any not-yet-built users, in one batch.
+
+        The tf-idf transform of the joined history texts — the widest part
+        of the block — runs once over all missing users instead of once per
+        user; each row of a batch transform is bit-identical to the
+        single-document transform the seed path ran.
+        """
+        missing = [
+            int(u) for u in dict.fromkeys(user_ids) if not self._built[self._index[u]]
+        ]
+        if not missing:
+            return
+        recents = {uid: self._recent(uid) for uid in missing}
+        joined = [" ".join(t.text for t in recents[uid]) for uid in missing]
+        tfidf = self.text_vectorizer.transform(joined)
+        world = self.world
+        for k, uid in enumerate(missing):
+            i = self._index[uid]
+            recent = recents[uid]
+            texts = [t.text for t in recent]
+            n_hate = sum(t.is_hate for t in recent)
+            n_non = len(recent) - n_hate
+            hate_ratio = n_hate / (n_non + 1.0)
+            lex_vec = self.lexicon.vector_over(texts)
+            rt_count_ratio = int(self._rts_hate[i]) / (int(self._rts_non[i]) + 1.0)
+            rt_tweet_ratio = int(self._n_rt_hate[i]) / (int(self._n_rt_non[i]) + 1.0)
+            user = world.users[uid]
+            scalars = np.array(
+                [
+                    hate_ratio,
+                    rt_count_ratio,
+                    rt_tweet_ratio,
+                    float(world.network.follower_count(uid)),
+                    user.account_age_days / 365.0,
+                    float(len({t.hashtag for t in recent})),
+                ]
+            )
+            self.history[i] = np.concatenate([tfidf[k], lex_vec, scalars])
+            if texts:
+                doc_vecs = [
+                    self.doc2vec.infer_vector(t, random_state=0) for t in texts[-5:]
+                ]
+                self.doc_vecs[i] = np.mean(doc_vecs, axis=0)
+            self._built[i] = True
+
+    def history_rows(self, user_ids) -> np.ndarray:
+        """(n, d_hist) history blocks for a user list (built on demand)."""
+        self.ensure(user_ids)
+        idx = np.fromiter(
+            (self._index[u] for u in user_ids), dtype=np.int64, count=len(user_ids)
+        )
+        return self.history[idx]
+
+    def user_block(self, user_id: int) -> dict:
+        """Seed-shaped ``{"history": ..., "doc_vec": ...}`` for one user."""
+        self.ensure([user_id])
+        i = self._index[user_id]
+        return {"history": self.history[i], "doc_vec": self.doc_vecs[i]}
+
+    def doc_vec(self, user_id: int) -> np.ndarray:
+        """Mean Doc2Vec vector of one user's recent history."""
+        self.ensure([user_id])
+        return self.doc_vecs[self._index[user_id]]
+
+    def tweet_vec(self, tweet) -> np.ndarray:
+        """Cached deterministic Doc2Vec embedding of one tweet's text."""
+        vec = self._tweet_vec_cache.get(tweet.text)
+        if vec is None:
+            vec = self.doc2vec.infer_vector(tweet.text, random_state=0)
+            self._tweet_vec_cache[tweet.text] = vec
+        return vec
+
+    # ------------------------------------------------------- prior retweets
+    def set_prior_retweets(self, counts: dict[tuple[int, int], int]) -> None:
+        """Index (root user, candidate) -> prior-retweet count as CSR arrays.
+
+        ``counts`` comes from the RETINA extractor's train split; rows are
+        root users, columns candidates, both in store index space.
+        """
+        triples = sorted(
+            (self._index[ru], self._index[cu], int(n))
+            for (ru, cu), n in counts.items()
+            if ru in self._index and cu in self._index
+        )
+        n = self.n_users
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        cols = np.empty(len(triples), dtype=np.int64)
+        data = np.empty(len(triples), dtype=np.int64)
+        for k, (ri, ci, cnt) in enumerate(triples):
+            indptr[ri + 1] += 1
+            cols[k] = ci
+            data[k] = cnt
+        self._prior_indptr = np.cumsum(indptr)
+        self._prior_cols = cols
+        self._prior_data = data
+
+    def prior_counts(self, root_user: int, user_ids) -> np.ndarray:
+        """(n,) prior-retweet counts of each candidate toward ``root_user``."""
+        out = np.zeros(len(user_ids))
+        if self._prior_indptr is None:
+            return out
+        ri = self._index.get(root_user)
+        if ri is None:
+            return out
+        lo, hi = self._prior_indptr[ri], self._prior_indptr[ri + 1]
+        if hi == lo:
+            return out
+        cols = self._prior_cols[lo:hi]
+        data = self._prior_data[lo:hi]
+        tgt = np.fromiter(
+            (self._index.get(u, -1) for u in user_ids),
+            dtype=np.int64,
+            count=len(user_ids),
+        )
+        pos = np.searchsorted(cols, tgt)
+        pos_c = np.minimum(pos, len(cols) - 1)
+        found = (cols[pos_c] == tgt) & (pos < len(cols))
+        out[found] = data[pos_c[found]]
+        return out
+
+    # -------------------------------------------------------- peer features
+    def distances(self, source: int, cutoff: int = 4) -> dict[int, int]:
+        """Cached single-source BFS distances from ``source``."""
+        key = (source, cutoff)
+        cached = self._dist_cache.get(key)
+        if cached is None:
+            cached = self.world.network.distances_from(source, cutoff)
+            while len(self._dist_cache) >= self._dist_cache_cap:
+                self._dist_cache.pop(next(iter(self._dist_cache)))
+            self._dist_cache[key] = cached
+        return cached
+
+    def peer_block(self, root_user: int, user_ids, cutoff: int = 4) -> np.ndarray:
+        """(n, 2) peer block [shortest path, prior retweets] for a user list.
+
+        One BFS from the root covers every candidate; the seed path ran one
+        BFS per (root, candidate) pair.
+        """
+        dist = self.distances(root_user, cutoff)
+        far = cutoff + 1
+        spl = np.fromiter(
+            (dist.get(u, far) for u in user_ids), dtype=np.float64, count=len(user_ids)
+        )
+        return np.stack([spl, self.prior_counts(root_user, user_ids)], axis=1)
+
+    # ------------------------------------------------------------ lifecycle
+    def invalidate(self) -> None:
+        """Drop every lazily built block and BFS result (for benchmarks)."""
+        self._built[:] = False
+        self.history[:] = 0.0
+        self.doc_vecs[:] = 0.0
+        self._dist_cache.clear()
+        self._tweet_vec_cache.clear()

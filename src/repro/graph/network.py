@@ -93,6 +93,31 @@ class InformationNetwork:
                     queue.append((nxt, dist + 1))
         return cutoff + 1
 
+    def distances_from(self, source: int, cutoff: int = 6) -> dict[int, int]:
+        """Hop counts from ``source`` to every node within ``cutoff``.
+
+        One BFS along information flow covering all targets at once — the
+        single-source counterpart of :meth:`shortest_path_length`.  The
+        returned mapping contains ``source`` at distance 0 and omits nodes
+        unreachable within ``cutoff``; pair queries treat absent nodes as
+        ``cutoff + 1``, so ``distances_from(s, c).get(t, c + 1)`` equals
+        ``shortest_path_length(s, t, cutoff=c)`` for every target ``t``.
+        """
+        if source not in self._g:
+            return {}
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            d = dist[node]
+            if d >= cutoff:
+                continue
+            for nxt in self._g.successors(node):
+                if nxt not in dist:
+                    dist[nxt] = d + 1
+                    queue.append(nxt)
+        return dist
+
     def susceptible_set(self, participants) -> set[int]:
         """Users exposed to a cascade but not participating (paper Fig. 1b).
 

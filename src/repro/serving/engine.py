@@ -7,10 +7,11 @@ Two predictor classes answer queries against a loaded bundle:
 - :class:`HateGenPredictor` — "will user u post hate on hashtag h at t?" —
   scores (user, hashtag, time) triples with a fitted classifier chain.
 
-Both expose ``predict_batch(payloads)`` whose work is vectorised: feature
-rows are assembled once per (user, cascade, interval) — with an LRU cache
-so repeated queries skip extraction entirely — and a single model forward
-covers every request that shares a context.  :class:`InferenceEngine`
+Both expose ``predict_batch(payloads)`` whose work is vectorised: small
+per-candidate feature blocks are LRU-cached by (user, cascade, interval)
+and batch-built through the columnar extractor on misses, full rows are
+assembled once per micro-batch, and a single model forward covers every
+request that shares a context.  :class:`InferenceEngine`
 wraps the predictors with a queue + worker thread that coalesces
 concurrent requests into micro-batches, which is what the HTTP layer
 submits to.
@@ -81,9 +82,12 @@ class RetweeterPredictor:
          "interval": <int>,      # optional, dynamic mode: one time window
          "top_k": <int>}         # optional ranking truncation
 
-    Feature rows are cached by ``(user, cascade, interval)``; per-cascade
-    context (tweet/news embeddings, endogenous block) is cached separately
-    so a cold user on a warm cascade only pays the per-user blocks.
+    Per-candidate feature blocks (peer + history, without the per-cascade
+    tail) are cached by ``(user, cascade, interval)``; the per-cascade
+    context (tweet/news embeddings, shared endogenous + tweet block) is
+    cached separately, so a cold user on a warm cascade only pays its small
+    block — built batched through the columnar extractor — and full rows are
+    assembled once per micro-batch.
     """
 
     kind = "retweeters"
@@ -120,31 +124,51 @@ class RetweeterPredictor:
         return cascade
 
     def _context(self, cascade) -> dict:
-        """Per-cascade blocks shared by every candidate row."""
+        """Per-cascade blocks shared by every candidate row.
+
+        ``shared`` is the endogenous + root-tweet block stored once per
+        cascade; candidate rows cache only their small per-user block and
+        the full matrix is assembled per micro-batch.
+        """
         ctx = self.context_cache.get(cascade.root.tweet_id)
         if ctx is None:
             ext = self.extractor
             root = cascade.root
             ctx = {
-                "tweet_block": ext._root_tweet_block(cascade),
-                "endo": ext.base_._endogen_block(root.timestamp),
-                "tweet_vec": ext.base_.doc2vec_.infer_vector(root.text, random_state=0),
+                "shared": np.concatenate(
+                    [ext.base_._endogen_block(root.timestamp),
+                     ext._root_tweet_block(cascade)]
+                ),
+                "tweet_vec": ext.store_.tweet_vec(root),
                 "news_vecs": ext._news_vectors(root.timestamp),
             }
             self.context_cache.put(cascade.root.tweet_id, ctx)
         return ctx
 
-    def _feature_row(self, cascade, uid: int, ctx: dict) -> np.ndarray:
-        """One candidate row, mirroring ``RetinaFeatureExtractor.build_sample``."""
-        key = (uid, cascade.root.tweet_id, self._interval_tag)
-        row = self.feature_cache.get(key)
-        if row is None:
-            ext = self.extractor
-            hist = ext.base_._user_block(uid)["history"]
-            peer = ext._peer_block(cascade.root.user_id, uid)
-            row = np.concatenate([peer, hist, ctx["endo"], ctx["tweet_block"]])
-            self.feature_cache.put(key, row)
-        return row
+    def _candidate_rows(self, cascade, uids: list[int]) -> np.ndarray:
+        """(n, d_cand) per-candidate blocks, cache-first with batched misses.
+
+        Cache hits are per-(user, cascade, interval) lookups as before, but
+        every miss in the batch is built in one call to the extractor's
+        columnar ``candidate_block`` — one BFS and one store gather instead
+        of per-key scalar lookups.
+        """
+        rows: list[np.ndarray | None] = [None] * len(uids)
+        missing: list[tuple[int, int]] = []
+        cid = cascade.root.tweet_id
+        for i, uid in enumerate(uids):
+            row = self.feature_cache.get((uid, cid, self._interval_tag))
+            if row is None:
+                missing.append((i, uid))
+            else:
+                rows[i] = row
+        if missing:
+            built = self.extractor.candidate_block(cascade, [u for _, u in missing])
+            for (i, uid), row in zip(missing, built):
+                row = row.copy()  # a view would pin the whole batch buffer
+                rows[i] = row
+                self.feature_cache.put((uid, cid, self._interval_tag), row)
+        return np.stack(rows)
 
     def default_candidates(self, cascade) -> list[int]:
         """Deterministic candidate audience when the query names no users."""
@@ -219,8 +243,10 @@ class RetweeterPredictor:
                     if uid not in position:
                         position[uid] = len(users)
                         users.append(uid)
-            X = np.stack([self._feature_row(cascade, uid, ctx) for uid in users])
-            proba = self.model.predict_proba(X, ctx["tweet_vec"], ctx["news_vecs"])
+            cand = self._candidate_rows(cascade, users)
+            proba = self.model.predict_proba_blocks(
+                cand, ctx["shared"], ctx["tweet_vec"], ctx["news_vecs"]
+            )
             if self.model.mode == "dynamic":
                 static_scores = self.model.static_score_from_dynamic(proba)
             else:

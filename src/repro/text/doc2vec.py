@@ -144,7 +144,14 @@ class Doc2Vec:
     def infer_vector(
         self, document: str, *, epochs: int = 25, random_state=None
     ) -> np.ndarray:
-        """Embed an unseen document against the frozen word matrix."""
+        """Embed an unseen document against the frozen word matrix.
+
+        The noise sampling and word-vector gathers for every epoch are
+        hoisted out of the SGD loop: one generator call consumes the exact
+        same random stream as the per-epoch calls did, and a single fancy
+        index replaces per-epoch gathers, so the returned vector is
+        bit-identical to the naive loop at a fraction of the overhead.
+        """
         check_fitted(self, "word_vectors_")
         rng = ensure_rng(
             random_state if random_state is not None else self.random_state
@@ -153,12 +160,19 @@ class Doc2Vec:
         dv = (rng.random(self.vector_size) - 0.5) / self.vector_size
         if len(ids) == 0:
             return dv
+        n_pos = len(ids)
+        n_neg = n_pos * self.negative
+        neg = np.searchsorted(
+            self._noise_cdf, rng.random(epochs * n_neg).reshape(epochs, n_neg)
+        )
+        targets = np.concatenate(
+            [np.broadcast_to(ids, (epochs, n_pos)), neg], axis=1
+        )
+        W_all = self.word_vectors_[targets]  # (epochs, n_pos + n_neg, k)
+        labels = np.concatenate([np.ones(n_pos), np.zeros(n_neg)])
         for epoch in range(epochs):
             lr = self.alpha * max(0.1, 1.0 - epoch / epochs)
-            neg = self._sample_noise(rng, len(ids) * self.negative)
-            targets = np.concatenate([ids, neg])
-            labels = np.concatenate([np.ones(len(ids)), np.zeros(len(neg))])
-            W = self.word_vectors_[targets]
+            W = W_all[epoch]
             scores = _sigmoid(W @ dv)
             err = (scores - labels)[:, None]
             dv -= lr * (err * W).sum(axis=0)

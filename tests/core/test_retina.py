@@ -48,6 +48,49 @@ class TestFeatures:
                 if j < len(edges) - 2:
                     assert dt <= edges[j + 1] + 1e-9
 
+    def test_interval_label_exactly_on_edge(self, retina_data):
+        """A retweet delta landing exactly on an interval edge belongs to the
+        interval starting there (``searchsorted`` side='right'), and the
+        final edge is closed into the last interval — on both the columnar
+        and the seed reference path."""
+        from dataclasses import replace
+
+        from repro.data.schema import Cascade, Retweet
+        from repro.diffusion.cascade import CandidateSet
+        from repro.features import build_sample_reference
+
+        ext, tr, _ = retina_data
+        edges = RetinaTrainer.default_interval_edges()
+        n_int = len(edges) - 1
+        base_cs = tr[0].candidate_set
+        # Integer root timestamp so root.timestamp + edge - root.timestamp
+        # is exact and the deltas land *bit-exactly* on the edges.
+        root = replace(base_cs.cascade.root, timestamp=48.0)
+        u_mid, u_zero, u_last, u_neg = base_cs.users[:4]
+        cascade = Cascade(
+            root=root,
+            retweets=[
+                Retweet(user_id=u_mid, timestamp=48.0 + float(edges[3])),
+                Retweet(user_id=u_zero, timestamp=48.0 + float(edges[0])),
+                Retweet(user_id=u_last, timestamp=48.0 + float(edges[-1])),
+            ],
+        )
+        cs = CandidateSet(
+            cascade=cascade,
+            users=[u_mid, u_zero, u_last, u_neg],
+            labels=np.array([1, 1, 1, 0], dtype=np.int64),
+        )
+        s = ext.build_sample(cascade, interval_edges_hours=edges, candidate_set=cs)
+        assert np.argmax(s.interval_labels[0]) == 3  # dt == edges[3] opens interval 3
+        assert np.argmax(s.interval_labels[1]) == 0  # dt == 0 falls in the first
+        assert np.argmax(s.interval_labels[2]) == n_int - 1  # last edge is closed
+        assert s.interval_labels[3].sum() == 0.0
+        assert np.all(s.interval_labels.sum(axis=1) == np.array([1, 1, 1, 0]))
+        ref = build_sample_reference(
+            ext, cascade, interval_edges_hours=edges, candidate_set=cs
+        )
+        np.testing.assert_array_equal(s.interval_labels, ref.interval_labels)
+
     def test_peer_block_prior_retweets(self, retina_data, core_world):
         ext, tr, _ = retina_data
         # A pair that retweeted in training must have prior count > 0.

@@ -1,0 +1,21 @@
+"""Fixtures for the columnar feature pipeline: one world, fitted extractor."""
+
+import pytest
+
+from repro.core.retina import RetinaFeatureExtractor
+from repro.data import HateDiffusionDataset, SyntheticWorldConfig
+
+
+@pytest.fixture(scope="session")
+def features_world():
+    cfg = SyntheticWorldConfig(
+        scale=0.02, n_hashtags=6, n_users=180, n_news=400, seed=7
+    )
+    return HateDiffusionDataset.generate(cfg)
+
+
+@pytest.fixture(scope="session")
+def fitted_extractor(features_world):
+    """A RETINA extractor fitted on the train split (store built, empty)."""
+    train, _ = features_world.cascade_split(random_state=0)
+    return RetinaFeatureExtractor(features_world.world, random_state=0).fit(train)

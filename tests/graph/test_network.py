@@ -75,6 +75,38 @@ class TestInformationNetwork:
         assert small_net.n_follows == 3
 
 
+class TestDistancesFrom:
+    def test_matches_pairwise_bfs_on_small_net(self, small_net):
+        dist = small_net.distances_from(0, cutoff=4)
+        assert dist == {0: 0, 1: 1, 2: 1}
+        for target in range(4):
+            assert dist.get(target, 5) == small_net.shortest_path_length(
+                0, target, cutoff=4
+            )
+
+    def test_missing_source_is_empty(self, small_net):
+        assert small_net.distances_from(99) == {}
+
+    def test_cutoff_truncates_frontier(self):
+        # Chain 0 -> 1 -> 2 -> 3.
+        net = InformationNetwork()
+        for u in range(4):
+            net.add_user(u)
+        for u in range(3):
+            net.add_follow(u, u + 1)
+        assert net.distances_from(0, cutoff=2) == {0: 0, 1: 1, 2: 2}
+        assert net.distances_from(0, cutoff=3) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_matches_pairwise_bfs_on_generated_graph(self):
+        net, _ = community_follower_graph(120, random_state=3)
+        for source in (0, 17, 60):
+            dist = net.distances_from(source, cutoff=4)
+            for target in range(120):
+                assert dist.get(target, 5) == net.shortest_path_length(
+                    source, target, cutoff=4
+                )
+
+
 class TestGenerator:
     def test_basic_shape(self):
         net, comm = community_follower_graph(100, random_state=0)
