@@ -47,3 +47,13 @@ def test_ablation_lambda(benchmark):
     best = max(results.values(), key=lambda m: m["macro_f1"])["macro_f1"]
     worst = min(results.values(), key=lambda m: m["macro_f1"])["macro_f1"]
     assert best >= worst  # sweep produces a ranking; printed for inspection
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_run, "ablation_lambda"))

@@ -56,3 +56,13 @@ def test_ablation_news_window(benchmark):
     )
     # Shape: a wider window should not be catastrophically worse than tiny.
     assert results[60]["macro_f1"] >= results[5]["macro_f1"] - 0.1
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_run, "ablation_news_window"))

@@ -59,3 +59,13 @@ def test_ablation_organic_diffusion(benchmark):
     # Restricting to organically reachable retweeters should not hurt; the
     # beyond-organic arrivals are unpredictable from graph-local features.
     assert results["organic only"]["auc"] >= results["all retweeters"]["auc"] - 0.08
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_run, "ablation_organic"))

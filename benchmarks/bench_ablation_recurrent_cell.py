@@ -46,3 +46,13 @@ def test_ablation_recurrent_cell(benchmark):
     )
     # Shape: GRU is competitive with LSTM.
     assert results["gru"]["macro_f1"] >= results["lstm"]["macro_f1"] - 0.08
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_run, "ablation_recurrent_cell"))

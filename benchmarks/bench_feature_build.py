@@ -24,12 +24,17 @@ world so the benchmark can never rot.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
 import numpy as np
 
+from pathlib import Path
+
+if __package__ in (None, ""):  # executed as a script: make `benchmarks` importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import add_json_out, emit_report
 from repro.core.retina import RetinaFeatureExtractor, RetinaTrainer
 from repro.data import HateDiffusionDataset, SyntheticWorldConfig
 from repro.features import build_samples_reference
@@ -50,6 +55,7 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="exit non-zero on parity failure or low speedup")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny-world CI preset (implies --check)")
+    add_json_out(parser)
     args = parser.parse_args(argv)
     if args.smoke:
         args.users, args.scale, args.hashtags, args.news = 150, 0.02, 6, 300
@@ -127,7 +133,7 @@ def main(argv=None) -> int:
                  "speedup": round(t_ref_warm / t_col_warm, 2)},
         "parity": parity,
     }
-    print(json.dumps(report, indent=2))
+    emit_report(report, args.json_out)
     if args.check:
         if not parity:
             print("FAIL: columnar features are not bit-identical to the seed path",

@@ -45,3 +45,13 @@ def test_fig1_diffusion_curves(benchmark):
     assert rt["hate"][2] / rt["hate"][-1] > rt["non_hate"][2] / max(rt["non_hate"][-1], 1e-9)
     # (b) hate creates fewer susceptible users by the horizon.
     assert su["hate"][-1] < su["non_hate"][-1]
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_curves, "fig1_diffusion_curves"))

@@ -32,3 +32,13 @@ def test_fig2_hashtag_hate_distribution(benchmark):
         tgt_rank = np.argsort(np.argsort(targets[big]))
         rho = np.corrcoef(gen_rank, tgt_rank)[0, 1]
         assert rho > 0.3
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_dist, "fig2_hashtag_hate"))

@@ -33,3 +33,13 @@ def test_fig3_user_topic_dependence(benchmark):
             spreads.append(vals.max() - vals.min())
     # Users hateful on one topic are not uniformly hateful on all.
     assert spreads and np.max(spreads) > 0.3
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_matrix, "fig3_user_topic"))

@@ -54,3 +54,13 @@ def test_fig5_hits_at_k(benchmark):
         m["hits@100"] for m in results.values()
     )
     assert spread_large <= spread_small + 0.15
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_run, "fig5_hits_at_k"))

@@ -66,3 +66,13 @@ def test_fig6_hate_vs_nonhate_map(benchmark):
 
     best_retina_gap = min(gap(results["RETINA-S"]), gap(results["RETINA-D"]))
     assert best_retina_gap <= gap(results["TopoLSTM"]) + 0.1
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_run, "fig6_hate_vs_nonhate"))

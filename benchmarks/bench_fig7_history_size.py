@@ -52,3 +52,13 @@ def test_fig7_history_size(benchmark):
     # Shape: 30 is at least as good as 10; 100 adds nothing over 30.
     assert results[30] >= results[10] - 0.05
     assert results[100] <= results[30] + 0.08
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_run, "fig7_history_size"))

@@ -43,3 +43,13 @@ def test_fig8_predicted_to_actual_ratio(benchmark):
     early_err = abs(valid[0] - 1.0)
     late_err = abs(valid[-1] - 1.0)
     assert late_err <= early_err + 0.5
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_run, "fig8_time_windows"))

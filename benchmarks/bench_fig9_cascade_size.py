@@ -38,3 +38,13 @@ def test_fig9_cascade_size(benchmark):
     # recorded as a deviation in EXPERIMENTS.md.)
     values = [by_size[l] for l in labels]
     assert max(values[3:]) >= values[0]
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_run, "fig9_cascade_size"))

@@ -55,3 +55,13 @@ def test_hatedetect_comparison(benchmark):
     )
     assert 0.2 < alpha < 1.0
     assert all(m.get("auc", 0) > 0.7 for m in results.values())
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_run, "hatedetect"))

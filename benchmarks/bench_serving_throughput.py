@@ -151,4 +151,10 @@ def test_serving_throughput(benchmark):
 
 
 if __name__ == "__main__":
-    print(json.dumps(_run(), indent=2))
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_run, "serving_throughput"))

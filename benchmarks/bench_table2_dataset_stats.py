@@ -44,3 +44,13 @@ def test_table2_dataset_stats(benchmark):
     lo = [s["pct_hate"] for s in big if s["target_pct_hate"] < 1.0]
     if hi and lo:
         assert sum(hi) / len(hi) > sum(lo) / len(lo)
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_build, "table2_dataset_stats"))

@@ -71,3 +71,13 @@ def test_table4_hate_generation(benchmark):
     f1_none = np.mean([by[(m, "none")].macro_f1 for m in TABLE3_MODELS])
     f1_ds = np.mean([by[(m, "ds")].macro_f1 for m in TABLE3_MODELS])
     assert f1_ds > f1_none - 0.05
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_grid, "table4_hate_generation"))

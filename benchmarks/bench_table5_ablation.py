@@ -50,3 +50,13 @@ def test_table5_feature_ablation(benchmark):
         results["all\\history"]["macro_f1"]
         <= results["all\\topic"]["macro_f1"] + 0.05
     )
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_ablation, "table5_ablation"))

@@ -170,3 +170,13 @@ def test_table6_retweet_prediction(benchmark):
     assert results["RETINA-S"]["macro_f1"] > results["Gen.Thresh."]["macro_f1"]
     best_retina = max(results["RETINA-S"]["map@20"], results["RETINA-D"]["map@20"])
     assert best_retina > results["HIDAN"]["map@20"]
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.common import standalone_main
+
+    sys.exit(standalone_main(_run_all, "table6_retweet_prediction"))

@@ -9,7 +9,10 @@ the measured ones.
 
 from __future__ import annotations
 
+import argparse
+import json
 from functools import lru_cache
+from pathlib import Path
 
 import numpy as np
 
@@ -115,3 +118,58 @@ def get_hategen_matrices():
 def run_once(benchmark, fn):
     """Run an expensive benchmark body exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# --------------------------------------------------------- JSON reporting
+# Every benchmark script shares one reporting contract: a JSON document on
+# stdout, plus ``--json-out PATH`` to archive it (CI stores BENCH_*.json
+# trajectories across PRs).
+
+
+def json_ready(value):
+    """Recursively convert a report to JSON-serialisable builtins."""
+    if isinstance(value, dict):
+        return {str(k): json_ready(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_ready(v) for v in value]
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def add_json_out(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the shared ``--json-out`` flag to a benchmark's CLI."""
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON report to PATH (e.g. BENCH_train_step.json)",
+    )
+    return parser
+
+
+def emit_report(report: dict, json_out: str | None = None) -> dict:
+    """Print a benchmark report as JSON and optionally archive it."""
+    report = json_ready(report)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if json_out:
+        Path(json_out).write_text(text + "\n")
+    return report
+
+
+def standalone_main(run_fn, name: str, argv=None) -> int:
+    """Uniform ``__main__`` entry point for the figure/table benchmarks.
+
+    Parses the shared ``--json-out`` flag, executes the benchmark body, and
+    emits ``{"benchmark": name, "results": ...}``.
+    """
+    parser = argparse.ArgumentParser(description=f"repro benchmark: {name}")
+    add_json_out(parser)
+    args = parser.parse_args(argv)
+    emit_report({"benchmark": name, "results": run_fn()}, args.json_out)
+    return 0

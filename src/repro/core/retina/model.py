@@ -17,6 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.features import assemble_rows
+from repro.nn import fused
+from repro.nn.fused import exp_data, sigmoid_data
 from repro.nn import (
     Dense,
     GRUCell,
@@ -129,15 +131,22 @@ class RETINA(Module):
         if self.mode == "static":
             return self.out(self.hidden_ff(joint)).reshape(joint.shape[0])
         B = joint.shape[0]
+        # The same joint input feeds every interval: project it through the
+        # cell's input weights once and unroll fused steps on the projection.
+        proj = self.cell.project_input(joint)
+        if self.recurrent_cell == "gru":
+            # The paper's cell gets the fully fused unroll: steps, interval
+            # heads, and stacking collapse into a single tape node.
+            return fused.gru_unroll(self.cell, proj, self.out.W, self.out.b, self.n_intervals)
         h = Tensor(np.zeros((B, self.hdim)))
         state = (h, Tensor(np.zeros((B, self.hdim)))) if self.recurrent_cell == "lstm" else h
         logits = []
         for _ in range(self.n_intervals):
             if self.recurrent_cell == "lstm":
-                h, c = self.cell(joint, state)
+                h, c = self.cell.step(proj, state)
                 state = (h, c)
             else:
-                h = self.cell(joint, state)
+                h = self.cell.step(proj, state)
                 state = h
             logits.append(self.out(h).reshape(B))
         return Tensor.stack(logits, axis=1)  # (B, n_intervals)
@@ -165,6 +174,129 @@ class RETINA(Module):
             np.asarray(shared_features, dtype=np.float64),
         )
         return self.predict_proba(X, tweet_vec, news_vecs)
+
+    def predict_proba_packed(self, packs: list[tuple]) -> list[np.ndarray]:
+        """One packed forward over several cascades' candidate batches.
+
+        ``packs`` is a list of ``(cand_features, shared_features, tweet_vec,
+        news_vecs)`` tuples, one per cascade.  All candidate rows are stacked
+        into a single matrix and pushed through a pure-numpy inference path
+        (no tape); the exogenous attention runs mask-aware over the padded
+        per-cascade news sequences.
+
+        Every expression mirrors the tape forward, so a *single-cascade*
+        pack is bit-identical to :meth:`predict_proba_blocks` (identical
+        BLAS call shapes; the serving parity tests rely on this).  Packing
+        several cascades changes the gemm row counts, whose internal
+        blocking can flip the last bit — multi-cascade packs agree with the
+        per-cascade forward to float precision (~1 ulp), the same
+        batch-composition sensitivity the tape forward itself has when a
+        request's candidate set changes.
+        """
+        if not packs:
+            return []
+        sizes = [np.asarray(p[0]).shape[0] for p in packs]
+        X = np.concatenate(
+            [
+                assemble_rows(
+                    np.asarray(cand, dtype=np.float64),
+                    np.asarray(shared, dtype=np.float64),
+                )
+                for cand, shared, _, _ in packs
+            ]
+        )
+        # LayerNorm + user feed-forward, row-wise (rows are independent).
+        d = X.shape[-1]
+        inv_d = 1.0 / d
+        mu = X.sum(axis=-1, keepdims=True) * inv_d
+        centered = X - mu
+        var = (centered * centered).sum(axis=-1, keepdims=True) * inv_d
+        normed = centered * (var + self.norm.eps) ** -0.5
+        xn = normed * self.norm.gamma.data + self.norm.beta.data
+        pre = xn @ self.user_ff.W.data + self.user_ff.b.data
+        h_user = pre * (pre > 0)
+
+        if self.use_exogenous:
+            att = self._attend_packed(packs)
+            x_tn = np.repeat(att, sizes, axis=0)
+            joint = np.concatenate([h_user, x_tn], axis=1)
+        else:
+            joint = h_user
+
+        if self.mode == "static":
+            pre = joint @ self.hidden_ff.W.data + self.hidden_ff.b.data
+            hidden = pre * (pre > 0)
+            logits = (hidden @ self.out.W.data + self.out.b.data).reshape(len(joint))
+        else:
+            logits = self._unroll_packed(joint)
+        proba = sigmoid_data(logits)
+        return np.split(proba, np.cumsum(sizes)[:-1])
+
+    def _attend_packed(self, packs: list[tuple]) -> np.ndarray:
+        """Mask-aware exogenous attention over padded news sequences.
+
+        Padding rows are zero vectors appended after each cascade's real
+        news; their scores are forced to ``-inf`` before the softmax, so
+        padding contributes exact zeros to the trailing end of every
+        (sequential, numpy-side) reduction.  Any residual difference vs the
+        per-cascade computation comes from the stacked gemms' row counts,
+        not from the masking — see :meth:`predict_proba_packed`.
+        """
+        attn = self.attention
+        C = len(packs)
+        tweets = np.stack([np.asarray(p[2], dtype=np.float64) for p in packs])
+        news_list = [np.asarray(p[3], dtype=np.float64) for p in packs]
+        K = max(n.shape[0] for n in news_list)
+        nd = news_list[0].shape[1]
+        news = np.zeros((C, K, nd))
+        kmask = np.zeros((C, K), dtype=bool)
+        for c, n in enumerate(news_list):
+            news[c, : n.shape[0]] = n
+            kmask[c, : n.shape[0]] = True
+        q = tweets @ attn.WQ.data
+        k = news @ attn.WK.data
+        v = news @ attn.WV.data
+        scores = (q[:, None, :] * k).sum(axis=-1) * (attn.hdim**-0.5)
+        m = np.where(kmask, scores, -np.inf).max(axis=-1, keepdims=True)
+        e = exp_data(scores - m)
+        e[~kmask] = 0.0
+        w = e * e.sum(axis=-1, keepdims=True) ** -1.0
+        return (w[:, :, None] * v).sum(axis=1)
+
+    def _unroll_packed(self, joint: np.ndarray) -> np.ndarray:
+        """Numpy unroll of the recurrent head on a packed candidate batch."""
+        cell = self.cell
+        B = joint.shape[0]
+        h = np.zeros((B, self.hdim))
+        if self.recurrent_cell == "lstm":
+            c = np.zeros((B, self.hdim))
+            xi = joint @ cell.Wi.data
+            hs = cell.hidden_size
+        elif self.recurrent_cell == "rnn":
+            xw = joint @ cell.W.data
+        else:
+            xz = joint @ cell.Wz.data
+            xr = joint @ cell.Wr.data
+            xn = joint @ cell.Wn.data
+        logits = []
+        for _ in range(self.n_intervals):
+            if self.recurrent_cell == "lstm":
+                gates = xi + h @ cell.Ui.data + cell.bi.data
+                i_g = sigmoid_data(gates[:, :hs])
+                f_g = sigmoid_data(gates[:, hs : 2 * hs])
+                g_g = np.tanh(gates[:, 2 * hs : 3 * hs])
+                o_g = sigmoid_data(gates[:, 3 * hs :])
+                c = f_g * c + i_g * g_g
+                h = o_g * np.tanh(c)
+            elif self.recurrent_cell == "rnn":
+                h = np.tanh(xw + h @ cell.U.data + cell.b.data)
+            else:
+                z = sigmoid_data(xz + h @ cell.Uz.data + cell.bz.data)
+                r = sigmoid_data(xr + h @ cell.Ur.data + cell.br.data)
+                n = np.tanh(xn + (r * h) @ cell.Un.data + cell.bn.data)
+                h = (1.0 - z) * n + z * h
+            logits.append((h @ self.out.W.data + self.out.b.data).reshape(B))
+        return np.stack(logits, axis=1)
 
     @staticmethod
     def static_score_from_dynamic(interval_proba: np.ndarray) -> np.ndarray:

@@ -46,6 +46,11 @@ class RetinaTrainer:
         self.batch_size = batch_size if batch_size is not None else (32 if dynamic else 16)
         self.epochs = epochs
         self.random_state = random_state
+        #: Budget (in float64 elements, ~64 MB default) for pre-assembled
+        #: mini-batch rows pinned across epochs; beyond it samples fall
+        #: back to per-step lazy assembly.  Purely a speed/memory knob —
+        #: assembled values are identical either way.
+        self.row_cache_elems = 8_000_000
         if self.optimizer_name not in ("adam", "sgd"):
             raise ValueError(f"optimizer must be 'adam' or 'sgd', got {optimizer!r}")
 
@@ -55,7 +60,16 @@ class RetinaTrainer:
         return positive_class_weight(max(n_total, 2), max(n_pos, 1), self.lam)
 
     def fit(self, samples: list[RetinaSample]) -> "RetinaTrainer":
-        """Train on a list of cascade samples."""
+        """Train on a list of cascade samples.
+
+        Per-sample state that the seed loop rebuilt on every epoch — the
+        index range, the positive/negative split, the tweet/news tensor
+        wraps, and (for samples that fit in one mini-batch) the assembled
+        feature rows — is hoisted out of the epoch loop.  The RNG stream is
+        untouched: only the shuffle and the negative subsampling draw from
+        it, exactly as before, so trained weights stay bit-identical to the
+        seed schedule (``repro.nn.reference.fit_reference``).
+        """
         if not samples:
             raise ValueError("fit requires at least one sample")
         rng = ensure_rng(self.random_state)
@@ -67,31 +81,57 @@ class RetinaTrainer:
         )
         w = self._pos_weight(samples)
         dynamic = self.model.mode == "dynamic"
+        batch_size = self.batch_size
+        model = self.model
+        # ----- hoisted per-sample state (constant across epochs) ---------
+        # Samples that fit in one mini-batch may also pre-assemble their
+        # rows, but only up to a fixed budget: pinning every tiled matrix
+        # would undo the block-structured samples' memory design on large
+        # corpora (row assembly itself is cheap; the caching is a bonus).
+        row_budget = self.row_cache_elems
+        prepared = []
+        for sample in samples:
+            n = len(sample.labels)
+            tweet = Tensor(sample.tweet_vec)
+            news = Tensor(sample.news_vecs)
+            targets_all = sample.interval_labels if dynamic else sample.labels
+            if n > batch_size:
+                # Subsampled every step: keep the index split, not the rows.
+                pos = np.flatnonzero(sample.labels == 1)
+                neg = np.flatnonzero(sample.labels == 0)
+                prepared.append((sample, tweet, news, targets_all, pos, neg, None, None))
+                continue
+            idx = np.arange(n)
+            X = targets = None
+            rows_elems = n * (
+                sample.cand_features.shape[1] + sample.shared_features.shape[0]
+            )
+            if rows_elems <= row_budget:
+                # Whole cascade is one mini-batch: assemble rows and targets
+                # once for all epochs (bit-identical to re-assembly).
+                row_budget -= rows_elems
+                X = Tensor(sample.rows(idx))
+                targets = targets_all[idx]
+            prepared.append((sample, tweet, news, targets_all, idx, None, X, targets))
         order = np.arange(len(samples))
         for _ in range(self.epochs):
             rng.shuffle(order)
             for si in order:
-                sample = samples[si]
-                n = len(sample.labels)
-                idx = np.arange(n)
-                if n > self.batch_size:
-                    # Keep all positives, subsample negatives.
-                    pos = np.flatnonzero(sample.labels == 1)
-                    neg = np.flatnonzero(sample.labels == 0)
-                    keep_neg = rng.choice(
-                        neg, size=max(1, self.batch_size - len(pos)), replace=False
-                    ) if len(neg) else np.array([], dtype=int)
-                    idx = np.concatenate([pos, keep_neg])
-                # Lazy assembly: only the mini-batch rows are materialised;
-                # the sample itself never stores the tiled shared block.
-                X = Tensor(sample.rows(idx))
-                tweet = Tensor(sample.tweet_vec)
-                news = Tensor(sample.news_vecs)
-                logits = self.model(X, tweet, news)
-                if dynamic:
-                    targets = sample.interval_labels[idx]
-                else:
-                    targets = sample.labels[idx]
+                sample, tweet, news, targets_all, pos, neg, X, targets = prepared[si]
+                if X is None:
+                    if neg is None:
+                        idx = pos  # precomputed arange(n): no subsampling
+                    else:
+                        # Keep all positives, subsample negatives.
+                        keep_neg = rng.choice(
+                            neg, size=max(1, batch_size - len(pos)), replace=False
+                        ) if len(neg) else np.array([], dtype=int)
+                        idx = np.concatenate([pos, keep_neg])
+                    # Lazy assembly: only the mini-batch rows materialise;
+                    # the sample never stores the tiled shared block.
+                    X = Tensor(sample.rows(idx))
+                    targets = targets_all[idx]
+                logits = model(X, tweet, news)
                 loss = weighted_bce_with_logits(logits, targets, pos_weight=w)
                 opt.zero_grad()
                 loss.backward()

@@ -179,9 +179,9 @@ class FeatureStore:
             )
             self.history[i] = np.concatenate([tfidf[k], lex_vec, scalars])
             if texts:
-                doc_vecs = [
-                    self.doc2vec.infer_vector(t, random_state=0) for t in texts[-5:]
-                ]
+                # Batched inference kernel; bit-identical to per-document
+                # infer_vector calls with the same fixed seed.
+                doc_vecs = self.doc2vec.transform(texts[-5:], random_state=0)
                 self.doc_vecs[i] = np.mean(doc_vecs, axis=0)
             self._built[i] = True
 

@@ -7,12 +7,17 @@ differentiation, the layers RETINA uses (Dense, LayerNorm, GRU), the scaled
 dot-product exogenous attention (paper Eqs. 3-5), the weighted binary
 cross-entropy loss (paper Eq. 6), and SGD/Adam optimisers.
 
-All gradients are verified against central finite differences in
-``tests/nn``.
+The hot compute path runs on *fused* tape nodes (:mod:`repro.nn.fused`):
+each layer forward is a single node whose data and gradients are
+bit-identical to the primitive-op chain it replaced, which is frozen
+verbatim in :mod:`repro.nn.reference` for golden comparisons.
+
+All gradients are verified against central finite differences
+(:mod:`repro.nn.gradcheck`) in ``tests/nn``.
 """
 
 from repro.nn.tensor import Tensor
-from repro.nn import functional
+from repro.nn import functional, fused, gradcheck
 from repro.nn.layers import (
     GRU,
     GRUCell,

@@ -17,8 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn import init
-from repro.nn.functional import softmax
+from repro.nn import fused, init
 from repro.nn.layers import Module
 from repro.nn.tensor import Tensor
 from repro.utils.rng import ensure_rng
@@ -63,21 +62,18 @@ class ScaledDotProductAttention(Module):
         Returns
         -------
         ``(batch, hdim)`` attended exogenous representation ``X_TN``; with
-        ``return_weights=True`` also the ``(batch, k)`` attention weights.
+        ``return_weights=True`` also the ``(batch, k)`` attention weights
+        (a constant tensor — gradients flow through the attended output).
         """
         if tweet.ndim != 2 or news.ndim != 3:
             raise ValueError(
                 f"expected tweet (batch, d) and news (batch, k, d), got {tweet.shape} and {news.shape}"
             )
-        q = tweet @ self.WQ  # (batch, hdim)
-        k = news @ self.WK  # (batch, k, hdim)
-        v = news @ self.WV  # (batch, k, hdim)
-        batch = q.shape[0]
-        # Contraction Q . K along hdim: (batch, 1, hdim) * (batch, k, hdim).
-        scores = (q.reshape(batch, 1, self.hdim) * k).sum(axis=-1)  # (batch, k)
-        scores = scores * (self.hdim**-0.5)
-        weights = softmax(scores, axis=-1)  # (batch, k)
-        attended = (weights.reshape(batch, -1, 1) * v).sum(axis=1)  # (batch, hdim)
+        # One fused node for projections + contraction + softmax + pooling;
+        # bit-identical to the seed chain (repro.nn.reference).
+        attended, weights_data = fused.scaled_dot_attention(
+            tweet, news, self.WQ, self.WK, self.WV, self.hdim
+        )
         if return_weights:
-            return attended, weights
+            return attended, Tensor(weights_data)
         return attended

@@ -1,0 +1,79 @@
+"""Central finite-difference gradient checking for the autograd engine.
+
+Every op and layer — primitive chains and the fused nodes in
+:mod:`repro.nn.fused` alike — is validated against these helpers in
+``tests/nn``; they are exported from the package so downstream experiments
+can gradcheck their own composites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["numeric_grad", "check_gradient", "check_parameter_gradients"]
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(x)`` wrt array ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = fn(x)
+        x[idx] = orig - eps
+        f_minus = fn(x)
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(build_fn, x0: np.ndarray, atol: float = 1e-5, rtol: float = 1e-4):
+    """Assert the autograd gradient of ``build_fn`` matches finite differences.
+
+    ``build_fn`` maps a Tensor to a scalar Tensor loss.
+    """
+    x0 = np.asarray(x0, dtype=np.float64)
+    t = Tensor(x0.copy(), requires_grad=True)
+    loss = build_fn(t)
+    loss.backward()
+    auto = t.grad.copy()
+
+    def scalar_fn(arr):
+        return build_fn(Tensor(arr.copy())).item()
+
+    numeric = numeric_grad(scalar_fn, x0.copy())
+    np.testing.assert_allclose(auto, numeric, atol=atol, rtol=rtol)
+
+
+def check_parameter_gradients(
+    module, build_fn, atol: float = 1e-5, rtol: float = 1e-4
+) -> None:
+    """Gradcheck a module's *parameters* under an arbitrary scalar loss.
+
+    ``build_fn`` takes no arguments and returns a scalar Tensor loss built
+    from ``module``'s current weights; each trainable parameter is perturbed
+    in place for the finite-difference probes.
+    """
+    named = module._named_parameters()
+    module.zero_grad()
+    build_fn().backward()
+    autos = {name: (t.grad.copy() if t.grad is not None else np.zeros_like(t.data)) for name, t in named.items()}
+    for name, tensor in named.items():
+        def scalar_fn(arr, _tensor=tensor):
+            saved = _tensor.data
+            _tensor.data = arr
+            try:
+                return build_fn().item()
+            finally:
+                _tensor.data = saved
+
+        numeric = numeric_grad(scalar_fn, tensor.data.copy())
+        np.testing.assert_allclose(
+            autos[name], numeric, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for parameter {name}",
+        )

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn import init
+from repro.nn import fused, init
 from repro.nn.functional import dropout_mask
 from repro.nn.tensor import Tensor
 from repro.utils.rng import ensure_rng
@@ -181,16 +181,9 @@ class Dense(Module):
         self.b = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.W
-        if self.b is not None:
-            out = out + self.b
-        if self.activation == "relu":
-            out = out.relu()
-        elif self.activation == "tanh":
-            out = out.tanh()
-        elif self.activation == "sigmoid":
-            out = out.sigmoid()
-        return out
+        # One fused affine(+activation) node instead of a matmul->add->act
+        # chain; bit-identical to the seed path (repro.nn.reference).
+        return fused.affine(x, self.W, self.b, self.activation)
 
 
 class LayerNorm(Module):
@@ -203,11 +196,7 @@ class LayerNorm(Module):
         self.beta = Tensor(np.zeros(dim), requires_grad=True)
 
     def forward(self, x: Tensor) -> Tensor:
-        mu = x.mean(axis=-1, keepdims=True)
-        centered = x - mu
-        var = (centered * centered).mean(axis=-1, keepdims=True)
-        normed = centered * (var + self.eps).pow(-0.5)
-        return normed * self.gamma + self.beta
+        return fused.layer_norm(x, self.gamma, self.beta, self.eps)
 
 
 class Dropout(Module):
@@ -271,8 +260,16 @@ class RNNCell(Module):
         self.U = Tensor(init.orthogonal(hidden_size, hidden_size, rng), requires_grad=True)
         self.b = Tensor(np.zeros(hidden_size), requires_grad=True)
 
+    def project_input(self, x: Tensor) -> fused.RNNProjection:
+        """Precompute ``x @ W`` for reuse across an unroll over fixed input."""
+        return fused.rnn_project(self, x)
+
+    def step(self, proj: fused.RNNProjection, h: Tensor) -> Tensor:
+        """One fused step on a precomputed input projection."""
+        return fused.rnn_step(self, proj, h)
+
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
-        return (x @ self.W + h @ self.U + self.b).tanh()
+        return fused.rnn_step(self, fused.rnn_project(self, x), h)
 
 
 class GRUCell(Module):
@@ -293,11 +290,17 @@ class GRUCell(Module):
         self.Un = Tensor(init.orthogonal(h, h, rng), requires_grad=True)
         self.bn = Tensor(np.zeros(h), requires_grad=True)
 
+    def project_input(self, x: Tensor) -> fused.GRUProjection:
+        """Precompute ``x @ W_{z,r,n}`` for reuse across an unroll over fixed
+        input (RETINA-D feeds the same ``joint`` to all intervals)."""
+        return fused.gru_project(self, x)
+
+    def step(self, proj: fused.GRUProjection, h: Tensor) -> Tensor:
+        """One fused step on a precomputed input projection."""
+        return fused.gru_step(self, proj, h)
+
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
-        z = (x @ self.Wz + h @ self.Uz + self.bz).sigmoid()
-        r = (x @ self.Wr + h @ self.Ur + self.br).sigmoid()
-        n = (x @ self.Wn + (r * h) @ self.Un + self.bn).tanh()
-        return (1.0 - z) * n + z * h
+        return fused.gru_step(self, fused.gru_project(self, x), h)
 
 
 class LSTMCell(Module):
@@ -312,17 +315,18 @@ class LSTMCell(Module):
         self.Ui = Tensor(init.glorot_uniform(h, 4 * h, rng), requires_grad=True)
         self.bi = Tensor(np.zeros(4 * h), requires_grad=True)
 
+    def project_input(self, x: Tensor) -> fused.LSTMProjection:
+        """Precompute ``x @ Wi`` for reuse across an unroll over fixed input."""
+        return fused.lstm_project(self, x)
+
+    def step(
+        self, proj: fused.LSTMProjection, state: tuple[Tensor, Tensor]
+    ) -> tuple[Tensor, Tensor]:
+        """One fused step on a precomputed input projection."""
+        return fused.lstm_step(self, proj, state)
+
     def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
-        h, c = state
-        gates = x @ self.Wi + h @ self.Ui + self.bi
-        hs = self.hidden_size
-        i = gates[:, :hs].sigmoid()
-        f = gates[:, hs : 2 * hs].sigmoid()
-        g = gates[:, 2 * hs : 3 * hs].tanh()
-        o = gates[:, 3 * hs :].sigmoid()
-        c_new = f * c + i * g
-        h_new = o * c_new.tanh()
-        return h_new, c_new
+        return fused.lstm_step(self, fused.lstm_project(self, x), state)
 
 
 class GRU(Module):

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.functional import abs_, softplus
+from repro.nn.fused import bce_with_logits_fused
 from repro.nn.tensor import Tensor
 
 __all__ = [
@@ -20,24 +20,21 @@ __all__ = [
 ]
 
 
-def _stable_bce_terms(logits: Tensor, targets: Tensor) -> tuple[Tensor, Tensor]:
-    """Per-sample -log p and -log(1-p) computed stably from logits.
-
-    ``-log sigmoid(z) = softplus(-z)`` and ``-log(1 - sigmoid(z)) = softplus(z)``.
-    """
-    return softplus(-logits), softplus(logits)
-
-
 def bce_with_logits(logits: Tensor, targets) -> Tensor:
-    """Mean binary cross-entropy on raw logits."""
-    targets = Tensor(np.asarray(targets, dtype=np.float64))
-    neg_log_p, neg_log_1mp = _stable_bce_terms(logits, targets)
-    loss = targets * neg_log_p + (1.0 - targets) * neg_log_1mp
-    return loss.mean()
+    """Mean binary cross-entropy on raw logits.
+
+    Computed stably from logits (``-log sigmoid(z) = softplus(-z)``) as one
+    fused tape node, bit-identical to the seed softplus chain
+    (:func:`repro.nn.reference.bce_with_logits_reference`).
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    return bce_with_logits_fused(logits, targets, pos_weight=None)
 
 
 def weighted_bce_with_logits(logits: Tensor, targets, pos_weight: float) -> Tensor:
     """Paper Eq. 6: ``L = -w t log p - (1 - t) log (1 - p)`` averaged.
+
+    One fused tape node, bit-identical to the seed softplus chain.
 
     Parameters
     ----------
@@ -46,10 +43,8 @@ def weighted_bce_with_logits(logits: Tensor, targets, pos_weight: float) -> Tens
     """
     if pos_weight <= 0:
         raise ValueError(f"pos_weight must be positive, got {pos_weight}")
-    targets = Tensor(np.asarray(targets, dtype=np.float64))
-    neg_log_p, neg_log_1mp = _stable_bce_terms(logits, targets)
-    loss = pos_weight * targets * neg_log_p + (1.0 - targets) * neg_log_1mp
-    return loss.mean()
+    targets = np.asarray(targets, dtype=np.float64)
+    return bce_with_logits_fused(logits, targets, pos_weight=float(pos_weight))
 
 
 def positive_class_weight(n_total: int, n_positive: int, lam: float) -> float:

@@ -2,6 +2,15 @@
 
 The paper trains RETINA with SGD (lr 1e-2, dynamic mode) and Adam (default
 parameters, static mode); both are provided.
+
+Updates run on one flat parameter-sized buffer when every parameter has a
+gradient (the common case): per-parameter gradients are clipped, packed
+into a single contiguous array, updated with a handful of large elementwise
+ops, and scattered back.  Because every operation stays elementwise with
+the same operand order, the resulting weights are bit-identical to the seed
+per-parameter loops (frozen in :mod:`repro.nn.reference` and enforced by
+the golden tests); parameters that skipped a step (``grad is None``) fall
+back to the per-parameter path with per-segment state untouched.
 """
 
 from __future__ import annotations
@@ -22,10 +31,39 @@ class _Optimizer:
             raise ValueError("optimizer received no parameters")
         self.parameters = params
         self.lr = lr
+        self._sizes = [p.data.size for p in params]
+        self._offsets = np.concatenate([[0], np.cumsum(self._sizes)])
+        self._total = int(self._offsets[-1])
 
     def zero_grad(self) -> None:
         for p in self.parameters:
             p.zero_grad()
+
+    def _clipped_grads(self, clip_norm: float | None) -> list[np.ndarray] | None:
+        """Per-parameter clipped gradients, or ``None`` if any are missing."""
+        grads = []
+        for p in self.parameters:
+            g = p.grad
+            if g is None:
+                return None
+            if clip_norm is not None:
+                norm = np.linalg.norm(g)
+                if norm > clip_norm:
+                    g = g * (clip_norm / norm)
+            grads.append(g)
+        return grads
+
+    def _flat(self, grads: list[np.ndarray]) -> np.ndarray:
+        buf = getattr(self, "_gflat", None)
+        if buf is None:
+            buf = self._gflat = np.empty(self._total)
+        np.concatenate([g.ravel() for g in grads], out=buf)
+        return buf
+
+    def _scatter_update(self, update_flat: np.ndarray) -> None:
+        """Apply ``p.data -= update`` per parameter from the flat buffer."""
+        for p, off, size in zip(self.parameters, self._offsets, self._sizes):
+            p.data -= update_flat[off : off + size].reshape(p.data.shape)
 
     def step(self) -> None:
         raise NotImplementedError
@@ -46,10 +84,13 @@ class SGD(_Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
         self.clip_norm = clip_norm
-        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._velocity = np.zeros(self._total)
 
     def step(self) -> None:
-        for p, v in zip(self.parameters, self._velocity):
+        # SGD does so few passes per parameter that packing gradients into
+        # a flat buffer costs more than it saves; the per-parameter loop on
+        # flat-state views is the fast path here (unlike Adam).
+        for p, off, size in zip(self.parameters, self._offsets, self._sizes):
             if p.grad is None:
                 continue
             g = p.grad
@@ -58,6 +99,7 @@ class SGD(_Optimizer):
                 if norm > self.clip_norm:
                     g = g * (self.clip_norm / norm)
             if self.momentum:
+                v = self._velocity[off : off + size].reshape(p.data.shape)
                 v *= self.momentum
                 v += g
                 g = v
@@ -81,14 +123,52 @@ class Adam(_Optimizer):
         self.beta2 = beta2
         self.eps = eps
         self.clip_norm = clip_norm
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._m = np.zeros(self._total)
+        self._v = np.zeros(self._total)
         self._t = 0
+
+    def _update_segment(self, m, v, g):
+        """Seed Adam update for one per-parameter state segment."""
+        b1, b2 = self.beta1, self.beta2
+        m *= b1
+        m += (1 - b1) * g
+        v *= b2
+        v += (1 - b2) * g * g
+        m_hat = m / (1 - b1**self._t)
+        v_hat = v / (1 - b2**self._t)
+        return self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
     def step(self) -> None:
         self._t += 1
-        b1, b2 = self.beta1, self.beta2
-        for p, m, v in zip(self.parameters, self._m, self._v):
+        grads = self._clipped_grads(self.clip_norm)
+        if grads is not None:
+            # Flat update in two scratch buffers; every elementwise op and
+            # its operand order matches the seed per-parameter expressions,
+            # so the written weights are bit-identical.
+            g = self._flat(grads)
+            b1, b2 = self.beta1, self.beta2
+            buf = getattr(self, "_buf", None)
+            if buf is None:
+                buf = self._buf = np.empty(self._total)
+                self._buf2 = np.empty(self._total)
+            buf2 = self._buf2
+            m, v = self._m, self._v
+            m *= b1
+            np.multiply(g, 1 - b1, out=buf)  # (1-b1)*g
+            m += buf
+            v *= b2
+            np.multiply(g, 1 - b2, out=buf)
+            buf *= g  # ((1-b2)*g)*g, the seed's association
+            v += buf
+            np.divide(m, 1 - b1**self._t, out=buf2)  # m_hat
+            np.divide(v, 1 - b2**self._t, out=buf)  # v_hat
+            np.sqrt(buf, out=buf)
+            buf += self.eps
+            np.multiply(buf2, self.lr, out=buf2)  # lr * m_hat
+            np.divide(buf2, buf, out=buf2)
+            self._scatter_update(buf2)
+            return
+        for p, off, size in zip(self.parameters, self._offsets, self._sizes):
             if p.grad is None:
                 continue
             g = p.grad
@@ -96,10 +176,6 @@ class Adam(_Optimizer):
                 norm = np.linalg.norm(g)
                 if norm > self.clip_norm:
                     g = g * (self.clip_norm / norm)
-            m *= b1
-            m += (1 - b1) * g
-            v *= b2
-            v += (1 - b2) * g * g
-            m_hat = m / (1 - b1**self._t)
-            v_hat = v / (1 - b2**self._t)
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            m = self._m[off : off + size].reshape(p.data.shape)
+            v = self._v[off : off + size].reshape(p.data.shape)
+            p.data -= self._update_segment(m, v, g)

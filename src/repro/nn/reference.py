@@ -1,0 +1,291 @@
+"""Frozen seed forward/training path for golden parity tests.
+
+This module preserves, verbatim, the pre-fusion compute path: every layer
+forward written as a chain of primitive :class:`~repro.nn.tensor.Tensor`
+ops (matmul -> add -> activation, the 12-node LayerNorm chain, the
+softplus-based BCE, the per-step GRU that re-projects its input on every
+interval).  The fused path in :mod:`repro.nn.fused` must reproduce it
+**bit-identically** — same forward data, same gradients, same trained
+weights — which ``tests/nn/test_fused.py`` and
+``tests/core/test_golden_compute.py`` enforce with ``np.array_equal``, and
+``benchmarks/bench_train_step.py`` re-checks on every run.
+
+Nothing here shares code with the fused implementations; keep it frozen so
+the comparison stays meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import softmax, softplus
+from repro.nn.tensor import Tensor
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "dense_forward",
+    "layer_norm_forward",
+    "attention_forward",
+    "gru_cell_forward",
+    "rnn_cell_forward",
+    "lstm_cell_forward",
+    "bce_with_logits_reference",
+    "weighted_bce_with_logits_reference",
+    "ReferenceSGD",
+    "ReferenceAdam",
+    "retina_forward",
+    "fit_reference",
+]
+
+
+# ------------------------------------------------------------- layer fwds
+def dense_forward(layer, x: Tensor) -> Tensor:
+    """Seed ``Dense.forward``: matmul, add, then an activation node."""
+    out = x @ layer.W
+    if layer.b is not None:
+        out = out + layer.b
+    if layer.activation == "relu":
+        out = out.relu()
+    elif layer.activation == "tanh":
+        out = out.tanh()
+    elif layer.activation == "sigmoid":
+        out = out.sigmoid()
+    return out
+
+
+def layer_norm_forward(layer, x: Tensor) -> Tensor:
+    """Seed ``LayerNorm.forward``: mean/var built from sum-times-reciprocal."""
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    normed = centered * (var + layer.eps).pow(-0.5)
+    return normed * layer.gamma + layer.beta
+
+
+def attention_forward(attn, tweet: Tensor, news: Tensor, return_weights: bool = False):
+    """Seed ``ScaledDotProductAttention.forward`` as a primitive-op chain."""
+    q = tweet @ attn.WQ
+    k = news @ attn.WK
+    v = news @ attn.WV
+    batch = q.shape[0]
+    scores = (q.reshape(batch, 1, attn.hdim) * k).sum(axis=-1)
+    scores = scores * (attn.hdim**-0.5)
+    weights = softmax(scores, axis=-1)
+    attended = (weights.reshape(batch, -1, 1) * v).sum(axis=1)
+    if return_weights:
+        return attended, weights
+    return attended
+
+
+def gru_cell_forward(cell, x: Tensor, h: Tensor) -> Tensor:
+    """Seed ``GRUCell.forward``: re-projects ``x`` on every call."""
+    z = (x @ cell.Wz + h @ cell.Uz + cell.bz).sigmoid()
+    r = (x @ cell.Wr + h @ cell.Ur + cell.br).sigmoid()
+    n = (x @ cell.Wn + (r * h) @ cell.Un + cell.bn).tanh()
+    return (1.0 - z) * n + z * h
+
+
+def rnn_cell_forward(cell, x: Tensor, h: Tensor) -> Tensor:
+    """Seed ``RNNCell.forward``."""
+    return (x @ cell.W + h @ cell.U + cell.b).tanh()
+
+
+def lstm_cell_forward(cell, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+    """Seed ``LSTMCell.forward``."""
+    h, c = state
+    gates = x @ cell.Wi + h @ cell.Ui + cell.bi
+    hs = cell.hidden_size
+    i = gates[:, :hs].sigmoid()
+    f = gates[:, hs : 2 * hs].sigmoid()
+    g = gates[:, 2 * hs : 3 * hs].tanh()
+    o = gates[:, 3 * hs :].sigmoid()
+    c_new = f * c + i * g
+    h_new = o * c_new.tanh()
+    return h_new, c_new
+
+
+# ------------------------------------------------------------------ losses
+def bce_with_logits_reference(logits: Tensor, targets) -> Tensor:
+    """Seed ``bce_with_logits`` built from the softplus chain."""
+    targets = Tensor(np.asarray(targets, dtype=np.float64))
+    neg_log_p, neg_log_1mp = softplus(-logits), softplus(logits)
+    loss = targets * neg_log_p + (1.0 - targets) * neg_log_1mp
+    return loss.mean()
+
+
+def weighted_bce_with_logits_reference(logits: Tensor, targets, pos_weight: float) -> Tensor:
+    """Seed ``weighted_bce_with_logits`` (paper Eq. 6)."""
+    targets = Tensor(np.asarray(targets, dtype=np.float64))
+    neg_log_p, neg_log_1mp = softplus(-logits), softplus(logits)
+    loss = pos_weight * targets * neg_log_p + (1.0 - targets) * neg_log_1mp
+    return loss.mean()
+
+
+# -------------------------------------------------------------- optimisers
+class ReferenceSGD:
+    """Seed SGD: per-parameter clip, momentum, and update loops."""
+
+    def __init__(self, parameters, lr, momentum=0.0, clip_norm=5.0):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.clip_norm = clip_norm
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def zero_grad(self):
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self):
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.clip_norm is not None:
+                norm = np.linalg.norm(g)
+                if norm > self.clip_norm:
+                    g = g * (self.clip_norm / norm)
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+
+class ReferenceAdam:
+    """Seed Adam: per-parameter state lists and update loops."""
+
+    def __init__(self, parameters, lr, beta1=0.9, beta2=0.999, eps=1e-7, clip_norm=5.0):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.clip_norm = clip_norm
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def zero_grad(self):
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self):
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.clip_norm is not None:
+                norm = np.linalg.norm(g)
+                if norm > self.clip_norm:
+                    g = g * (self.clip_norm / norm)
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+# ------------------------------------------------------------------ RETINA
+def _joint_reference(model, user_features: Tensor, tweet_vec: Tensor, news_vecs: Tensor) -> Tensor:
+    h_user = dense_forward(model.user_ff, layer_norm_forward(model.norm, user_features))
+    if not model.use_exogenous:
+        return h_user
+    B = user_features.shape[0]
+    attended = attention_forward(
+        model.attention, tweet_vec.reshape(1, -1), news_vecs.reshape(1, *news_vecs.shape)
+    )
+    ones = Tensor(np.ones((B, 1)))
+    x_tn = ones @ attended
+    return Tensor.concat([h_user, x_tn], axis=1)
+
+
+def retina_forward(model, user_features: Tensor, tweet_vec: Tensor, news_vecs: Tensor) -> Tensor:
+    """Seed ``RETINA.forward``: per-step input re-projection, no fusion."""
+    joint = _joint_reference(model, user_features, tweet_vec, news_vecs)
+    if model.mode == "static":
+        return dense_forward(model.out, dense_forward(model.hidden_ff, joint)).reshape(
+            joint.shape[0]
+        )
+    B = joint.shape[0]
+    h = Tensor(np.zeros((B, model.hdim)))
+    state = (h, Tensor(np.zeros((B, model.hdim)))) if model.recurrent_cell == "lstm" else h
+    logits = []
+    for _ in range(model.n_intervals):
+        if model.recurrent_cell == "lstm":
+            h, c = lstm_cell_forward(model.cell, joint, state)
+            state = (h, c)
+        elif model.recurrent_cell == "rnn":
+            h = rnn_cell_forward(model.cell, joint, state)
+            state = h
+        else:
+            h = gru_cell_forward(model.cell, joint, state)
+            state = h
+        logits.append(dense_forward(model.out, h).reshape(B))
+    return Tensor.stack(logits, axis=1)
+
+
+def fit_reference(
+    model,
+    samples,
+    *,
+    lam: float | None = None,
+    lr: float | None = None,
+    optimizer: str | None = None,
+    batch_size: int | None = None,
+    epochs: int = 3,
+    random_state=None,
+):
+    """Seed ``RetinaTrainer.fit``: per-epoch index rebuilds, per-step tensor
+    wraps, unfused forward and loss.  Consumes the same RNG stream as the
+    current trainer so trained weights are directly comparable."""
+    from repro.nn.losses import positive_class_weight
+
+    if not samples:
+        raise ValueError("fit requires at least one sample")
+    dynamic = model.mode == "dynamic"
+    lam = lam if lam is not None else (2.5 if dynamic else 2.0)
+    lr = lr if lr is not None else (1e-2 if dynamic else 1e-3)
+    optimizer = optimizer or ("sgd" if dynamic else "adam")
+    batch_size = batch_size if batch_size is not None else (32 if dynamic else 16)
+
+    rng = ensure_rng(random_state)
+    params = model.parameters()
+    opt = (
+        ReferenceAdam(params, lr=lr)
+        if optimizer == "adam"
+        else ReferenceSGD(params, lr=lr, momentum=0.9)
+    )
+    n_total = sum(len(s.labels) for s in samples)
+    n_pos = int(sum(s.labels.sum() for s in samples))
+    w = positive_class_weight(max(n_total, 2), max(n_pos, 1), lam)
+    order = np.arange(len(samples))
+    for _ in range(epochs):
+        rng.shuffle(order)
+        for si in order:
+            sample = samples[si]
+            n = len(sample.labels)
+            idx = np.arange(n)
+            if n > batch_size:
+                pos = np.flatnonzero(sample.labels == 1)
+                neg = np.flatnonzero(sample.labels == 0)
+                keep_neg = (
+                    rng.choice(neg, size=max(1, batch_size - len(pos)), replace=False)
+                    if len(neg)
+                    else np.array([], dtype=int)
+                )
+                idx = np.concatenate([pos, keep_neg])
+            X = Tensor(sample.rows(idx))
+            tweet = Tensor(sample.tweet_vec)
+            news = Tensor(sample.news_vecs)
+            logits = retina_forward(model, X, tweet, news)
+            targets = sample.interval_labels[idx] if dynamic else sample.labels[idx]
+            loss = weighted_bce_with_logits_reference(logits, targets, pos_weight=w)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+    return model

@@ -20,6 +20,8 @@ __all__ = ["Tensor"]
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:  # overwhelmingly common: no broadcasting happened
+        return grad
     # Remove leading broadcast axes.
     while grad.ndim > len(shape):
         grad = grad.sum(axis=0)
@@ -92,8 +94,25 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+            # First contribution: own a copy instead of zeros-then-add (one
+            # array pass saved per tensor per backward; only -0.0 vs +0.0
+            # can differ from 0 + grad, which compares equal and cannot
+            # propagate to a nonzero difference through the op set).
+            self.grad = np.array(grad, dtype=np.float64)
+            if self.grad.shape != self.data.shape:
+                self.grad = np.broadcast_to(grad, self.data.shape).astype(np.float64)
+        else:
+            self.grad += grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Like :meth:`_accumulate` for a freshly-allocated ``grad`` the
+        caller promises never to reuse: the first contribution is stored by
+        reference instead of copied.  Fused backward closures use this for
+        their matmul/reduction results."""
+        if self.grad is None:
+            self.grad = grad
+        else:
+            self.grad += grad
 
     @staticmethod
     def _result(data, parents, op, backward) -> "Tensor":

@@ -218,9 +218,15 @@ class RetweeterPredictor:
     def predict_batch(self, payloads: list[dict]) -> list[dict]:
         """Answer a micro-batch; per-payload errors become error results.
 
-        Requests sharing a cascade share one model forward: their candidate
-        users are deduplicated, stacked, and scored in a single vectorised
-        call.
+        Requests sharing a cascade share one candidate batch, and *all*
+        cascades in the micro-batch are scored by one packed, mask-aware
+        forward (``RETINA.predict_proba_packed``): candidate rows stack
+        into a single matrix, the exogenous attention runs over the padded
+        per-cascade news sequences, and no tape is built.  A micro-batch
+        spanning one cascade produces bit-identical scores to the tape
+        forward; packing more cascades changes BLAS row counts, which can
+        move scores by ~1 ulp (the same sensitivity a request already has
+        to its candidate-set composition).
         """
         results: list[dict | None] = [None] * len(payloads)
         groups: dict[int, list[int]] = {}
@@ -233,6 +239,7 @@ class RetweeterPredictor:
                 continue
             groups.setdefault(parsed[i]["cascade"].root.tweet_id, []).append(i)
 
+        packs, positions = [], []
         for cascade_id, idxs in groups.items():
             cascade = parsed[idxs[0]]["cascade"]
             ctx = self._context(cascade)
@@ -244,9 +251,11 @@ class RetweeterPredictor:
                         position[uid] = len(users)
                         users.append(uid)
             cand = self._candidate_rows(cascade, users)
-            proba = self.model.predict_proba_blocks(
-                cand, ctx["shared"], ctx["tweet_vec"], ctx["news_vecs"]
-            )
+            packs.append((cand, ctx["shared"], ctx["tweet_vec"], ctx["news_vecs"]))
+            positions.append(position)
+
+        probas = self.model.predict_proba_packed(packs)
+        for (cascade_id, idxs), position, proba in zip(groups.items(), positions, probas):
             if self.model.mode == "dynamic":
                 static_scores = self.model.static_score_from_dynamic(proba)
             else:

@@ -178,9 +178,90 @@ class Doc2Vec:
             dv -= lr * (err * W).sum(axis=0)
         return dv
 
-    def transform(self, documents) -> np.ndarray:
-        """Infer vectors for a batch of documents."""
-        return np.stack([self.infer_vector(d) for d in documents])
+    def transform(
+        self,
+        documents,
+        *,
+        epochs: int = 25,
+        random_state=None,
+        block_elems: int = 8_000_000,
+    ) -> np.ndarray:
+        """Infer vectors for a batch of documents with one blocked kernel.
+
+        Bit-identical to ``np.stack([self.infer_vector(d) for d in docs])``:
+        every document keeps its own RNG stream (a fresh generator per
+        document for seed-style ``random_state``, sequential draws in
+        document order for a shared generator), and all noise draws and
+        word-vector gathers are hoisted into ``(docs, epochs, m, k)``
+        blocks.  Documents are bucketed by their in-vocabulary length so
+        every stacked matmul slice has exactly the reference gemv's shape —
+        stacked ``np.matmul`` equals its 2-D slices bit for bit, whereas
+        zero-padding rows would shift BLAS row blocking and flip low bits.
+
+        Parameters
+        ----------
+        epochs / random_state:
+            As in :meth:`infer_vector`.
+        block_elems:
+            Soft cap on a bucket's gathered block size (floats) — larger
+            buckets are processed in document-order chunks.
+        """
+        check_fitted(self, "word_vectors_")
+        docs = list(documents)
+        D = len(docs)
+        k = self.vector_size
+        out = np.empty((D, k))
+        if D == 0:
+            return out
+        seed = random_state if random_state is not None else self.random_state
+        shared = isinstance(seed, np.random.Generator)
+
+        # ---- per-document draws, in document order ----------------------
+        # (Draw order is what preserves a shared generator's stream.)
+        by_m: dict[int, list[int]] = {}
+        negs: list[np.ndarray | None] = []
+        ids_list: list[np.ndarray] = []
+        for di, doc in enumerate(docs):
+            rng = seed if shared else ensure_rng(seed)
+            ids = self._doc_word_ids(doc)
+            ids_list.append(ids)
+            out[di] = (rng.random(k) - 0.5) / k
+            if len(ids):
+                n_neg = len(ids) * self.negative
+                negs.append(
+                    np.searchsorted(
+                        self._noise_cdf,
+                        rng.random(epochs * n_neg).reshape(epochs, n_neg),
+                    )
+                )
+                by_m.setdefault(len(ids), []).append(di)
+            else:
+                negs.append(None)  # empty/OOV doc: keep the init vector
+
+        # ---- bucketed, blocked SGD --------------------------------------
+        for n_pos, members in by_m.items():
+            m = n_pos * (1 + self.negative)
+            chunk = max(1, block_elems // max(1, epochs * m * k))
+            for lo in range(0, len(members), chunk):
+                group = members[lo : lo + chunk]
+                L = len(group)
+                targets = np.empty((L, epochs, m), dtype=np.int64)
+                for row, di in enumerate(group):
+                    targets[row, :, :n_pos] = ids_list[di]
+                    targets[row, :, n_pos:] = negs[di]
+                W_all = self.word_vectors_[targets]  # (L, epochs, m, k)
+                labels = np.concatenate(
+                    [np.ones(n_pos), np.zeros(n_pos * self.negative)]
+                )
+                dv = out[group]
+                for epoch in range(epochs):
+                    lr = self.alpha * max(0.1, 1.0 - epoch / epochs)
+                    W = W_all[:, epoch]
+                    scores = _sigmoid(np.matmul(W, dv[:, :, None])[:, :, 0])
+                    err = scores - labels
+                    dv -= lr * (err[:, :, None] * W).sum(axis=1)
+                out[group] = dv
+        return out
 
     def word_vector(self, word: str) -> np.ndarray:
         """Vector of an in-vocabulary word (zeros when OOV)."""

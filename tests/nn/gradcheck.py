@@ -1,40 +1,6 @@
-"""Central finite-difference gradient checking for the autograd engine."""
+"""Compatibility shim: the gradient checker now ships in the package
+(:mod:`repro.nn.gradcheck`) so it can be reused outside the test suite."""
 
-import numpy as np
+from repro.nn.gradcheck import check_gradient, numeric_grad
 
-from repro.nn import Tensor
-
-
-def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
-    """Central-difference gradient of scalar fn(x) wrt array x."""
-    grad = np.zeros_like(x, dtype=np.float64)
-    it = np.nditer(x, flags=["multi_index"])
-    while not it.finished:
-        idx = it.multi_index
-        orig = x[idx]
-        x[idx] = orig + eps
-        f_plus = fn(x)
-        x[idx] = orig - eps
-        f_minus = fn(x)
-        x[idx] = orig
-        grad[idx] = (f_plus - f_minus) / (2 * eps)
-        it.iternext()
-    return grad
-
-
-def check_gradient(build_fn, x0: np.ndarray, atol: float = 1e-5, rtol: float = 1e-4):
-    """Assert autograd gradient of build_fn matches finite differences.
-
-    ``build_fn`` maps a Tensor to a scalar Tensor loss.
-    """
-    x0 = np.asarray(x0, dtype=np.float64)
-    t = Tensor(x0.copy(), requires_grad=True)
-    loss = build_fn(t)
-    loss.backward()
-    auto = t.grad.copy()
-
-    def scalar_fn(arr):
-        return build_fn(Tensor(arr.copy())).item()
-
-    numeric = numeric_grad(scalar_fn, x0.copy())
-    np.testing.assert_allclose(auto, numeric, atol=atol, rtol=rtol)
+__all__ = ["check_gradient", "numeric_grad"]

@@ -290,3 +290,42 @@ class TestInferenceEngine:
         assert snap["requests"] >= 1
         assert "features" in snap["caches"]
         assert engine.describe()["retweeters"]["mode"] == "static"
+
+
+class TestCrossCascadeBatching:
+    def test_mixed_cascade_batch_matches_singles(self, retweeter, trained_retina):
+        """One micro-batch spanning several cascades returns, per payload,
+        the same scores as submitting each payload alone (the packed
+        forward only changes BLAS batch shapes)."""
+        _, _, test_samples = trained_retina
+        payloads = [
+            {
+                "cascade_id": s.candidate_set.cascade.root.tweet_id,
+                "user_ids": s.candidate_set.users[:6],
+            }
+            for s in test_samples[:4]
+        ]
+        batched = retweeter.predict_batch(payloads)
+        for payload, got in zip(payloads, batched):
+            solo = retweeter.predict_batch([payload])[0]
+            assert got["cascade_id"] == solo["cascade_id"]
+            for uid, score in solo["scores"].items():
+                np.testing.assert_allclose(got["scores"][uid], score, rtol=1e-12)
+
+    def test_mixed_batch_with_errors_keeps_order(self, retweeter, trained_retina):
+        _, _, test_samples = trained_retina
+        good = [
+            {
+                "cascade_id": s.candidate_set.cascade.root.tweet_id,
+                "user_ids": s.candidate_set.users[:3],
+            }
+            for s in test_samples[:2]
+        ]
+        payloads = [good[0], {"cascade_id": -1}, good[1], {"nope": 1}]
+        results = retweeter.predict_batch(payloads)
+        assert "scores" in results[0] and "scores" in results[2]
+        assert results[1]["status"] == 404 and results[3]["status"] == 400
+
+    def test_all_invalid_batch(self, retweeter):
+        results = retweeter.predict_batch([{"cascade_id": -5}, {"bad": True}])
+        assert all("error" in r for r in results)
