@@ -6,20 +6,42 @@ thread, then fires fixed-duration closed-loop load at concurrency levels
 document per level with requests/sec, p50/p95 latency, and feature-cache
 hit rate — the numbers that justify micro-batching + caching.
 
+A ``--workers`` sweep then re-serves the same bundle with that many
+dispatch worker processes (micro-batches executed concurrently over
+read-only shared-memory model weights) and fires load at a fixed
+concurrency, emitting the cores -> requests/sec scaling curve.  ``--check``
+enforces a requests/sec floor at the largest worker count when the host
+has that many cores.
+
 Runnable standalone (``PYTHONPATH=src python benchmarks/bench_serving_throughput.py``)
 or under pytest-benchmark like the other benches.
 """
 
 from __future__ import annotations
 
+import argparse
 import http.client
 import json
+import sys
 import threading
 import time
 from functools import lru_cache
+from pathlib import Path
 
 import numpy as np
 
+if __package__ in (None, ""):  # executed as a script: make `benchmarks` importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    add_json_out,
+    add_workers_sweep,
+    available_cores,
+    emit_report,
+    floor_enforceable,
+    smoke_sweep,
+    with_serial_baseline,
+)
 from repro.core.retina import RETINA, RetinaFeatureExtractor, RetinaTrainer
 from repro.data import HateDiffusionDataset, SyntheticWorldConfig
 from repro.serving import InferenceEngine, PredictionServer, RetinaBundle, RetweeterPredictor
@@ -31,7 +53,7 @@ CANDIDATES_PER_REQUEST = 8
 
 @lru_cache(maxsize=1)
 def _serving_fixture():
-    """(predictor, cascade_ids, user_pool) — trained once per process."""
+    """(bundle, cascade_ids, user_pool) — trained once per process."""
     cfg = SyntheticWorldConfig(scale=0.01, n_hashtags=5, n_users=150, n_news=300, seed=13)
     ds = HateDiffusionDataset.generate(cfg)
     train, test = ds.cascade_split(random_state=0)
@@ -47,10 +69,9 @@ def _serving_fixture():
     )
     RetinaTrainer(model, epochs=1, random_state=0).fit(tr)
     bundle = RetinaBundle(model=model, extractor=extractor, world_config=cfg)
-    predictor = RetweeterPredictor(bundle)
     cascade_ids = [c.root.tweet_id for c in ds.world.cascades[:40]]
     user_pool = sorted(ds.world.users)
-    return predictor, cascade_ids, user_pool
+    return bundle, cascade_ids, user_pool
 
 
 def _fire_load(
@@ -109,8 +130,47 @@ def _fire_load(
     }
 
 
-def _run() -> dict:
-    predictor, cascade_ids, user_pool = _serving_fixture()
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=SECONDS_PER_LEVEL,
+                        help="load duration per measured level")
+    parser.add_argument("--levels", type=str, default=None,
+                        help="comma-separated base concurrency levels "
+                             "(default 1,2,4,8,16,32,64)")
+    add_workers_sweep(parser)
+    parser.add_argument("--concurrency", type=int, default=32,
+                        help="client concurrency for the workers sweep")
+    parser.add_argument("--min-rps", type=float, default=3000.0,
+                        help="requests/sec floor at the largest sweep worker "
+                             "count (enforced by --check when the host has "
+                             "that many cores)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on zero throughput or a missed "
+                             "requests/sec floor")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short-load CI preset (implies --check)")
+    add_json_out(parser)
+    args = parser.parse_args(argv)
+    args.base_levels = (
+        tuple(int(x) for x in args.levels.split(",")) if args.levels else BATCH_SIZES
+    )
+    if args.smoke:
+        args.seconds = min(args.seconds, 0.5)
+        args.base_levels = (4, 16)
+        args.concurrency = 16
+        args.workers = smoke_sweep(args.workers)
+        # The smoke gate proves the multi-process serving path works under
+        # load; the 3000 req/s floor belongs to the 4-core default run.
+        args.min_rps = min(args.min_rps, 150.0)
+        args.check = True
+    args.workers = with_serial_baseline(args.workers)
+    return args
+
+
+def _run(args=None) -> dict:
+    if args is None:
+        args = parse_args([])
+    bundle, cascade_ids, user_pool = _serving_fixture()
     rng = np.random.default_rng(0)
     payloads = [
         {
@@ -119,17 +179,51 @@ def _run() -> dict:
         }
         for _ in range(256)
     ]
-    engine = InferenceEngine({"retweeters": predictor}, max_batch_size=64, max_wait_ms=2.0)
+
+    def serve(workers: int):
+        """A fresh predictor + engine + server for one measurement leg."""
+        predictor = RetweeterPredictor(bundle)
+        engine = InferenceEngine(
+            {"retweeters": predictor},
+            max_batch_size=64,
+            max_wait_ms=2.0,
+            workers=workers,
+        )
+        return engine, PredictionServer(engine, port=0)
+
+    # ---- base curve: the single-dispatch engine over concurrency levels --
+    engine, server = serve(workers=1)
     results = []
-    with PredictionServer(engine, port=0) as server:
+    with server:
         host, port = server.address
         path = "/predict/retweeters"
         _fire_load(host, port, path, payloads, concurrency=2, seconds=0.5)  # warm caches
-        for concurrency in BATCH_SIZES:
-            level = _fire_load(host, port, path, payloads, concurrency, SECONDS_PER_LEVEL)
-            level["feature_cache_hit_rate"] = predictor.feature_cache.stats()["hit_rate"]
+        for concurrency in args.base_levels:
+            level = _fire_load(host, port, path, payloads, concurrency, args.seconds)
+            level["feature_cache_hit_rate"] = (
+                engine.metrics()["retweeters"]["caches"]["features"]["hit_rate"]
+            )
             results.append(level)
         engine_metrics = engine.metrics()["retweeters"]
+
+    # ---- cores -> req/s scaling: dispatch workers at fixed concurrency ---
+    scaling = []
+    for w in args.workers:
+        engine, server = serve(workers=w)
+        with server:
+            host, port = server.address
+            path = "/predict/retweeters"
+            _fire_load(host, port, path, payloads, concurrency=2, seconds=0.5)
+            level = _fire_load(host, port, path, payloads, args.concurrency, args.seconds)
+            level["workers"] = w
+            level["feature_cache_hit_rate"] = (
+                engine.metrics()["retweeters"]["caches"]["features"]["hit_rate"]
+            )
+        scaling.append(level)
+    base_rps = next(e for e in scaling if e["workers"] == 1)["requests_per_s"]
+    for level in scaling:
+        level["speedup_vs_serial"] = round(level["requests_per_s"] / base_rps, 2)
+
     return {
         "levels": results,
         "engine": {
@@ -137,6 +231,13 @@ def _run() -> dict:
             "mean_batch_size": engine_metrics["mean_batch_size"],
             "p50_ms": engine_metrics["p50_ms"],
             "p95_ms": engine_metrics["p95_ms"],
+        },
+        "scaling": {
+            "concurrency": args.concurrency,
+            "levels": scaling,
+            "cores": available_cores(),
+            "rps_floor": args.min_rps,
+            "rps_floor_enforced": floor_enforceable(max(args.workers)),
         },
     }
 
@@ -150,11 +251,32 @@ def test_serving_throughput(benchmark):
     assert all(level["requests"] > 0 for level in report["levels"])
 
 
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    report = {"benchmark": "serving_throughput",
+              "workers_sweep": args.workers,
+              "results": _run(args)}
+    emit_report(report, args.json_out)
+    if args.check:
+        levels = report["results"]["levels"] + report["results"]["scaling"]["levels"]
+        if not all(level["requests"] > 0 for level in levels):
+            print("FAIL: a load level completed zero requests", file=sys.stderr)
+            return 1
+        max_w = max(args.workers)
+        top = next(
+            e for e in report["results"]["scaling"]["levels"] if e["workers"] == max_w
+        )
+        if report["results"]["scaling"]["rps_floor_enforced"]:
+            if top["requests_per_s"] < args.min_rps:
+                print(f"FAIL: {max_w}-worker throughput "
+                      f"{top['requests_per_s']} req/s < required "
+                      f"{args.min_rps} req/s", file=sys.stderr)
+                return 1
+        else:
+            print(f"note: req/s floor skipped ({available_cores()} core(s) "
+                  f"< {max_w} workers)", file=sys.stderr)
+    return 0
+
+
 if __name__ == "__main__":
-    import sys
-    from pathlib import Path
-
-    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
-    from benchmarks.common import standalone_main
-
-    sys.exit(standalone_main(_run, "serving_throughput"))
+    sys.exit(main())

@@ -67,6 +67,7 @@ class HateGenFeatureExtractor:
         doc2vec_epochs: int = 10,
         lexicon: HateLexicon | None = None,
         random_state=0,
+        workers: int | None = None,
     ):
         if history_size < 1:
             raise ValueError(f"history_size must be >= 1, got {history_size}")
@@ -80,6 +81,9 @@ class HateGenFeatureExtractor:
         self.doc2vec_epochs = doc2vec_epochs
         self.lexicon = lexicon or default_hate_lexicon()
         self.random_state = random_state
+        #: Worker count for parallel store fills (runtime knob, not state;
+        #: ``None`` resolves through ``REPRO_NUM_WORKERS``, then 1).
+        self.workers = workers
         self.text_vectorizer_: TfidfVectorizer | None = None
         self.news_vectorizer_: TfidfVectorizer | None = None
         self.doc2vec_: Doc2Vec | None = None
@@ -125,6 +129,7 @@ class HateGenFeatureExtractor:
             doc2vec=self.doc2vec_,
             history_size=self.history_size,
             doc2vec_dim=self.doc2vec_dim,
+            workers=self.workers,
         )
         self._endogen_cache.clear()
 

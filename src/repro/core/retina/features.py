@@ -79,10 +79,16 @@ class RetinaFeatureExtractor:
         news_doc2vec_dim: int = 50,
         n_negatives: int = 30,
         random_state=0,
+        workers: int | None = None,
     ):
         if news_window < 1:
             raise ValueError(f"news_window must be >= 1, got {news_window}")
         self.world = world
+        #: Worker count for parallel feature/corpus builds (runtime knob,
+        #: excluded from ``to_state``; ``None`` resolves through
+        #: ``REPRO_NUM_WORKERS``, then 1).  Every parallel path is
+        #: bit-identical to serial.
+        self.workers = workers
         self.history_size = history_size
         self.tweet_top_k = tweet_top_k
         self.news_window = news_window
@@ -103,17 +109,20 @@ class RetinaFeatureExtractor:
             doc2vec_dim=self.news_doc2vec_dim,
             doc2vec_epochs=8,
             random_state=self.random_state,
+            workers=self.workers,
         ).fit(train_tweets)
         self.tweet_vectorizer_ = TfidfVectorizer(
-            ngram_range=(1, 2), max_features=self.tweet_top_k, rank_by="idf"
+            ngram_range=(1, 2), max_features=self.tweet_top_k, rank_by="idf",
+            n_workers=self.workers,
         ).fit([t.text for t in train_tweets])
-        # Doc2Vec embedding per news article, inferred once.
+        # Doc2Vec embedding per news article, inferred once through the
+        # batched (optionally multi-process) kernel — bit-identical to the
+        # seed per-article ``infer_vector`` loop at the same fixed seed.
         d2v = self.base_.doc2vec_
-        self._news_vec_cache = np.stack(
-            [
-                d2v.infer_vector(a.headline, random_state=0)
-                for a in self.world.news.articles
-            ]
+        self._news_vec_cache = d2v.transform(
+            [a.headline for a in self.world.news.articles],
+            random_state=0,
+            workers=self.workers,
         )
         # (root_user, candidate) -> count of prior retweets, from training
         # cascades only (no test leakage).

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.parallel import ShmArena, WorkerPool, resolve_workers
+
 __all__ = ["FeatureStore"]
 
 #: Scalars appended to each user's history block, in seed order: hate ratio,
@@ -50,6 +52,11 @@ class FeatureStore:
         Recent-tweet window of H_{i,t} (paper: 30).
     doc2vec_dim:
         Dimensionality of the mean user Doc2Vec vector.
+    workers:
+        Default worker count for batched :meth:`ensure` fills (``None``
+        resolves through ``REPRO_NUM_WORKERS``, then 1).  Parallel fills
+        are bit-identical to serial ones for every worker count: each
+        user's block is a pure function of that user's history.
     """
 
     def __init__(
@@ -61,8 +68,10 @@ class FeatureStore:
         doc2vec,
         history_size: int,
         doc2vec_dim: int,
+        workers: int | None = None,
     ):
         self.world = world
+        self.workers = workers
         self.text_vectorizer = text_vectorizer
         self.lexicon = lexicon
         self.doc2vec = doc2vec
@@ -139,22 +148,21 @@ class FeatureStore:
         pool.sort(key=lambda tw: tw.timestamp)
         return pool[-self.history_size :]
 
-    def ensure(self, user_ids) -> None:
-        """Compute history blocks for any not-yet-built users, in one batch.
+    def _user_blocks(self, missing: list[int]) -> tuple[np.ndarray, np.ndarray]:
+        """(history rows, mean Doc2Vec rows) for a list of unbuilt users.
 
         The tf-idf transform of the joined history texts — the widest part
-        of the block — runs once over all missing users instead of once per
-        user; each row of a batch transform is bit-identical to the
-        single-document transform the seed path ran.
+        of the block — runs once over the whole list; each row of a batch
+        transform is bit-identical to the single-document transform the
+        seed path ran, and every other block is a pure function of one
+        user's history, so any partition of ``missing`` produces identical
+        rows (what makes the parallel fill exact).
         """
-        missing = [
-            int(u) for u in dict.fromkeys(user_ids) if not self._built[self._index[u]]
-        ]
-        if not missing:
-            return
         recents = {uid: self._recent(uid) for uid in missing}
         joined = [" ".join(t.text for t in recents[uid]) for uid in missing]
         tfidf = self.text_vectorizer.transform(joined)
+        hist = np.empty((len(missing), self._d_hist))
+        docv = np.zeros((len(missing), self.doc2vec_dim))
         world = self.world
         for k, uid in enumerate(missing):
             i = self._index[uid]
@@ -177,13 +185,67 @@ class FeatureStore:
                     float(len({t.hashtag for t in recent})),
                 ]
             )
-            self.history[i] = np.concatenate([tfidf[k], lex_vec, scalars])
+            hist[k] = np.concatenate([tfidf[k], lex_vec, scalars])
             if texts:
                 # Batched inference kernel; bit-identical to per-document
                 # infer_vector calls with the same fixed seed.
                 doc_vecs = self.doc2vec.transform(texts[-5:], random_state=0)
-                self.doc_vecs[i] = np.mean(doc_vecs, axis=0)
-            self._built[i] = True
+                docv[k] = np.mean(doc_vecs, axis=0)
+        return hist, docv
+
+    def _user_blocks_parallel(
+        self, missing: list[int], n_workers: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Partition ``missing`` across forked workers writing into shm."""
+        m = len(missing)
+        arena = ShmArena(
+            ShmArena.nbytes_for(
+                ((m, self._d_hist), np.float64), ((m, self.doc2vec_dim), np.float64)
+            )
+        )
+        hist = arena.alloc((m, self._d_hist))
+        docv = arena.alloc((m, self.doc2vec_dim))
+        cuts = np.linspace(0, m, n_workers + 1).astype(np.int64)
+        bounds = [(int(lo), int(hi)) for lo, hi in zip(cuts[:-1], cuts[1:]) if hi > lo]
+
+        def _fill(b):
+            lo, hi = b
+            h, v = self._user_blocks(missing[lo:hi])
+            hist[lo:hi] = h
+            docv[lo:hi] = v
+            return hi - lo
+
+        try:
+            with WorkerPool(n_workers, {"fill": _fill}, name="repro-features") as pool:
+                pool.map("fill", bounds)
+            return hist.copy(), docv.copy()
+        finally:
+            arena.release()
+
+    def ensure(self, user_ids, workers: int | None = None) -> None:
+        """Compute history blocks for any not-yet-built users, in one batch.
+
+        With ``workers`` (or the store/``REPRO_NUM_WORKERS`` default) > 1
+        and enough missing users to amortise a fork, the list is split into
+        contiguous per-worker slices whose rows are written straight into a
+        shared-memory matrix — bit-identical to the serial fill.
+        """
+        missing = [
+            int(u) for u in dict.fromkeys(user_ids) if not self._built[self._index[u]]
+        ]
+        if not missing:
+            return
+        n = resolve_workers(workers if workers is not None else self.workers)
+        if n > 1 and len(missing) >= max(8, 2 * n):
+            hist, docv = self._user_blocks_parallel(missing, n)
+        else:
+            hist, docv = self._user_blocks(missing)
+        idx = np.fromiter(
+            (self._index[u] for u in missing), dtype=np.int64, count=len(missing)
+        )
+        self.history[idx] = hist
+        self.doc_vecs[idx] = docv
+        self._built[idx] = True
 
     def history_rows(self, user_ids) -> np.ndarray:
         """(n, d_hist) history blocks for a user list (built on demand)."""

@@ -1,0 +1,232 @@
+"""Fork-start worker pool with targetable queues and crash detection.
+
+The pool is deliberately lower-level than ``concurrent.futures``: tasks and
+handlers cross into workers through the fork itself (no pickling of
+closures, copy-on-write for every captured model/store/world), each worker
+has its *own* task queue so callers can target a specific worker (the
+serving engine uses this to collect per-worker cache stats), and the parent
+detects dead workers instead of blocking forever on a result that will
+never come — the property the shared-memory lifecycle tests lean on.
+
+Results still travel through one multiprocessing queue (they are small:
+masks, acks, per-request dicts); bulk ndarray results go through a
+:class:`~repro.parallel.shm.ShmArena` the caller allocated before the fork.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as _queue
+import signal
+import time
+import traceback
+
+__all__ = ["WorkerPool", "WorkerCrashed", "WorkerTaskError", "in_worker"]
+
+_IN_WORKER = False
+
+
+def in_worker() -> bool:
+    """True inside a pool worker process (guards against nested pools)."""
+    return _IN_WORKER
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died while tasks were in flight."""
+
+
+class WorkerTaskError(RuntimeError):
+    """A task handler raised inside a worker (message carries the traceback)."""
+
+
+def _worker_main(idx, task_q, result_q, handlers, initializer) -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+    # A terminal Ctrl-C hits the whole foreground process group; the parent
+    # handles it and shuts the pool down through the task-queue sentinels,
+    # so workers must not die mid-task with KeyboardInterrupt tracebacks.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if initializer is not None:
+        initializer(idx)
+    while True:
+        task = task_q.get()
+        if task is None:
+            break
+        tid, kind, payload = task
+        try:
+            result_q.put((tid, True, handlers[kind](payload)))
+        except BaseException as exc:  # a task must never kill the worker loop
+            detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+            try:
+                result_q.put((tid, False, detail))
+            except Exception:  # unpicklable arg edge: report the bare text
+                result_q.put((tid, False, f"{type(exc).__name__}: {exc}"))
+
+
+class WorkerPool:
+    """``n_workers`` fork-started processes running named task handlers.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker processes (>= 1).
+    handlers:
+        ``{kind: callable(payload) -> result}`` — inherited via fork, so
+        closures over arbitrarily large state are free.
+    initializer:
+        Optional ``callable(worker_idx)`` run once in each worker before its
+        task loop (e.g. rebasing model weights onto a shared arena).
+    name:
+        Process-name prefix for debugging.
+    """
+
+    def __init__(self, n_workers: int, handlers: dict, *, initializer=None,
+                 name: str = "repro-pool"):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        ctx = multiprocessing.get_context("fork")
+        self.n_workers = int(n_workers)
+        self._task_qs = [ctx.SimpleQueue() for _ in range(self.n_workers)]
+        self._result_q = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(i, self._task_qs[i], self._result_q, dict(handlers), initializer),
+                name=f"{name}-{i}",
+                daemon=True,
+            )
+            for i in range(self.n_workers)
+        ]
+        for p in self._procs:
+            p.start()
+        self._next_worker = 0
+        self._next_tid = 0
+        self._inflight: dict[int, int] = {}  # tid -> worker idx
+        self._closed = False
+
+    # -------------------------------------------------------------- submit
+    def submit(self, kind: str, payload, *, worker: int | None = None) -> int:
+        """Enqueue one task; returns its id.  Round-robin unless targeted."""
+        if self._closed:
+            raise ValueError("pool is closed")
+        if worker is None:
+            worker = self._next_worker
+            self._next_worker = (self._next_worker + 1) % self.n_workers
+        tid = self._next_tid
+        self._next_tid += 1
+        self._inflight[tid] = worker
+        self._task_qs[worker].put((tid, kind, payload))
+        return tid
+
+    def result(self, timeout: float | None = None):
+        """Next completed task as ``(tid, ok, value)``.
+
+        Returns ``None`` when ``timeout`` elapses with workers healthy;
+        raises :class:`WorkerCrashed` when a worker died with tasks in
+        flight (lost results would otherwise block the caller forever).
+        """
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while True:
+            step = 0.2
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    return None
+                step = min(step, remaining)
+            try:
+                tid, ok, value = self._result_q.get(timeout=step)
+            except _queue.Empty:
+                if self._inflight and any(not p.is_alive() for p in self._procs):
+                    # Drain what did arrive before declaring the rest lost.
+                    try:
+                        tid, ok, value = self._result_q.get(timeout=0.05)
+                    except _queue.Empty:
+                        dead = [p.name for p in self._procs if not p.is_alive()]
+                        raise WorkerCrashed(
+                            f"worker(s) {dead} died with "
+                            f"{len(self._inflight)} task(s) in flight"
+                        ) from None
+                else:
+                    continue
+            self._inflight.pop(tid, None)
+            return tid, ok, value
+
+    def map(self, kind: str, payloads, *, timeout: float | None = 600.0) -> list:
+        """Run ``payloads`` across the pool; results in payload order.
+
+        Raises :class:`WorkerTaskError` on the first handler failure and
+        :class:`WorkerCrashed` on worker death.
+        """
+        payloads = list(payloads)
+        tids = [self.submit(kind, p) for p in payloads]
+        order = {tid: i for i, tid in enumerate(tids)}
+        out = [None] * len(payloads)
+        pending = set(tids)
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while pending:
+            remaining = None if deadline is None else deadline - time.perf_counter()
+            got = self.result(timeout=remaining)
+            if got is None:
+                raise TimeoutError(f"pool.map timed out with {len(pending)} pending")
+            tid, ok, value = got
+            if tid not in order:
+                continue  # stale result from an earlier, abandoned call
+            if not ok:
+                raise WorkerTaskError(value)
+            out[order[tid]] = value
+            pending.discard(tid)
+        return out
+
+    def broadcast(self, kind: str, payload=None, *, timeout: float | None = 30.0) -> list:
+        """Run one task on *every* worker; results in worker order."""
+        tids = [self.submit(kind, payload, worker=i) for i in range(self.n_workers)]
+        order = {tid: i for i, tid in enumerate(tids)}
+        out = [None] * self.n_workers
+        pending = set(tids)
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while pending:
+            remaining = None if deadline is None else deadline - time.perf_counter()
+            got = self.result(timeout=remaining)
+            if got is None:
+                raise TimeoutError(f"broadcast timed out with {len(pending)} pending")
+            tid, ok, value = got
+            if tid not in order:
+                continue
+            if not ok:
+                raise WorkerTaskError(value)
+            out[order[tid]] = value
+            pending.discard(tid)
+        return out
+
+    # ----------------------------------------------------------- lifecycle
+    def alive(self) -> bool:
+        """Whether every worker process is still running."""
+        return not self._closed and all(p.is_alive() for p in self._procs)
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Stop workers and release queues.  Safe to call repeatedly."""
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._task_qs:
+            try:
+                q.put(None)
+            except (OSError, ValueError):  # worker already gone
+                pass
+        for p in self._procs:
+            p.join(timeout=timeout)
+        for p in self._procs:
+            if p.is_alive():  # pragma: no cover - stuck worker backstop
+                p.terminate()
+                p.join(timeout=1.0)
+        self._inflight.clear()
+        self._result_q.cancel_join_thread()
+        self._result_q.close()
+        for q in self._task_qs:
+            q.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

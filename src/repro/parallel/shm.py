@@ -1,0 +1,181 @@
+"""Tracked shared-memory arenas for zero-copy ndarray transport.
+
+A :class:`ShmArena` owns one ``multiprocessing.shared_memory`` segment and
+hands out 64-byte-aligned ndarray views of it.  The intended pattern is:
+
+1. the parent allocates output arrays in an arena,
+2. forks a :class:`~repro.parallel.pool.WorkerPool` (the mapping is
+   inherited, so workers see the very same pages — no name-based attach,
+   no pickling),
+3. workers write their partition of the result into the views,
+4. the parent consumes the arrays and unlinks the arena in a ``finally``.
+
+Segment names are registered in a module-level set so tests (and operators)
+can prove nothing leaked: :func:`live_segments` must be empty after any
+normal shutdown *and* after a worker crash — crash cleanup is the caller's
+``finally`` block, which this module makes sufficient because only the
+creating parent ever unlinks.  A best-effort ``atexit`` sweep backstops
+interpreter-exit paths that skipped teardown.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ShmArena", "live_segments"]
+
+_PREFIX = "repro_par_"
+_ALIGN = 64
+
+_live_lock = threading.Lock()
+_live: dict[str, shared_memory.SharedMemory] = {}
+#: Segments already unlinked whose mapping must outlive caller-held views
+#: (closing under a live ndarray view would turn the next access into a
+#: segfault).  Swept on every release and at interpreter exit.
+_deferred: list[tuple[shared_memory.SharedMemory, list[np.ndarray]]] = []
+
+
+def live_segments() -> list[str]:
+    """Names of arena segments this process created and has not unlinked."""
+    with _live_lock:
+        return sorted(_live)
+
+
+def _views_still_held(views: list[np.ndarray]) -> bool:
+    """Whether any handed-out view has references beyond our bookkeeping."""
+    for i in range(len(views)):
+        # Baseline references: the ``views`` list entry + getrefcount's own
+        # argument binding = 2.  (Caller sub-views keep the root view alive
+        # through their ``.base`` chain, so they are counted too.)
+        if sys.getrefcount(views[i]) > 2:
+            return True
+    return False
+
+
+def _sweep_deferred_locked() -> None:
+    keep = []
+    for shm, views in _deferred:
+        if _views_still_held(views):
+            keep.append((shm, views))
+        else:
+            shm.close()
+    _deferred[:] = keep
+
+
+def _sweep() -> None:  # pragma: no cover - interpreter-exit safety net
+    with _live_lock:
+        leftovers = list(_live.values())
+        _live.clear()
+        deferred = [shm for shm, _ in _deferred]
+        _deferred.clear()
+    for shm in deferred:
+        try:
+            shm.close()
+        except OSError:
+            pass
+    for shm in leftovers:
+        try:
+            shm.close()
+            shm.unlink()
+        except OSError:
+            pass
+
+
+atexit.register(_sweep)
+
+
+class ShmArena:
+    """One shared-memory segment carved into aligned ndarray views.
+
+    Parameters
+    ----------
+    nbytes:
+        Capacity of the segment.  :meth:`alloc` raises when exhausted —
+        size the arena with :meth:`nbytes_for` up front.
+    """
+
+    def __init__(self, nbytes: int):
+        if nbytes < 1:
+            raise ValueError(f"nbytes must be >= 1, got {nbytes}")
+        name = _PREFIX + os.urandom(8).hex()
+        self._shm = shared_memory.SharedMemory(create=True, size=int(nbytes), name=name)
+        self.name = name
+        self._offset = 0
+        self._owner_pid = os.getpid()
+        self._released = False
+        self._views: list[np.ndarray] = []
+        with _live_lock:
+            _live[name] = self._shm
+
+    @staticmethod
+    def nbytes_for(*specs) -> int:
+        """Arena capacity for ``(shape, dtype)`` specs, padding included."""
+        total = 0
+        for shape, dtype in specs:
+            total += int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+            total += _ALIGN
+        return max(total, 1)
+
+    def alloc(self, shape, dtype=np.float64) -> np.ndarray:
+        """A zero-initialised ndarray view carved from the segment."""
+        if self._released:
+            raise ValueError("arena already released")
+        dtype = np.dtype(dtype)
+        start = -(-self._offset // _ALIGN) * _ALIGN  # round up to alignment
+        count = int(np.prod(shape, dtype=np.int64))
+        end = start + count * dtype.itemsize
+        if end > self._shm.size:
+            raise ValueError(
+                f"arena exhausted: need {end} bytes, have {self._shm.size}"
+            )
+        self._offset = end
+        view = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=start)
+        view[...] = 0
+        self._views.append(view)
+        return view
+
+    def place(self, arr: np.ndarray) -> np.ndarray:
+        """Copy ``arr`` into the arena; returns the shared view."""
+        view = self.alloc(arr.shape, arr.dtype)
+        view[...] = arr
+        return view
+
+    def release(self) -> None:
+        """Unlink the segment and unmap it once no views remain (idempotent).
+
+        Forked workers inherit the mapping and the arena object; their
+        (daemonic) exit unmaps without unlinking, so calling this from the
+        creating process is the single point of truth for the segment's
+        lifetime.  Copy anything you need out of the arena *before*
+        releasing: views handed out by :meth:`alloc` dangle afterwards.  If
+        the caller still holds one, the unmap is deferred (the segment is
+        unlinked immediately, the mapping closed once the last view dies)
+        rather than letting the next access segfault the interpreter.
+        """
+        if self._released or os.getpid() != self._owner_pid:
+            return
+        self._released = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already swept
+            pass
+        views, self._views = self._views, []
+        with _live_lock:
+            _live.pop(self.name, None)
+            if _views_still_held(views):
+                _deferred.append((self._shm, views))
+            else:
+                self._shm.close()
+            _sweep_deferred_locked()
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

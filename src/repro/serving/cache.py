@@ -73,13 +73,22 @@ class LRUCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        """Counters snapshot for the ``/metrics`` endpoint."""
+        """Atomic counters snapshot for the ``/metrics`` endpoint.
+
+        Size, hits and misses are read under one lock acquisition, so the
+        snapshot is internally consistent (``hit_rate`` is computed from
+        the very counters reported) even while other threads hit the cache
+        — what makes multi-worker cache-efficacy aggregation trustworthy.
+        """
         with self._lock:
             size = len(self._data)
+            hits = self.hits
+            misses = self.misses
+        total = hits + misses
         return {
             "size": size,
             "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": round(self.hit_rate, 4),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / total, 4) if total else 0.0,
         }

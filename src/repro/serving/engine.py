@@ -29,6 +29,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.diffusion.cascade import build_candidate_set
+from repro.parallel import (
+    ShmArena,
+    WorkerCrashed,
+    WorkerPool,
+    fork_available,
+    resolve_workers,
+)
 from repro.serving.cache import LRUCache
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import HateGenBundle, ModelRegistry, RetinaBundle
@@ -380,12 +387,22 @@ _SHUTDOWN = object()
 class InferenceEngine:
     """Coalesces concurrent requests into vectorised micro-batches.
 
-    A single worker thread drains the request queue: the first request is
-    taken blocking, then up to ``max_batch_size - 1`` more are gathered
-    until ``max_wait_ms`` elapses, grouped by predictor kind, and executed
-    via ``predict_batch``.  Under load, batches fill instantly; an idle
-    stream degenerates to per-request execution with ~``max_wait_ms`` of
-    added latency at most.
+    A gather thread drains the request queue: the first request is taken
+    blocking, then up to ``max_batch_size - 1`` more are gathered until
+    ``max_wait_ms`` elapses, grouped by predictor kind, and executed via
+    ``predict_batch``.  Under load, batches fill instantly; an idle stream
+    degenerates to per-request execution with ~``max_wait_ms`` of added
+    latency at most.
+
+    With ``workers`` > 1 (``None`` resolves through ``REPRO_NUM_WORKERS``,
+    then 1), micro-batches are dispatched round-robin to that many forked
+    worker processes instead of being executed inline, so batches run
+    concurrently across cores.  Model weights are packed into a read-only
+    shared-memory arena before the fork and each worker rebases its
+    parameter tensors onto it, so the big matrices are mapped once,
+    machine-wide.  Scores are bit-identical to the in-process path — the
+    workers run the very same ``predict_batch`` on the very same bytes.
+    ``workers=1`` is exactly the pre-existing single-thread engine.
     """
 
     def __init__(
@@ -394,6 +411,7 @@ class InferenceEngine:
         *,
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
+        workers: int | None = None,
     ):
         if not predictors:
             raise ValueError("engine needs at least one predictor")
@@ -404,25 +422,102 @@ class InferenceEngine:
         self.predictors = dict(predictors)
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
+        self.workers = workers
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._worker: threading.Thread | None = None
+        # Multi-process dispatch state (all None/empty in inline mode).
+        self._pool: WorkerPool | None = None
+        self._arena: ShmArena | None = None
+        self._collector: threading.Thread | None = None
+        self._collector_stop = threading.Event()
+        self._pending: dict[int, tuple[str, object]] = {}
+        self._pending_lock = threading.Lock()
+        self._last_worker_caches: list[dict] | None = None
 
     # ----------------------------------------------------------- lifecycle
     def start(self) -> "InferenceEngine":
         if self._worker is not None and self._worker.is_alive():
             return self
+        n = resolve_workers(self.workers)
+        if n > 1 and fork_available():
+            self._start_pool(n)
         self._worker = threading.Thread(
             target=self._run, name="repro-inference-engine", daemon=True
         )
         self._worker.start()
         return self
 
+    def _start_pool(self, n_workers: int) -> None:
+        """Fork the dispatch pool over a read-only shared-weights arena."""
+        params = []
+        for predictor in self.predictors.values():
+            model = getattr(predictor, "model", None)
+            if hasattr(model, "parameters"):
+                params.extend(model.parameters())
+        views = []
+        if params:
+            self._arena = ShmArena(
+                ShmArena.nbytes_for(*((p.data.shape, p.data.dtype) for p in params))
+            )
+            views = [self._arena.place(p.data) for p in params]
+
+        def _rebase(_idx: int) -> None:
+            # Runs in each forked worker: parameter tensors point at the
+            # shared segment, so the copy-on-write images of the weight
+            # matrices are dropped and every worker reads the same pages.
+            for p, v in zip(params, views):
+                p.data = v
+
+        self._pool = WorkerPool(
+            n_workers,
+            {"batch": self._worker_batch, "stats": self._worker_cache_stats},
+            initializer=_rebase,
+            name="repro-serve",
+        )
+        self._collector_stop.clear()
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-serve-collector", daemon=True
+        )
+        self._collector.start()
+
     def stop(self) -> None:
-        if self._worker is None:
-            return
-        self._queue.put(_SHUTDOWN)
-        self._worker.join(timeout=10.0)
-        self._worker = None
+        """Stop threads, drain in-flight work, tear down pool + arena.
+
+        Safe to call repeatedly (and from ``__exit__`` after a crash): every
+        step is guarded, so a second call is a no-op.
+        """
+        if self._worker is not None:
+            self._queue.put(_SHUTDOWN)
+            self._worker.join(timeout=10.0)
+            self._worker = None
+        if self._pool is not None:
+            deadline = time.perf_counter() + 10.0
+            while time.perf_counter() < deadline:
+                with self._pending_lock:
+                    if not self._pending:
+                        break
+                if self._pool is None:  # collector failed the pool over
+                    break
+                time.sleep(0.01)
+            try:
+                # Last look at the worker-side caches so /metrics stays
+                # meaningful after shutdown (benchmarks read it there).
+                self._last_worker_caches = self._worker_stats(timeout=5.0)
+            except Exception:
+                pass
+        self._collector_stop.set()
+        if self._collector is not None:
+            self._collector.join(timeout=10.0)
+            self._collector = None
+        # The collector's _fail_pool may null the pool concurrently; take
+        # it atomically and tolerate losing the race.
+        with self._pending_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+        if self._arena is not None:
+            self._arena.release()
+            self._arena = None
 
     def __enter__(self) -> "InferenceEngine":
         return self.start()
@@ -481,50 +576,203 @@ class InferenceEngine:
             for r in requests:
                 by_kind.setdefault(r.kind, []).append(r)
             for kind, group in by_kind.items():
-                predictor = self.predictors[kind]
-                predictor.metrics.record_batch()
-                try:
-                    outcomes = predictor.predict_batch([r.payload for r in group])
-                except BaseException as exc:  # engine must survive bad batches
-                    predictor.metrics.record_error()
-                    for r in group:
-                        if not r.future.set_running_or_notify_cancel():
-                            continue
-                        r.future.set_exception(exc)
-                    continue
-                now = time.perf_counter()
-                for r, outcome in zip(group, outcomes):
-                    if isinstance(outcome, dict) and "error" in outcome:
-                        predictor.metrics.record_error()
-                        n_items = 0
-                    elif isinstance(outcome, dict) and "scores" in outcome:
-                        n_items = len(outcome["scores"])
-                    else:
-                        n_items = 1
-                    predictor.metrics.record(now - r.submitted_at, n_items=n_items)
-                    if r.future.set_running_or_notify_cancel():
-                        r.future.set_result(outcome)
+                self.predictors[kind].metrics.record_batch()
+                if self._pool is not None:
+                    try:
+                        with self._pending_lock:
+                            tid = self._pool.submit(
+                                "batch", (kind, [r.payload for r in group])
+                            )
+                            self._pending[tid] = (kind, group)
+                        continue
+                    except Exception:  # pool broken mid-submit: serve inline
+                        self._fail_pool()
+                self._execute_inline(kind, group)
             if shutdown:
                 return
 
+    def _execute_inline(self, kind: str, group: list[_Request]) -> None:
+        predictor = self.predictors[kind]
+        try:
+            outcomes = predictor.predict_batch([r.payload for r in group])
+        except BaseException as exc:  # engine must survive bad batches
+            predictor.metrics.record_error()
+            for r in group:
+                if not r.future.set_running_or_notify_cancel():
+                    continue
+                r.future.set_exception(exc)
+            return
+        self._deliver(predictor, group, outcomes)
+
+    def _deliver(self, predictor, group: list[_Request], outcomes: list) -> None:
+        now = time.perf_counter()
+        for r, outcome in zip(group, outcomes):
+            if isinstance(outcome, dict) and "error" in outcome:
+                predictor.metrics.record_error()
+                n_items = 0
+            elif isinstance(outcome, dict) and "scores" in outcome:
+                n_items = len(outcome["scores"])
+            else:
+                n_items = 1
+            predictor.metrics.record(now - r.submitted_at, n_items=n_items)
+            if r.future.set_running_or_notify_cancel():
+                r.future.set_result(outcome)
+
+    # ----------------------------------------------- multi-process dispatch
+    def _worker_batch(self, task):
+        """Runs inside a pool worker: execute one kind-grouped micro-batch."""
+        kind, payloads = task
+        return self.predictors[kind].predict_batch(payloads)
+
+    def _worker_cache_stats(self, _payload) -> dict:
+        """Runs inside a pool worker: this worker's per-predictor caches."""
+        return {
+            kind: _predictor_cache_stats(predictor)
+            for kind, predictor in self.predictors.items()
+        }
+
+    def _collect(self) -> None:
+        """Resolve futures as worker results arrive (collector thread)."""
+        while True:
+            pool = self._pool
+            if pool is None:
+                return
+            try:
+                got = pool.result(timeout=0.2)
+            except WorkerCrashed:
+                self._fail_pool()
+                return
+            except (OSError, ValueError):
+                # Queues closed under us (stop gave up draining a stuck
+                # batch): still fail whatever is in flight so clients get
+                # an error now instead of a silent predict() timeout.
+                self._fail_pool()
+                return
+            if got is None:
+                with self._pending_lock:
+                    idle = not self._pending
+                if idle and self._collector_stop.is_set():
+                    return
+                continue
+            tid, ok, value = got
+            with self._pending_lock:
+                entry = self._pending.pop(tid, None)
+            if entry is None:
+                continue
+            tag, group = entry
+            if tag == "__stats__":
+                if ok:
+                    group.set_result(value)
+                else:
+                    group.set_exception(RuntimeError(value))
+                continue
+            predictor = self.predictors[tag]
+            if not ok:
+                predictor.metrics.record_error()
+                exc = RuntimeError(f"worker batch failed: {value}")
+                for r in group:
+                    if r.future.set_running_or_notify_cancel():
+                        r.future.set_exception(exc)
+                continue
+            self._deliver(predictor, group, value)
+
+    def _fail_pool(self) -> None:
+        """Fail in-flight work and fall back to inline execution."""
+        with self._pending_lock:
+            pool, self._pool = self._pool, None
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for tag, group in pending:
+            exc = RuntimeError("serving worker crashed; request failed")
+            if tag == "__stats__":
+                group.set_exception(exc)
+                continue
+            self.predictors[tag].metrics.record_error()
+            for r in group:
+                if r.future.set_running_or_notify_cancel():
+                    r.future.set_exception(exc)
+        if pool is not None:
+            pool.close()
+
+    def _worker_stats(self, timeout: float = 5.0) -> list[dict]:
+        """Per-worker ``{kind: caches}`` snapshots via targeted stats tasks."""
+        pool = self._pool
+        if pool is None:
+            raise RuntimeError("no worker pool")
+        futures = []
+        with self._pending_lock:
+            for i in range(pool.n_workers):
+                future: Future = Future()
+                tid = pool.submit("stats", None, worker=i)
+                self._pending[tid] = ("__stats__", future)
+                futures.append(future)
+        return [f.result(timeout=timeout) for f in futures]
+
     # ------------------------------------------------------------- health
     def metrics(self) -> dict:
-        """Per-predictor counters + cache stats for ``/metrics``."""
+        """Per-predictor counters + cache stats for ``/metrics``.
+
+        In multi-process mode the caches live in the dispatch workers, so
+        each worker is polled for an atomic snapshot and the counters are
+        aggregated per cache (with the per-worker breakdown attached) —
+        the multi-worker hit ratio is first-class, not inferred.  After
+        shutdown the last snapshot taken during :meth:`stop` is reported.
+        """
+        worker_caches: list[dict] | None = None
+        if self._pool is not None:
+            try:
+                worker_caches = self._worker_stats(timeout=5.0)
+            except Exception:
+                worker_caches = None
+        if worker_caches is None:
+            worker_caches = self._last_worker_caches
         out = {}
         for kind, predictor in self.predictors.items():
             entry = dict(predictor.metrics.snapshot())
-            caches = {}
-            if hasattr(predictor, "feature_cache"):
-                caches["features"] = predictor.feature_cache.stats()
-            if hasattr(predictor, "context_cache"):
-                caches["contexts"] = predictor.context_cache.stats()
-            entry["caches"] = caches
+            if worker_caches:
+                entry["caches"] = _aggregate_cache_stats(
+                    [wc.get(kind, {}) for wc in worker_caches]
+                )
+                entry["workers"] = len(worker_caches)
+            else:
+                entry["caches"] = _predictor_cache_stats(predictor)
+                entry["workers"] = 1
             out[kind] = entry
         return out
 
     def describe(self) -> dict:
         """Static model info for ``/healthz``."""
         return {kind: p.describe() for kind, p in self.predictors.items()}
+
+
+# ---------------------------------------------------------- cache plumbing
+def _predictor_cache_stats(predictor) -> dict:
+    """Atomic stats of every LRU cache a predictor exposes."""
+    caches = {}
+    if hasattr(predictor, "feature_cache"):
+        caches["features"] = predictor.feature_cache.stats()
+    if hasattr(predictor, "context_cache"):
+        caches["contexts"] = predictor.context_cache.stats()
+    return caches
+
+
+def _aggregate_cache_stats(per_worker: list[dict]) -> dict:
+    """Sum per-worker cache counters; keep the per-worker hit ratios."""
+    out: dict = {}
+    for name in sorted({n for wc in per_worker for n in wc}):
+        stats = [wc[name] for wc in per_worker if name in wc]
+        hits = sum(s["hits"] for s in stats)
+        misses = sum(s["misses"] for s in stats)
+        total = hits + misses
+        out[name] = {
+            "size": sum(s["size"] for s in stats),
+            "maxsize": sum(s["maxsize"] for s in stats),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / total, 4) if total else 0.0,
+            "per_worker": [s["hit_rate"] for s in stats],
+        }
+    return out
 
 
 # -------------------------------------------------------------- bootstrap
@@ -541,6 +789,7 @@ def engine_from_store(
     *,
     max_batch_size: int = 64,
     max_wait_ms: float = 2.0,
+    workers: int | None = None,
 ) -> InferenceEngine:
     """Build an engine from registry bundles (what ``repro serve`` runs).
 
@@ -572,5 +821,8 @@ def engine_from_store(
             )
         predictors[predictor.kind] = predictor
     return InferenceEngine(
-        predictors, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
+        predictors,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        workers=workers,
     )

@@ -1,0 +1,35 @@
+"""Fixtures for the multi-core runtime tests: one tiny world + extractor."""
+
+import pytest
+
+from repro.core.retina import RetinaFeatureExtractor, RetinaTrainer
+from repro.data import HateDiffusionDataset, SyntheticWorldConfig
+
+PARALLEL_CONFIG = SyntheticWorldConfig(
+    scale=0.01, n_hashtags=5, n_users=90, n_news=200, seed=11
+)
+
+
+@pytest.fixture(scope="session")
+def parallel_world():
+    return HateDiffusionDataset.generate(PARALLEL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def parallel_extractor(parallel_world):
+    """A fitted extractor with a strictly serial store (workers=1)."""
+    train, _ = parallel_world.cascade_split(random_state=0)
+    extractor = RetinaFeatureExtractor(
+        parallel_world.world, random_state=0, workers=1
+    ).fit(train)
+    extractor.store_.workers = 1
+    return extractor
+
+
+@pytest.fixture(scope="session")
+def parallel_samples(parallel_extractor, parallel_world):
+    train, _ = parallel_world.cascade_split(random_state=0)
+    edges = RetinaTrainer.default_interval_edges()
+    return parallel_extractor.build_samples(
+        train[:10], interval_edges_hours=edges, random_state=0
+    )

@@ -1,0 +1,165 @@
+"""WorkerPool and ShmArena unit tests: transport, crashes, lifecycle."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ShmArena,
+    WorkerCrashed,
+    WorkerPool,
+    WorkerTaskError,
+    live_segments,
+    resolve_workers,
+)
+
+
+def _shm_dir_names() -> set:
+    """Our segments as the OS sees them (empty set if /dev/shm is absent)."""
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("repro_par_")}
+    except FileNotFoundError:  # pragma: no cover - non-tmpfs platforms
+        return set()
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "5")
+        assert resolve_workers() == 5
+
+    def test_default_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUM_WORKERS", raising=False)
+        assert resolve_workers() == 1
+        assert resolve_workers(None, default=6) == 6
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_NUM_WORKERS"):
+            resolve_workers()
+
+    def test_never_nested(self):
+        def probe(_):
+            return resolve_workers(8)
+
+        with WorkerPool(1, {"probe": probe}) as pool:
+            assert pool.map("probe", [None]) == [1]
+
+
+class TestWorkerPool:
+    def test_map_preserves_order(self):
+        with WorkerPool(3, {"sq": lambda x: x * x}) as pool:
+            assert pool.map("sq", list(range(10))) == [x * x for x in range(10)]
+
+    def test_broadcast_hits_every_worker(self):
+        with WorkerPool(3, {"pid": lambda _: os.getpid()}) as pool:
+            pids = pool.broadcast("pid")
+        assert len(set(pids)) == 3
+
+    def test_handler_error_carries_traceback(self):
+        with WorkerPool(2, {"boom": lambda _: 1 // 0}) as pool:
+            with pytest.raises(WorkerTaskError, match="ZeroDivisionError"):
+                pool.map("boom", [None])
+
+    def test_error_does_not_kill_worker(self):
+        handlers = {"boom": lambda _: 1 // 0, "ok": lambda x: x + 1}
+        with WorkerPool(1, handlers) as pool:
+            with pytest.raises(WorkerTaskError):
+                pool.map("boom", [None])
+            assert pool.map("ok", [41]) == [42]
+
+    def test_crash_detected(self):
+        with WorkerPool(2, {"die": lambda _: os._exit(3)}) as pool:
+            with pytest.raises(WorkerCrashed):
+                pool.map("die", [None, None], timeout=30)
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2, {"ok": lambda x: x})
+        assert pool.map("ok", [1, 2]) == [1, 2]
+        pool.close()
+        pool.close()  # second teardown is a no-op
+        assert not pool.alive()
+        with pytest.raises(ValueError):
+            pool.submit("ok", 3)
+
+    def test_close_after_crash_is_idempotent(self):
+        pool = WorkerPool(1, {"die": lambda _: os._exit(1)})
+        with pytest.raises(WorkerCrashed):
+            pool.map("die", [None], timeout=30)
+        pool.close()
+        pool.close()
+
+
+class TestShmLifecycle:
+    def test_arena_roundtrip_and_release(self):
+        arena = ShmArena(ShmArena.nbytes_for(((8, 4), np.float64)))
+        view = arena.alloc((8, 4))
+        view[:] = 7.0
+        assert arena.name in live_segments()
+        assert _shm_dir_names() >= {arena.name} or not _shm_dir_names()
+        arena.release()
+        arena.release()  # idempotent
+        assert arena.name not in live_segments()
+        assert arena.name not in _shm_dir_names()
+
+    def test_release_with_live_view_defers_unmap(self):
+        """Releasing under a still-held view must not leave it dangling."""
+        arena = ShmArena(ShmArena.nbytes_for(((4,), np.float64)))
+        view = arena.alloc((4,))
+        view[:] = 3.0
+        arena.release()
+        # The name is unlinked immediately ...
+        assert arena.name not in live_segments()
+        assert arena.name not in _shm_dir_names()
+        # ... but the mapping outlives the view (this read would otherwise
+        # segfault the interpreter, not raise).
+        assert view.sum() == 12.0
+        del view
+        ShmArena(64).release()  # any later release sweeps the deferred unmap
+
+    def test_alloc_after_release_rejected(self):
+        arena = ShmArena(1024)
+        arena.release()
+        with pytest.raises(ValueError, match="released"):
+            arena.alloc((2,))
+
+    def test_exhaustion_is_loud(self):
+        arena = ShmArena(256)
+        with arena:
+            with pytest.raises(ValueError, match="exhausted"):
+                arena.alloc((1024,))
+        assert live_segments() == []
+
+    def test_workers_write_through_shared_views(self):
+        with ShmArena(ShmArena.nbytes_for(((6,), np.float64))) as arena:
+            out = arena.alloc((6,))
+
+            def fill(bounds):
+                lo, hi = bounds
+                out[lo:hi] = np.arange(lo, hi, dtype=np.float64)
+                return hi - lo
+
+            with WorkerPool(2, {"fill": fill}) as pool:
+                assert pool.map("fill", [(0, 3), (3, 6)]) == [3, 3]
+            np.testing.assert_array_equal(out, np.arange(6.0))
+        assert live_segments() == []
+
+    def test_no_leak_after_worker_crash_mid_batch(self):
+        """The caller's finally/with cleanup suffices even on a crash."""
+        before = _shm_dir_names()
+        with pytest.raises(WorkerCrashed):
+            with ShmArena(ShmArena.nbytes_for(((16,), np.float64))) as arena:
+                scratch = arena.alloc((16,))
+
+                def die(_):
+                    scratch[0] = 1.0  # prove the mapping, then die mid-task
+                    os._exit(9)
+
+                with WorkerPool(2, {"die": die}) as pool:
+                    pool.map("die", [None, None], timeout=30)
+        assert live_segments() == []
+        assert _shm_dir_names() <= before
