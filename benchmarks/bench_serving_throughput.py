@@ -2,9 +2,13 @@
 
 Trains a small RETINA bundle once, serves it over HTTP from a background
 thread, then fires fixed-duration closed-loop load at concurrency levels
-1-64 (each client thread holds one in-flight request).  Reports a JSON
-document per level with requests/sec, p50/p95 latency, and feature-cache
-hit rate — the numbers that justify micro-batching + caching.
+1-64 (each client thread holds one in-flight request).  Load generation
+goes through :class:`repro.client.ServingClient` — the real SDK with its
+keep-alive pooling and client-side schema validation — so the measured
+numbers include the full v1 contract, not a hand-rolled fast path.
+Reports a JSON document per level with requests/sec, p50/p95 latency,
+and feature-cache hit rate — the numbers that justify micro-batching +
+caching.
 
 A ``--workers`` sweep then re-serves the same bundle with that many
 dispatch worker processes (micro-batches executed concurrently over
@@ -13,6 +17,10 @@ concurrency, emitting the cores -> requests/sec scaling curve.  ``--check``
 enforces a requests/sec floor at the largest worker count when the host
 has that many cores.
 
+``--batch-size N`` adds a ``/v1/batch/retweeters`` leg: each HTTP call
+carries N requests fanned into the micro-batcher, reported with both
+per-HTTP-request and per-row throughput.
+
 Runnable standalone (``PYTHONPATH=src python benchmarks/bench_serving_throughput.py``)
 or under pytest-benchmark like the other benches.
 """
@@ -20,7 +28,6 @@ or under pytest-benchmark like the other benches.
 from __future__ import annotations
 
 import argparse
-import http.client
 import json
 import sys
 import threading
@@ -42,6 +49,7 @@ from benchmarks.common import (
     smoke_sweep,
     with_serial_baseline,
 )
+from repro.client import ServingClient
 from repro.core.retina import RETINA, RetinaFeatureExtractor, RetinaTrainer
 from repro.data import HateDiffusionDataset, SyntheticWorldConfig
 from repro.serving import InferenceEngine, PredictionServer, RetinaBundle, RetweeterPredictor
@@ -75,44 +83,61 @@ def _serving_fixture():
 
 
 def _fire_load(
-    host: str, port: int, path: str, payloads: list[dict], concurrency: int, seconds: float
+    host: str,
+    port: int,
+    payloads: list[dict],
+    concurrency: int,
+    seconds: float,
+    *,
+    batch_size: int = 0,
 ) -> dict:
-    """Closed-loop load: ``concurrency`` threads, one in-flight request each.
+    """Closed-loop load: ``concurrency`` threads, one in-flight call each.
 
-    Each thread holds a persistent HTTP/1.1 connection, so the measurement
-    is request handling + batching, not TCP handshakes.
+    Each thread drives its own :class:`ServingClient` (one pooled
+    keep-alive connection), so the measurement is request handling +
+    batching through the full v1 contract — client-side validation,
+    typed response parsing — not TCP handshakes.  With ``batch_size``
+    > 0 every HTTP call is a ``/v1/batch/retweeters`` request carrying
+    that many payloads.
     """
     stop_at = time.perf_counter() + seconds
     latencies_per_thread: list[list[float]] = [[] for _ in range(concurrency)]
     errors = []
 
-    def client(slot: int):
-        conn = http.client.HTTPConnection(host, port, timeout=30)
+    def client_loop(slot: int):
+        client = ServingClient(
+            host=host, port=port, timeout=30, retries=0, pool_size=1
+        )
         i = slot
+        stride = concurrency * max(1, batch_size)
         try:
             while time.perf_counter() < stop_at:
-                payload = payloads[i % len(payloads)]
-                i += concurrency
-                body = json.dumps(payload).encode()
                 t0 = time.perf_counter()
                 try:
-                    conn.request(
-                        "POST", path, body, {"Content-Type": "application/json"}
-                    )
-                    resp = conn.getresponse()
-                    resp.read()
-                    if resp.status != 200:
-                        errors.append(f"HTTP {resp.status}")
-                        return
+                    if batch_size:
+                        requests = [
+                            payloads[(i + j) % len(payloads)]
+                            for j in range(batch_size)
+                        ]
+                        batch = client.predict_many("retweeters", requests)
+                        if batch.n_errors:
+                            errors.append(f"{batch.n_errors} batch item errors")
+                            return
+                    else:
+                        payload = payloads[i % len(payloads)]
+                        client.predict_retweeters(
+                            payload["cascade_id"], user_ids=payload["user_ids"]
+                        )
                 except Exception as exc:  # pragma: no cover - bench robustness
                     errors.append(repr(exc))
                     return
+                i += stride
                 latencies_per_thread[slot].append(time.perf_counter() - t0)
         finally:
-            conn.close()
+            client.close()
 
     started = time.perf_counter()
-    threads = [threading.Thread(target=client, args=(s,)) for s in range(concurrency)]
+    threads = [threading.Thread(target=client_loop, args=(s,)) for s in range(concurrency)]
     for t in threads:
         t.start()
     for t in threads:
@@ -121,13 +146,18 @@ def _fire_load(
     lat = np.array([x for per in latencies_per_thread for x in per])
     if errors:
         raise RuntimeError(f"load generation failed: {errors[:3]}")
-    return {
+    level = {
         "concurrency": concurrency,
         "requests": int(lat.size),
         "requests_per_s": round(lat.size / elapsed, 1),
         "p50_ms": round(float(np.percentile(lat, 50)) * 1e3, 2),
         "p95_ms": round(float(np.percentile(lat, 95)) * 1e3, 2),
     }
+    if batch_size:
+        level["batch_size"] = batch_size
+        level["rows"] = int(lat.size) * batch_size
+        level["rows_per_s"] = round(lat.size * batch_size / elapsed, 1)
+    return level
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -140,6 +170,10 @@ def parse_args(argv=None) -> argparse.Namespace:
     add_workers_sweep(parser)
     parser.add_argument("--concurrency", type=int, default=32,
                         help="client concurrency for the workers sweep")
+    parser.add_argument("--batch-size", type=int, default=0, metavar="N",
+                        help="also measure /v1/batch/retweeters with N "
+                             "requests per HTTP call (0 disables; reports "
+                             "per-request and per-row throughput)")
     parser.add_argument("--min-rps", type=float, default=3000.0,
                         help="requests/sec floor at the largest sweep worker "
                              "count (enforced by --check when the host has "
@@ -158,6 +192,7 @@ def parse_args(argv=None) -> argparse.Namespace:
         args.seconds = min(args.seconds, 0.5)
         args.base_levels = (4, 16)
         args.concurrency = 16
+        args.batch_size = args.batch_size or 8
         args.workers = smoke_sweep(args.workers)
         # The smoke gate proves the multi-process serving path works under
         # load; the 3000 req/s floor belongs to the 4-core default run.
@@ -194,17 +229,25 @@ def _run(args=None) -> dict:
     # ---- base curve: the single-dispatch engine over concurrency levels --
     engine, server = serve(workers=1)
     results = []
+    batch_levels = []
     with server:
         host, port = server.address
-        path = "/predict/retweeters"
-        _fire_load(host, port, path, payloads, concurrency=2, seconds=0.5)  # warm caches
+        _fire_load(host, port, payloads, concurrency=2, seconds=0.5)  # warm caches
         for concurrency in args.base_levels:
-            level = _fire_load(host, port, path, payloads, concurrency, args.seconds)
+            level = _fire_load(host, port, payloads, concurrency, args.seconds)
             level["feature_cache_hit_rate"] = (
                 engine.metrics()["retweeters"]["caches"]["features"]["hit_rate"]
             )
             results.append(level)
         engine_metrics = engine.metrics()["retweeters"]
+        # ---- /v1/batch/retweeters: N payloads per HTTP call -------------
+        if args.batch_size:
+            batch_levels.append(
+                _fire_load(
+                    host, port, payloads, args.concurrency, args.seconds,
+                    batch_size=args.batch_size,
+                )
+            )
 
     # ---- cores -> req/s scaling: dispatch workers at fixed concurrency ---
     scaling = []
@@ -212,9 +255,8 @@ def _run(args=None) -> dict:
         engine, server = serve(workers=w)
         with server:
             host, port = server.address
-            path = "/predict/retweeters"
-            _fire_load(host, port, path, payloads, concurrency=2, seconds=0.5)
-            level = _fire_load(host, port, path, payloads, args.concurrency, args.seconds)
+            _fire_load(host, port, payloads, concurrency=2, seconds=0.5)
+            level = _fire_load(host, port, payloads, args.concurrency, args.seconds)
             level["workers"] = w
             level["feature_cache_hit_rate"] = (
                 engine.metrics()["retweeters"]["caches"]["features"]["hit_rate"]
@@ -224,7 +266,9 @@ def _run(args=None) -> dict:
     for level in scaling:
         level["speedup_vs_serial"] = round(level["requests_per_s"] / base_rps, 2)
 
-    return {
+    report = {
+        "client": "repro.client.ServingClient",
+        "api": "v1",
         "levels": results,
         "engine": {
             "requests": engine_metrics["requests"],
@@ -240,6 +284,13 @@ def _run(args=None) -> dict:
             "rps_floor_enforced": floor_enforceable(max(args.workers)),
         },
     }
+    if batch_levels:
+        report["batch"] = {
+            "concurrency": args.concurrency,
+            "batch_size": args.batch_size,
+            "levels": batch_levels,
+        }
+    return report
 
 
 def test_serving_throughput(benchmark):
@@ -259,6 +310,7 @@ def main(argv=None) -> int:
     emit_report(report, args.json_out)
     if args.check:
         levels = report["results"]["levels"] + report["results"]["scaling"]["levels"]
+        levels += report["results"].get("batch", {}).get("levels", [])
         if not all(level["requests"] > 0 for level in levels):
             print("FAIL: a load level completed zero requests", file=sys.stderr)
             return 1

@@ -1,0 +1,237 @@
+"""API v1 contract check: every documented endpoint, schema-validated.
+
+Trains a tiny retina + hategen fixture, saves bundles into a temp
+registry (two retina versions + a ``prod`` alias), starts a server on an
+ephemeral port, and drives every documented v1 endpoint through
+:class:`repro.client.ServingClient` — whose responses are parsed and
+validated by :mod:`repro.serving.schemas`, so a drift between server and
+schema fails loudly.  Also checks the legacy deprecation shim (same
+bytes + ``Deprecation`` header) and the structured-error contract.
+
+Run:  PYTHONPATH=src python scripts/api_contract_check.py
+Exit code 0 = contract holds.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import sys
+import tempfile
+
+import numpy as np
+
+CHECKS: list[str] = []
+
+
+def check(name: str, ok: bool, detail: str = "") -> None:
+    CHECKS.append(name)
+    status = "ok" if ok else "FAIL"
+    print(f"  [{status}] {name}" + (f" — {detail}" if detail and not ok else ""))
+    if not ok:
+        sys.exit(f"contract violation: {name} {detail}")
+
+
+def build_registry(store: str):
+    """Two retina versions + one hategen bundle + a 'prod' alias."""
+    from repro.core.hategen import HateGenFeatureExtractor, HateGenerationPipeline
+    from repro.core.retina import RETINA, RetinaFeatureExtractor, RetinaTrainer
+    from repro.data import HateDiffusionDataset, SyntheticWorldConfig
+    from repro.serving import HateGenBundle, ModelRegistry, RetinaBundle
+
+    config = SyntheticWorldConfig(scale=0.01, n_hashtags=5, n_users=120, n_news=300, seed=3)
+    dataset = HateDiffusionDataset.generate(config)
+    train, test = dataset.cascade_split(random_state=0)
+    extractor = RetinaFeatureExtractor(dataset.world, random_state=0).fit(train)
+    edges = RetinaTrainer.default_interval_edges()
+    tr = extractor.build_samples(train[:30], interval_edges_hours=edges, random_state=0)
+    te = extractor.build_samples(test[:4], interval_edges_hours=edges, random_state=1)
+    model = RETINA(
+        user_dim=extractor.user_feature_dim,
+        tweet_dim=extractor.news_doc2vec_dim,
+        news_dim=extractor.news_doc2vec_dim,
+        mode="static",
+        random_state=0,
+    )
+    trainer = RetinaTrainer(model, epochs=1, random_state=0).fit(tr)
+
+    registry = ModelRegistry(store)
+    bundle = RetinaBundle(model=model, extractor=extractor, world_config=config)
+    registry.save_bundle("retina", bundle)
+    registry.save_bundle("retina", bundle)  # v2: reload target
+    registry.set_alias("prod", "retina", version=1)
+
+    h_train, h_test = dataset.hategen_split(random_state=0)
+    h_extractor = HateGenFeatureExtractor(dataset.world, doc2vec_epochs=4, random_state=0)
+    pipeline = HateGenerationPipeline(h_extractor, random_state=0)
+    X_tr, y_tr, X_te, y_te = pipeline.prepare(h_train, h_test)
+    pipeline.run("logreg", "ds", X_tr, y_tr, X_te, y_te)
+    registry.save_bundle(
+        "hategen",
+        HateGenBundle(
+            model=pipeline.fitted_model_,
+            transforms=pipeline.fitted_transforms_,
+            extractor=h_extractor,
+            world_config=config,
+            model_key="logreg",
+            variant="ds",
+        ),
+    )
+    return registry, trainer, te, h_test
+
+
+def raw(server, method, path, body=None):
+    host, port = server.address
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, payload, {"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        data = resp.read()
+        return resp.status, dict(resp.headers), json.loads(data) if data else {}
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    from repro.client import ServingClient, ServingError
+    from repro.serving import PredictionServer, engine_from_store
+    from repro.serving.schemas import (
+        BatchPredictResponse,
+        HateGenResponse,
+        HealthResponse,
+        ModelsResponse,
+        ReloadResponse,
+        RetweeterResponse,
+        VersionsResponse,
+    )
+
+    print("building fixture registry (tiny world, 2 retina versions + hategen) ...")
+    with tempfile.TemporaryDirectory() as store:
+        registry, trainer, te, h_test = build_registry(store)
+        engine = engine_from_store(registry, max_wait_ms=1.0)
+        with PredictionServer(engine, port=0, registry=registry) as server:
+            host, port = server.address
+            print(f"server up at {server.url}; driving the v1 contract ...")
+            # strict=True: every response body re-validated field-by-field
+            # against repro.serving.schemas, not just constructed.
+            with ServingClient(host=host, port=port, retries=1, strict=True) as client:
+                # ---- GET /v1/healthz --------------------------------------
+                health = client.health()
+                check("GET /v1/healthz", isinstance(health, HealthResponse)
+                      and health.status == "ok" and health.api == "v1")
+
+                # ---- GET /v1/metrics --------------------------------------
+                metrics = client.metrics()
+                check("GET /v1/metrics", "retweeters" in metrics
+                      and "caches" in metrics["retweeters"])
+
+                # ---- GET /v1/models ---------------------------------------
+                models = client.models()
+                names = {m.name: m for m in models.models}
+                check("GET /v1/models", isinstance(models, ModelsResponse)
+                      and set(names) == {"retina", "hategen"}
+                      and names["retina"].latest == 2
+                      and names["retina"].aliases.get("prod") == 1)
+
+                # ---- GET /v1/models/{name} (+alias) -----------------------
+                manifest = client.model("retina")
+                check("GET /v1/models/retina", manifest["kind"] == "retina"
+                      and manifest["version"] == 2)
+                check("GET /v1/models/{alias}", client.model("prod")["version"] == 1)
+
+                # ---- GET /v1/models/{name}/versions -----------------------
+                versions = client.versions("retina")
+                check("GET /v1/models/retina/versions",
+                      isinstance(versions, VersionsResponse)
+                      and versions.versions == [1, 2] and versions.latest == 2)
+
+                # ---- POST /v1/predict/retweeters --------------------------
+                sample = te[0]
+                cid = sample.candidate_set.cascade.root.tweet_id
+                users = list(sample.candidate_set.users)
+                resp = client.predict_retweeters(cid, user_ids=users, top_k=3)
+                expected = trainer.predict_static_scores(sample)
+                got = np.array([resp.scores[str(u)] for u in users])
+                check("POST /v1/predict/retweeters",
+                      isinstance(resp, RetweeterResponse)
+                      and len(resp.ranking) == 3
+                      and bool(np.allclose(got, expected, atol=1e-12)),
+                      "served scores diverge from in-process trainer")
+
+                # ---- POST /v1/predict/hategen -----------------------------
+                t = h_test[0]
+                hresp = client.predict_hategen(t.user_id, t.hashtag, t.timestamp)
+                check("POST /v1/predict/hategen", isinstance(hresp, HateGenResponse)
+                      and 0.0 <= hresp.score <= 1.0 and hresp.label in (0, 1))
+
+                # ---- POST /v1/batch/{kind} --------------------------------
+                batch = client.predict_many(
+                    "retweeters",
+                    [{"cascade_id": cid, "user_ids": users[:3]},
+                     {"cascade_id": -1},
+                     {"cascade_id": cid, "user_ids": users[3:6]}],
+                )
+                check("POST /v1/batch/retweeters",
+                      isinstance(batch, BatchPredictResponse)
+                      and batch.n_ok == 2 and batch.n_errors == 1
+                      and batch.results[1].status == 404)
+
+                # ---- POST /v1/models/{name}/reload ------------------------
+                reload_resp = client.reload("retina", version=1)
+                check("POST /v1/models/retina/reload",
+                      isinstance(reload_resp, ReloadResponse)
+                      and reload_resp.version == 1
+                      and reload_resp.previous_version == 2)
+                resp2 = client.predict_retweeters(cid, user_ids=users)
+                got2 = np.array([resp2.scores[str(u)] for u in users])
+                check("reload preserves scores (same weights)",
+                      bool(np.allclose(got2, expected, atol=1e-12)))
+
+                # ---- structured errors ------------------------------------
+                try:
+                    client.predict_retweeters(10**9)
+                except ServingError as exc:
+                    check("structured 404", exc.status == 404
+                          and exc.code == "not_found" and exc.field == "cascade_id")
+                else:
+                    check("structured 404", False, "expected a ServingError")
+                try:
+                    client.model("ghost")
+                except ServingError as exc:
+                    check("RegistryError -> 404", exc.status == 404
+                          and exc.code == "model_not_found")
+                else:
+                    check("RegistryError -> 404", False, "expected a ServingError")
+
+            # ---- deprecation shim -----------------------------------------
+            payload = {"cascade_id": cid, "user_ids": users}
+            s_old, h_old, legacy = raw(server, "POST", "/predict/retweeters", payload)
+            s_new, _, v1 = raw(server, "POST", "/v1/predict/retweeters", payload)
+            check("legacy shim byte-identity", s_old == s_new == 200 and legacy == v1)
+            check("legacy Deprecation header", h_old.get("Deprecation") == "true"
+                  and "successor-version" in h_old.get("Link", ""))
+            status, headers, body = raw(server, "GET", "/healthz")
+            check("legacy /healthz", status == 200
+                  and headers.get("Deprecation") == "true")
+
+            # ---- 413 before body read -------------------------------------
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                conn.putrequest("POST", "/v1/predict/retweeters")
+                conn.putheader("Content-Length", str(64 * 1024 * 1024))
+                conn.endheaders()
+                resp = conn.getresponse()
+                body = json.loads(resp.read())
+                check("413 before body read", resp.status == 413
+                      and body["error"]["code"] == "body_too_large"
+                      and resp.headers.get("Connection") == "close")
+            finally:
+                conn.close()
+
+    print(f"\napi-contract: all {len(CHECKS)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,9 @@ A topic-aware model of hate-speech generation and retweet diffusion on a
   user will post hateful content on a given hashtag (paper Sec. IV).
 - :mod:`repro.core.retina` — RETINA, a neural retweeter-prediction model with
   exogenous (news) scaled dot-product attention (paper Sec. V).
+- :mod:`repro.serving` + :mod:`repro.client` — the API v1 serving stack
+  (typed schemas, versioned model registry with aliases + hot reload,
+  micro-batching HTTP server) and its stdlib client SDK.
 - Substrates built from scratch on numpy/scipy/networkx: a classical-ML
   toolkit (:mod:`repro.ml`), a text toolkit (:mod:`repro.text`), a reverse-
   mode autograd neural framework (:mod:`repro.nn`), an information-network

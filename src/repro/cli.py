@@ -13,9 +13,12 @@ Commands
     Run the hate-generation pipeline (one model/variant), report metrics,
     and optionally save a serving bundle.
 ``serve``
-    Load registry bundles and serve predictions over HTTP.
+    Load registry bundles and serve predictions over the API v1 HTTP
+    surface (including ``/v1/models*`` lifecycle routes).
 ``predict``
-    One-shot in-process prediction from a registry bundle.
+    One-shot prediction — in-process from a registry bundle
+    (``--store``), or against a running server via the
+    :class:`repro.client.ServingClient` SDK (``--url``).
 
 All world-building commands accept ``--seed``, ``--scale``, ``--users``,
 ``--hashtags`` to control the world.
@@ -95,7 +98,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--quiet", action="store_true", help="suppress request logs")
 
     p = sub.add_parser("predict", help="one-shot prediction from a registry bundle")
-    p.add_argument("--store", required=True, help="model-registry directory")
+    p.add_argument("--store", default=None, help="model-registry directory (in-process)")
+    p.add_argument("--url", default=None, metavar="URL",
+                   help="base URL of a running server (predict via the client SDK)")
     p.add_argument("--name", required=True, help="bundle name to load")
     p.add_argument("--version", type=int, default=None, help="bundle version (default latest)")
     p.add_argument("--cascade", type=int, default=None, help="cascade id (retina bundles)")
@@ -282,11 +287,12 @@ def _cmd_train_hategen(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.serving import engine_from_store, serve_forever
+    from repro.serving import ModelRegistry, engine_from_store, serve_forever
 
+    registry = ModelRegistry(args.store)
     try:
         engine = engine_from_store(
-            args.store,
+            registry,
             args.name,
             max_batch_size=args.batch_size,
             max_wait_ms=args.wait_ms,
@@ -295,11 +301,61 @@ def _cmd_serve(args) -> int:
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 1
-    serve_forever(engine, args.host, args.port, verbose=not args.quiet)
+    serve_forever(
+        engine, args.host, args.port, registry=registry, verbose=not args.quiet
+    )
     return 0
 
 
 def _cmd_predict(args) -> int:
+    if (args.store is None) == (args.url is None):
+        print("predict needs exactly one of --store or --url", file=sys.stderr)
+        return 2
+
+    def build_payload(kind: str) -> dict | None:
+        if kind == "retina":
+            if args.cascade is None:
+                print("retina bundles need --cascade", file=sys.stderr)
+                return None
+            payload = {"cascade_id": args.cascade, "top_k": args.top_k}
+            if args.users is not None:
+                payload["user_ids"] = args.users
+            if args.interval is not None:
+                payload["interval"] = args.interval
+            return payload
+        if args.user is None or args.hashtag is None or args.timestamp is None:
+            print("hategen bundles need --user, --hashtag and --timestamp",
+                  file=sys.stderr)
+            return None
+        return {"user_id": args.user, "hashtag": args.hashtag,
+                "timestamp": args.timestamp}
+
+    if args.url is not None:
+        from repro.client import ServingClient, ServingError
+
+        with ServingClient(args.url) as client:
+            try:
+                manifest = client.model(args.name, version=args.version)
+                payload = build_payload(manifest["kind"])
+                if payload is None:
+                    return 2
+                if manifest["kind"] == "retina":
+                    result = client.predict_retweeters(
+                        payload["cascade_id"],
+                        user_ids=payload.get("user_ids"),
+                        interval=payload.get("interval"),
+                        top_k=payload.get("top_k"),
+                    )
+                else:
+                    result = client.predict_hategen(
+                        payload["user_id"], payload["hashtag"], payload["timestamp"]
+                    )
+            except ServingError as exc:
+                print(json.dumps(exc.as_result(), indent=2), file=sys.stderr)
+                return 1
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+
     from repro.serving import ModelRegistry, predictor_for_bundle
 
     registry = ModelRegistry(args.store)
@@ -309,21 +365,9 @@ def _cmd_predict(args) -> int:
         print(str(exc), file=sys.stderr)
         return 1
     predictor = predictor_for_bundle(bundle)
-    if bundle.kind == "retina":
-        if args.cascade is None:
-            print("retina bundles need --cascade", file=sys.stderr)
-            return 2
-        payload = {"cascade_id": args.cascade, "top_k": args.top_k}
-        if args.users is not None:
-            payload["user_ids"] = args.users
-        if args.interval is not None:
-            payload["interval"] = args.interval
-    else:
-        if args.user is None or args.hashtag is None or args.timestamp is None:
-            print("hategen bundles need --user, --hashtag and --timestamp", file=sys.stderr)
-            return 2
-        payload = {"user_id": args.user, "hashtag": args.hashtag,
-                   "timestamp": args.timestamp}
+    payload = build_payload(bundle.kind)
+    if payload is None:
+        return 2
     result = predictor.predict_batch([payload])[0]
     print(json.dumps(result, indent=2))
     return 0 if "error" not in result else 1

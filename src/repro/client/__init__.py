@@ -1,0 +1,298 @@
+"""Python client SDK for the serving API v1.
+
+:class:`ServingClient` is a stdlib-only (``http.client``) client with
+keep-alive connection pooling, typed methods returning
+:mod:`repro.serving.schemas` objects, and retry-with-backoff on 503 /
+transport failures.  Requests are validated client-side by the *same*
+schema layer the server uses, so a bad argument fails fast with the same
+structured :class:`~repro.serving.schemas.ServingError` the server would
+have returned::
+
+    from repro.client import ServingClient
+
+    with ServingClient("http://127.0.0.1:8000") as client:
+        client.health().status                     # "ok"
+        r = client.predict_retweeters(17, user_ids=[3, 5, 9], top_k=2)
+        r.ranking                                  # [[3, 0.81], [9, 0.44]]
+        batch = client.predict_many("retweeters", [{"cascade_id": 17}])
+        client.reload("retina", version=2)         # hot-swap the model
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from urllib.parse import urlsplit
+
+from repro.serving.schemas import (
+    BatchPredictResponse,
+    BatchRequest,
+    ErrorResponse,
+    HateGenRequest,
+    HateGenResponse,
+    HealthResponse,
+    ModelsResponse,
+    ReloadRequest,
+    ReloadResponse,
+    RetweeterRequest,
+    RetweeterResponse,
+    Schema,
+    ServingError,
+    VersionsResponse,
+    request_schema_for,
+    response_schema_for,
+)
+
+__all__ = ["ServingClient", "ServingError", "parse_response"]
+
+_RETRYABLE_STATUS = frozenset({503})
+
+
+class _ConnectionPool:
+    """A small checkout/checkin pool of keep-alive HTTP connections.
+
+    Connections are created lazily, reused across requests (HTTP/1.1
+    keep-alive), and dropped instead of returned when they fail — the
+    next checkout dials a fresh one.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float, maxsize: int):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.maxsize = maxsize
+        self._idle: list[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+
+    def acquire(self) -> http.client.HTTPConnection:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def release(self, conn: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if len(self._idle) < self.maxsize:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def discard(self, conn: http.client.HTTPConnection) -> None:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+
+class ServingClient:
+    """Typed client for a running prediction server.
+
+    Parameters
+    ----------
+    base_url:
+        ``"http://host:port"`` (or ``host``/``port`` separately).
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        Extra attempts on 503 (engine overloaded) and transport errors;
+        every endpoint here is safe to retry (predictions are pure reads
+        and reloading an already-serving version is a no-op swap).
+    backoff:
+        First retry delay in seconds; doubles per attempt.
+    pool_size:
+        Keep-alive connections retained for reuse (threads beyond it
+        still work — they just dial fresh connections).
+    strict:
+        Re-validate every response body against the schemas (field
+        coercion, range/shape checks) instead of trusting the server.
+        Off by default — the hot path only pays typed construction; the
+        CI contract check runs with ``strict=True``.
+    """
+
+    def __init__(
+        self,
+        base_url: str | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        pool_size: int = 8,
+        strict: bool = False,
+    ):
+        if base_url is not None:
+            parts = urlsplit(base_url if "//" in base_url else f"//{base_url}")
+            host = parts.hostname or host
+            port = parts.port or port
+        self.host, self.port = host, port
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.strict = strict
+        self._pool = _ConnectionPool(host, port, timeout, pool_size)
+
+    def _parse(self, schema, body: dict):
+        if self.strict:
+            return schema.validate(body, unknown="ignore")
+        return schema.from_wire(body)
+
+    # ------------------------------------------------------------ plumbing
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        """One HTTP round trip with pooling + retries; returns (status, body)."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_exc: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            conn = self._pool.acquire()
+            try:
+                conn.request(method, path, body, headers)
+                resp = conn.getresponse()
+                raw = resp.read()
+                status = resp.status
+                keep = resp.headers.get("Connection", "").lower() != "close"
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                # Stale keep-alive connections surface here; drop the
+                # socket and retry on a fresh one.
+                self._pool.discard(conn)
+                last_exc = exc
+                continue
+            if keep:
+                self._pool.release(conn)
+            else:
+                self._pool.discard(conn)
+            if status in _RETRYABLE_STATUS and attempt < self.retries:
+                continue
+            try:
+                parsed = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServingError(
+                    f"server returned non-JSON body (status {status}): {raw[:120]!r}",
+                    status=status,
+                    code="bad_response",
+                ) from exc
+            return status, parsed
+        raise ServingError(
+            f"could not reach {self.host}:{self.port} after "
+            f"{self.retries + 1} attempt(s): {last_exc}",
+            status=503,
+            code="connection_error",
+        )
+
+    def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """Request + raise a typed ServingError on any error payload."""
+        status, body = self._request(method, path, payload)
+        if status >= 400 or (isinstance(body, dict) and "error" in body):
+            err = ErrorResponse.from_body(body, status=status)
+            raise ServingError(
+                err.message or f"HTTP {status}",
+                status=status,
+                code=err.code,
+                field=err.field,
+            )
+        return body
+
+    # ------------------------------------------------------------- predict
+    def predict_retweeters(
+        self,
+        cascade_id: int,
+        *,
+        user_ids: list[int] | None = None,
+        interval: int | None = None,
+        top_k: int | None = None,
+    ) -> RetweeterResponse:
+        """Score candidate retweeters of one cascade."""
+        req = RetweeterRequest.validate(
+            {"cascade_id": cascade_id, "user_ids": user_ids,
+             "interval": interval, "top_k": top_k}
+        )
+        body = self._call("POST", "/v1/predict/retweeters", req.to_dict())
+        return self._parse(RetweeterResponse, body)
+
+    def predict_hategen(
+        self, user_id: int, hashtag: str, timestamp: float
+    ) -> HateGenResponse:
+        """Score one (user, hashtag, timestamp) hate-generation query."""
+        req = HateGenRequest.validate(
+            {"user_id": user_id, "hashtag": hashtag, "timestamp": timestamp}
+        )
+        body = self._call("POST", "/v1/predict/hategen", req.to_dict())
+        return self._parse(HateGenResponse, body)
+
+    def predict_many(self, kind: str, requests: list) -> BatchPredictResponse:
+        """Many payloads in one HTTP call, fanned into the micro-batcher.
+
+        ``requests`` entries may be wire dicts or request-schema objects;
+        each is validated client-side before anything goes on the wire.
+        Per-item failures come back as :class:`ErrorResponse` entries —
+        only transport/whole-batch problems raise.
+        """
+        schema = request_schema_for(kind)
+        wire = []
+        for item in requests:
+            if isinstance(item, Schema):
+                item = item.to_dict()
+            wire.append(schema.validate(item).to_dict())
+        payload = BatchRequest.validate({"requests": wire}).to_dict()
+        body = self._call("POST", f"/v1/batch/{kind}", payload)
+        return BatchPredictResponse.from_dict(kind, body, strict=self.strict)
+
+    # ------------------------------------------------------------- models
+    def models(self) -> ModelsResponse:
+        """Every registry model with its versions and aliases."""
+        return ModelsResponse.from_dict(self._call("GET", "/v1/models"))
+
+    def model(self, name: str, version: int | None = None) -> dict:
+        """The manifest of one model version (latest by default)."""
+        suffix = f"?version={int(version)}" if version is not None else ""
+        return self._call("GET", f"/v1/models/{name}{suffix}")
+
+    def versions(self, name: str) -> VersionsResponse:
+        """Committed versions + aliases of one model (aliases accepted)."""
+        body = self._call("GET", f"/v1/models/{name}/versions")
+        return self._parse(VersionsResponse, body)
+
+    def reload(
+        self, name: str, *, version: int | None = None, alias: str | None = None
+    ) -> ReloadResponse:
+        """Hot-swap the serving predictor to a bundle version (default latest)."""
+        req = ReloadRequest.validate({"version": version, "alias": alias})
+        body = self._call("POST", f"/v1/models/{name}/reload", req.to_dict())
+        return self._parse(ReloadResponse, body)
+
+    # ------------------------------------------------------------- health
+    def health(self) -> HealthResponse:
+        """Liveness + loaded-model descriptions."""
+        return self._parse(HealthResponse, self._call("GET", "/v1/healthz"))
+
+    def metrics(self) -> dict:
+        """Per-predictor latency/throughput/cache counters (free-form)."""
+        return self._call("GET", "/v1/metrics")
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def parse_response(kind: str, body: dict):
+    """Typed response object for a raw ``/v1/predict/{kind}`` body."""
+    return response_schema_for(kind).validate(body, unknown="ignore")

@@ -1,14 +1,19 @@
-"""Online inference: model registry, micro-batching engine, HTTP API.
+"""Online inference: model registry, micro-batching engine, HTTP API v1.
 
 Turns trained pipelines into persistent, low-latency prediction services:
 
 - :mod:`repro.serving.registry` — versioned on-disk bundles (weights +
-  fitted feature-extractor state + manifest metadata);
-- :mod:`repro.serving.engine` — predictors with vectorised micro-batching
-  and LRU feature caches;
+  fitted feature-extractor state + manifest metadata) with aliases;
+- :mod:`repro.serving.schemas` — declarative request/response schemas,
+  one validation layer shared by server, engine, and client;
+- :mod:`repro.serving.engine` — predictors with vectorised micro-batching,
+  LRU feature caches, and atomic model hot-swap;
 - :mod:`repro.serving.server` — stdlib ``ThreadingHTTPServer`` JSON API
-  (``/predict/retweeters``, ``/predict/hategen``, ``/healthz``,
-  ``/metrics``).
+  (``/v1/predict/{kind}``, ``/v1/batch/{kind}``, ``/v1/models*``,
+  ``/v1/healthz``, ``/v1/metrics``; legacy unversioned routes kept via a
+  deprecation shim).
+
+The matching Python client lives in :mod:`repro.client`.
 """
 
 from repro.serving.cache import LRUCache
@@ -21,13 +26,20 @@ from repro.serving.engine import (
     predictor_for_bundle,
 )
 from repro.serving.metrics import ServingMetrics
-from repro.serving.registry import HateGenBundle, ModelRegistry, RetinaBundle
+from repro.serving.registry import (
+    HateGenBundle,
+    ModelRegistry,
+    RegistryError,
+    RetinaBundle,
+)
 from repro.serving.server import PredictionServer, serve_forever
+from repro.serving import schemas
 
 __all__ = [
     "LRUCache",
     "ServingMetrics",
     "ModelRegistry",
+    "RegistryError",
     "RetinaBundle",
     "HateGenBundle",
     "RetweeterPredictor",
@@ -38,4 +50,5 @@ __all__ = [
     "serve_forever",
     "engine_from_store",
     "predictor_for_bundle",
+    "schemas",
 ]

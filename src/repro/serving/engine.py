@@ -7,14 +7,21 @@ Two predictor classes answer queries against a loaded bundle:
 - :class:`HateGenPredictor` — "will user u post hate on hashtag h at t?" —
   scores (user, hashtag, time) triples with a fitted classifier chain.
 
-Both expose ``predict_batch(payloads)`` whose work is vectorised: small
-per-candidate feature blocks are LRU-cached by (user, cascade, interval)
-and batch-built through the columnar extractor on misses, full rows are
+Both validate payloads through :mod:`repro.serving.schemas` (the same
+layer the HTTP server and the Python client use) and expose
+``predict_batch(payloads)`` whose work is vectorised: small per-candidate
+feature blocks are LRU-cached by (user, cascade, interval) and
+batch-built through the columnar extractor on misses, full rows are
 assembled once per micro-batch, and a single model forward covers every
-request that shares a context.  :class:`InferenceEngine`
-wraps the predictors with a queue + worker thread that coalesces
-concurrent requests into micro-batches, which is what the HTTP layer
-submits to.
+request that shares a context.  :class:`InferenceEngine` wraps the
+predictors with a queue + worker thread that coalesces concurrent
+requests into micro-batches, which is what the HTTP layer submits to.
+
+Model lifecycle: :meth:`InferenceEngine.reload_model` loads a bundle
+version from a registry and atomically swaps the serving predictor —
+in-flight micro-batches finish on the old predictor, new ones run inline
+during the swap, and the multi-process dispatch pool (when enabled)
+re-forks onto a fresh shared-memory arena holding the new weights.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from repro.parallel import (
 from repro.serving.cache import LRUCache
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import HateGenBundle, ModelRegistry, RetinaBundle
+from repro.serving.schemas import HateGenRequest, RetweeterRequest, ServingError
 
 __all__ = [
     "ServingError",
@@ -47,47 +55,20 @@ __all__ = [
     "InferenceEngine",
     "predictor_for_bundle",
     "engine_from_store",
+    "KIND_FOR_BUNDLE",
 ]
 
-
-class ServingError(ValueError):
-    """Request-level failure carrying an HTTP-ish status code."""
-
-    def __init__(self, message: str, status: int = 400):
-        super().__init__(message)
-        self.status = status
-
-    def as_result(self) -> dict:
-        return {"error": str(self), "status": self.status}
-
-
-def _require(payload: dict, key: str):
-    if key not in payload:
-        raise ServingError(f"missing required field {key!r}")
-    return payload[key]
-
-
-def _coerce(value, kind, field: str):
-    """Coerce a payload field, mapping failures to 400s instead of letting a
-    plain ValueError/TypeError escape the per-payload handler and poison the
-    whole micro-batch."""
-    try:
-        return kind(value)
-    except (TypeError, ValueError) as exc:
-        raise ServingError(f"invalid {field}: {value!r} is not a valid {kind.__name__}") from exc
+#: Bundle kind (registry manifest) -> predictor kind (API route).
+KIND_FOR_BUNDLE = {"retina": "retweeters", "hategen": "hategen"}
 
 
 # ------------------------------------------------------------- retweeters
 class RetweeterPredictor:
     """Scores candidate retweeters of a cascade with a RETINA bundle.
 
-    Payload::
-
-        {"cascade_id": <root tweet id>,
-         "user_ids": [..],       # optional; defaults to the cascade's
-                                 # deterministic candidate audience
-         "interval": <int>,      # optional, dynamic mode: one time window
-         "top_k": <int>}         # optional ranking truncation
+    Payloads validate against :class:`~repro.serving.schemas.RetweeterRequest`
+    (``cascade_id`` required; optional ``user_ids``/``interval``/``top_k``,
+    the candidate audience defaulting to the cascade's deterministic one).
 
     Per-candidate feature blocks (peer + history, without the per-cascade
     tail) are cached by ``(user, cascade, interval)``; the per-cascade
@@ -112,9 +93,12 @@ class RetweeterPredictor:
         self.feature_cache = LRUCache(cache_size)
         self.context_cache = LRUCache(max(64, cache_size // 64))
         self.metrics = ServingMetrics()
+        #: ``{"name", "version"}`` of the registry bundle this predictor
+        #: serves, set by :func:`engine_from_store` / reloads.
+        self.source: dict | None = None
 
     def describe(self) -> dict:
-        return {
+        out = {
             "kind": self.kind,
             "mode": self.model.mode,
             "use_exogenous": self.model.use_exogenous,
@@ -122,12 +106,20 @@ class RetweeterPredictor:
             "n_cascades": len(self._cascades),
             "user_feature_dim": self.extractor.user_feature_dim,
         }
+        if self.source is not None:
+            out["source"] = dict(self.source)
+        return out
 
     # ------------------------------------------------------------ features
     def _cascade(self, cascade_id: int):
         cascade = self._cascades.get(cascade_id)
         if cascade is None:
-            raise ServingError(f"unknown cascade_id {cascade_id}", status=404)
+            raise ServingError(
+                f"unknown cascade_id {cascade_id}",
+                status=404,
+                code="not_found",
+                field="cascade_id",
+            )
         return cascade
 
     def _context(self, cascade) -> dict:
@@ -189,37 +181,38 @@ class RetweeterPredictor:
 
     # ----------------------------------------------------------- prediction
     def _validate(self, payload: dict) -> dict:
-        if not isinstance(payload, dict):
-            raise ServingError("payload must be a JSON object")
-        cascade = self._cascade(_coerce(_require(payload, "cascade_id"), int, "cascade_id"))
-        user_ids = payload.get("user_ids")
+        req = RetweeterRequest.validate(payload)
+        cascade = self._cascade(req.cascade_id)
+        user_ids = req.user_ids
         if user_ids is None:
             user_ids = self.default_candidates(cascade)
-        if not isinstance(user_ids, (list, tuple)) or not user_ids:
-            raise ServingError("user_ids must be a non-empty list")
-        user_ids = [_coerce(u, int, "user_ids entry") for u in user_ids]
         unknown = [u for u in user_ids if u not in self.world.users]
         if unknown:
-            raise ServingError(f"unknown user_ids {unknown[:5]}", status=404)
-        interval = payload.get("interval")
-        if interval is not None:
-            interval = _coerce(interval, int, "interval")
+            raise ServingError(
+                f"unknown user_ids {unknown[:5]}",
+                status=404,
+                code="not_found",
+                field="user_ids",
+            )
+        if req.interval is not None:
             if self.model.mode != "dynamic":
-                raise ServingError("interval queries require a dynamic-mode model")
-            if not 0 <= interval < self.model.n_intervals:
                 raise ServingError(
-                    f"interval must be in [0, {self.model.n_intervals}), got {interval}"
+                    "interval queries require a dynamic-mode model",
+                    code="invalid_request",
+                    field="interval",
                 )
-        top_k = payload.get("top_k")
-        if top_k is not None:
-            top_k = _coerce(top_k, int, "top_k")
-            if top_k < 1:
-                raise ServingError(f"top_k must be >= 1, got {top_k}")
+            if req.interval >= self.model.n_intervals:
+                raise ServingError(
+                    f"interval must be in [0, {self.model.n_intervals}), "
+                    f"got {req.interval}",
+                    code="out_of_range",
+                    field="interval",
+                )
         return {
             "cascade": cascade,
             "user_ids": user_ids,
-            "interval": interval,
-            "top_k": top_k,
+            "interval": req.interval,
+            "top_k": req.top_k,
         }
 
     def predict_batch(self, payloads: list[dict]) -> list[dict]:
@@ -291,10 +284,7 @@ class RetweeterPredictor:
 class HateGenPredictor:
     """Scores (user, hashtag, timestamp) hate-generation queries.
 
-    Payload::
-
-        {"user_id": <int>, "hashtag": <str>, "timestamp": <float hours>}
-
+    Payloads validate against :class:`~repro.serving.schemas.HateGenRequest`.
     Feature vectors are cached by the query triple; the whole micro-batch
     is transformed and scored in one classifier call.
     """
@@ -310,27 +300,41 @@ class HateGenPredictor:
         self._hashtags = {spec.tag for spec in self.world.catalog}
         self.feature_cache = LRUCache(cache_size)
         self.metrics = ServingMetrics()
+        self.source: dict | None = None
 
     def describe(self) -> dict:
-        return {
+        out = {
             "kind": self.kind,
             "model_key": self.bundle.model_key,
             "variant": self.bundle.variant,
             "n_users": len(self.world.users),
             "n_hashtags": len(self._hashtags),
         }
+        if self.source is not None:
+            out["source"] = dict(self.source)
+        return out
 
     def _validate(self, payload: dict) -> dict:
-        if not isinstance(payload, dict):
-            raise ServingError("payload must be a JSON object")
-        user_id = _coerce(_require(payload, "user_id"), int, "user_id")
-        if user_id not in self.world.users:
-            raise ServingError(f"unknown user_id {user_id}", status=404)
-        hashtag = str(_require(payload, "hashtag"))
-        if hashtag not in self._hashtags:
-            raise ServingError(f"unknown hashtag {hashtag!r}", status=404)
-        timestamp = _coerce(_require(payload, "timestamp"), float, "timestamp")
-        return {"user_id": user_id, "hashtag": hashtag, "timestamp": timestamp}
+        req = HateGenRequest.validate(payload)
+        if req.user_id not in self.world.users:
+            raise ServingError(
+                f"unknown user_id {req.user_id}",
+                status=404,
+                code="not_found",
+                field="user_id",
+            )
+        if req.hashtag not in self._hashtags:
+            raise ServingError(
+                f"unknown hashtag {req.hashtag!r}",
+                status=404,
+                code="not_found",
+                field="hashtag",
+            )
+        return {
+            "user_id": req.user_id,
+            "hashtag": req.hashtag,
+            "timestamp": req.timestamp,
+        }
 
     def _vector(self, req: dict) -> np.ndarray:
         key = (req["user_id"], req["hashtag"], req["timestamp"])
@@ -384,6 +388,180 @@ class _Request:
 _SHUTDOWN = object()
 
 
+class _DispatchRetired(RuntimeError):
+    """The dispatch generation is draining for a swap/stop; go inline."""
+
+
+class _PoolDispatch:
+    """One generation of multi-process dispatch: pool + arena + collector.
+
+    Bundling the per-pool state (worker pool, shared-weights arena,
+    collector thread, pending-futures map) into a disposable object lets
+    the engine *retire* a whole generation atomically during a model
+    swap: the retired pool stops accepting micro-batches (new ones run
+    inline on the parent), drains what it already owns — resolved by its
+    own collector — and a fresh generation forks over a new arena holding
+    the new weights.
+    """
+
+    def __init__(self, engine: "InferenceEngine", n_workers: int):
+        self.engine = engine
+        self.n_workers = n_workers
+        params = []
+        for predictor in engine.predictors.values():
+            model = getattr(predictor, "model", None)
+            if hasattr(model, "parameters"):
+                params.extend(model.parameters())
+        self.arena: ShmArena | None = None
+        views: list[np.ndarray] = []
+        if params:
+            self.arena = ShmArena(
+                ShmArena.nbytes_for(*((p.data.shape, p.data.dtype) for p in params))
+            )
+            views = [self.arena.place(p.data) for p in params]
+
+        def _rebase(_idx: int) -> None:
+            # Runs in each forked worker: parameter tensors point at the
+            # shared segment, so the copy-on-write images of the weight
+            # matrices are dropped and every worker reads the same pages.
+            for p, v in zip(params, views):
+                p.data = v
+
+        self.pool = WorkerPool(
+            n_workers,
+            {"batch": engine._worker_batch, "stats": engine._worker_cache_stats},
+            initializer=_rebase,
+            name="repro-serve",
+        )
+        self.lock = threading.Lock()
+        self.pending: dict[int, tuple[str, object]] = {}
+        self.retired = False
+        self.failed = threading.Event()
+        self.stop_event = threading.Event()
+        self.collector = threading.Thread(
+            target=self._collect, name="repro-serve-collector", daemon=True
+        )
+        self.collector.start()
+
+    # -------------------------------------------------------------- submit
+    def submit_batch(self, kind: str, payloads: list[dict], group) -> None:
+        with self.lock:
+            if self.retired:
+                raise _DispatchRetired
+            tid = self.pool.submit("batch", (kind, payloads))
+            self.pending[tid] = (kind, group)
+
+    def stats(self, timeout: float = 5.0) -> list[dict]:
+        """Per-worker ``{kind: caches}`` snapshots via targeted stats tasks."""
+        futures: list[Future] = []
+        with self.lock:
+            for i in range(self.pool.n_workers):
+                future: Future = Future()
+                tid = self.pool.submit("stats", None, worker=i)
+                self.pending[tid] = ("__stats__", future)
+                futures.append(future)
+        return [f.result(timeout=timeout) for f in futures]
+
+    # ----------------------------------------------------------- lifecycle
+    def retire(self) -> None:
+        """Stop accepting micro-batches; in-flight ones keep resolving."""
+        with self.lock:
+            self.retired = True
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait until every in-flight batch resolved (or the pool failed)."""
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            if self.failed.is_set():
+                return True  # fail() already resolved everything
+            with self.lock:
+                if not self.pending:
+                    return True
+            time.sleep(0.005)
+        return False
+
+    def fail(self) -> None:
+        """Fail all in-flight work (worker crash / queues closed under us)."""
+        with self.lock:
+            if self.failed.is_set():
+                return
+            self.failed.set()
+            self.retired = True
+            pending = list(self.pending.values())
+            self.pending.clear()
+        for tag, group in pending:
+            exc = RuntimeError("serving worker crashed; request failed")
+            if tag == "__stats__":
+                group.set_exception(exc)
+                continue
+            predictor = self.engine.predictors.get(tag)
+            if predictor is not None:
+                predictor.metrics.record_error()
+            for r in group:
+                if r.future.set_running_or_notify_cancel():
+                    r.future.set_exception(exc)
+        self.pool.close()
+        if self.arena is not None:
+            self.arena.release()
+            self.arena = None
+        self.engine._dispatch_failed(self)
+
+    def close(self) -> None:
+        """Stop the collector and tear down pool + arena (idempotent)."""
+        self.stop_event.set()
+        if self.collector is not threading.current_thread():
+            self.collector.join(timeout=10.0)
+        self.pool.close()
+        if self.arena is not None:
+            self.arena.release()
+            self.arena = None
+
+    # ------------------------------------------------------------ collector
+    def _collect(self) -> None:
+        """Resolve futures as worker results arrive (collector thread)."""
+        while True:
+            if self.failed.is_set():
+                return
+            try:
+                got = self.pool.result(timeout=0.2)
+            except WorkerCrashed:
+                self.fail()
+                return
+            except (OSError, ValueError):
+                # Queues closed under us (a stuck batch outlived its drain
+                # window): still fail whatever is in flight so clients get
+                # an error now instead of a silent predict() timeout.
+                self.fail()
+                return
+            if got is None:
+                with self.lock:
+                    idle = not self.pending
+                if idle and self.stop_event.is_set():
+                    return
+                continue
+            tid, ok, value = got
+            with self.lock:
+                entry = self.pending.pop(tid, None)
+            if entry is None:
+                continue
+            tag, group = entry
+            if tag == "__stats__":
+                if ok:
+                    group.set_result(value)
+                else:
+                    group.set_exception(RuntimeError(value))
+                continue
+            predictor = self.engine.predictors[tag]
+            if not ok:
+                predictor.metrics.record_error()
+                exc = RuntimeError(f"worker batch failed: {value}")
+                for r in group:
+                    if r.future.set_running_or_notify_cancel():
+                        r.future.set_exception(exc)
+                continue
+            self.engine._deliver(predictor, group, value)
+
+
 class InferenceEngine:
     """Coalesces concurrent requests into vectorised micro-batches.
 
@@ -403,6 +581,12 @@ class InferenceEngine:
     machine-wide.  Scores are bit-identical to the in-process path — the
     workers run the very same ``predict_batch`` on the very same bytes.
     ``workers=1`` is exactly the pre-existing single-thread engine.
+
+    :meth:`swap_predictor` replaces the predictor serving a kind with
+    zero dropped requests: the dispatch pool is retired (new batches run
+    inline on the old predictor), drained, the predictor reference is
+    swapped — atomic under the GIL — and a fresh pool forks over a new
+    shared-memory arena with the new weights.
     """
 
     def __init__(
@@ -425,13 +609,8 @@ class InferenceEngine:
         self.workers = workers
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._worker: threading.Thread | None = None
-        # Multi-process dispatch state (all None/empty in inline mode).
-        self._pool: WorkerPool | None = None
-        self._arena: ShmArena | None = None
-        self._collector: threading.Thread | None = None
-        self._collector_stop = threading.Event()
-        self._pending: dict[int, tuple[str, object]] = {}
-        self._pending_lock = threading.Lock()
+        self._dispatch: _PoolDispatch | None = None
+        self._swap_lock = threading.Lock()
         self._last_worker_caches: list[dict] | None = None
 
     # ----------------------------------------------------------- lifecycle
@@ -439,46 +618,13 @@ class InferenceEngine:
         if self._worker is not None and self._worker.is_alive():
             return self
         n = resolve_workers(self.workers)
-        if n > 1 and fork_available():
-            self._start_pool(n)
+        if n > 1 and fork_available() and self._dispatch is None:
+            self._dispatch = _PoolDispatch(self, n)
         self._worker = threading.Thread(
             target=self._run, name="repro-inference-engine", daemon=True
         )
         self._worker.start()
         return self
-
-    def _start_pool(self, n_workers: int) -> None:
-        """Fork the dispatch pool over a read-only shared-weights arena."""
-        params = []
-        for predictor in self.predictors.values():
-            model = getattr(predictor, "model", None)
-            if hasattr(model, "parameters"):
-                params.extend(model.parameters())
-        views = []
-        if params:
-            self._arena = ShmArena(
-                ShmArena.nbytes_for(*((p.data.shape, p.data.dtype) for p in params))
-            )
-            views = [self._arena.place(p.data) for p in params]
-
-        def _rebase(_idx: int) -> None:
-            # Runs in each forked worker: parameter tensors point at the
-            # shared segment, so the copy-on-write images of the weight
-            # matrices are dropped and every worker reads the same pages.
-            for p, v in zip(params, views):
-                p.data = v
-
-        self._pool = WorkerPool(
-            n_workers,
-            {"batch": self._worker_batch, "stats": self._worker_cache_stats},
-            initializer=_rebase,
-            name="repro-serve",
-        )
-        self._collector_stop.clear()
-        self._collector = threading.Thread(
-            target=self._collect, name="repro-serve-collector", daemon=True
-        )
-        self._collector.start()
 
     def stop(self) -> None:
         """Stop threads, drain in-flight work, tear down pool + arena.
@@ -490,40 +636,80 @@ class InferenceEngine:
             self._queue.put(_SHUTDOWN)
             self._worker.join(timeout=10.0)
             self._worker = None
-        if self._pool is not None:
-            deadline = time.perf_counter() + 10.0
-            while time.perf_counter() < deadline:
-                with self._pending_lock:
-                    if not self._pending:
-                        break
-                if self._pool is None:  # collector failed the pool over
-                    break
-                time.sleep(0.01)
+        with self._swap_lock:
+            dispatch, self._dispatch = self._dispatch, None
+        if dispatch is not None:
+            dispatch.retire()
+            dispatch.drain(timeout=10.0)
             try:
                 # Last look at the worker-side caches so /metrics stays
                 # meaningful after shutdown (benchmarks read it there).
-                self._last_worker_caches = self._worker_stats(timeout=5.0)
+                self._last_worker_caches = dispatch.stats(timeout=5.0)
             except Exception:
                 pass
-        self._collector_stop.set()
-        if self._collector is not None:
-            self._collector.join(timeout=10.0)
-            self._collector = None
-        # The collector's _fail_pool may null the pool concurrently; take
-        # it atomically and tolerate losing the race.
-        with self._pending_lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.close()
-        if self._arena is not None:
-            self._arena.release()
-            self._arena = None
+            dispatch.close()
 
     def __enter__(self) -> "InferenceEngine":
         return self.start()
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    # ------------------------------------------------------ model lifecycle
+    def swap_predictor(self, kind: str, predictor, *, drain_timeout: float = 30.0):
+        """Atomically replace the predictor serving ``kind``; returns the old.
+
+        In-flight micro-batches finish on the old predictor.  With a
+        dispatch pool, the old generation is retired (new batches execute
+        inline on the parent during the swap), drained, and a fresh pool
+        forks over a new shared-memory arena holding the new weights.
+        """
+        with self._swap_lock:
+            old = self.predictors.get(kind)
+            dispatch, self._dispatch = self._dispatch, None
+            if dispatch is None:
+                self.predictors[kind] = predictor
+                return old
+            dispatch.retire()
+            dispatch.drain(timeout=drain_timeout)
+            try:
+                self._last_worker_caches = dispatch.stats(timeout=5.0)
+            except Exception:
+                pass
+            self.predictors[kind] = predictor
+            dispatch.close()
+            if not dispatch.failed.is_set():
+                self._dispatch = _PoolDispatch(self, dispatch.n_workers)
+            return old
+
+    def reload_model(
+        self, registry: ModelRegistry | str, name: str, version: int | None = None
+    ) -> dict:
+        """Load a registry bundle and swap it in; returns what's serving now.
+
+        ``name`` may be a model name or an alias.  The existing predictor's
+        world is reused when the manifest records the same world config, so
+        a reload pays bundle I/O — not world regeneration.
+        """
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        manifest = registry.manifest(name, version)
+        kind = KIND_FOR_BUNDLE[manifest["kind"]]
+        old = self.predictors.get(kind)
+        world = None
+        if old is not None and dataclasses.asdict(old.world.config) == manifest["world_config"]:
+            world = old.world
+        bundle = registry.load_bundle(manifest["name"], manifest["version"], world=world)
+        predictor = predictor_for_bundle(bundle)
+        predictor.source = {"name": manifest["name"], "version": manifest["version"]}
+        previous = self.swap_predictor(kind, predictor)
+        prev_source = getattr(previous, "source", None) or {}
+        return {
+            "name": manifest["name"],
+            "version": manifest["version"],
+            "kind": kind,
+            "previous_version": prev_source.get("version"),
+        }
 
     # ------------------------------------------------------------- submit
     def submit(self, kind: str, payload: dict) -> Future:
@@ -537,6 +723,7 @@ class InferenceEngine:
             raise ServingError(
                 f"unknown predictor {kind!r}; loaded: {sorted(self.predictors)}",
                 status=404,
+                code="unknown_predictor",
             )
         request = _Request(kind=kind, payload=payload, future=Future())
         self._queue.put(request)
@@ -577,16 +764,15 @@ class InferenceEngine:
                 by_kind.setdefault(r.kind, []).append(r)
             for kind, group in by_kind.items():
                 self.predictors[kind].metrics.record_batch()
-                if self._pool is not None:
+                dispatch = self._dispatch
+                if dispatch is not None:
                     try:
-                        with self._pending_lock:
-                            tid = self._pool.submit(
-                                "batch", (kind, [r.payload for r in group])
-                            )
-                            self._pending[tid] = (kind, group)
+                        dispatch.submit_batch(kind, [r.payload for r in group], group)
                         continue
+                    except _DispatchRetired:
+                        pass  # draining for a swap/stop: serve inline
                     except Exception:  # pool broken mid-submit: serve inline
-                        self._fail_pool()
+                        dispatch.fail()
                 self._execute_inline(kind, group)
             if shutdown:
                 return
@@ -631,82 +817,10 @@ class InferenceEngine:
             for kind, predictor in self.predictors.items()
         }
 
-    def _collect(self) -> None:
-        """Resolve futures as worker results arrive (collector thread)."""
-        while True:
-            pool = self._pool
-            if pool is None:
-                return
-            try:
-                got = pool.result(timeout=0.2)
-            except WorkerCrashed:
-                self._fail_pool()
-                return
-            except (OSError, ValueError):
-                # Queues closed under us (stop gave up draining a stuck
-                # batch): still fail whatever is in flight so clients get
-                # an error now instead of a silent predict() timeout.
-                self._fail_pool()
-                return
-            if got is None:
-                with self._pending_lock:
-                    idle = not self._pending
-                if idle and self._collector_stop.is_set():
-                    return
-                continue
-            tid, ok, value = got
-            with self._pending_lock:
-                entry = self._pending.pop(tid, None)
-            if entry is None:
-                continue
-            tag, group = entry
-            if tag == "__stats__":
-                if ok:
-                    group.set_result(value)
-                else:
-                    group.set_exception(RuntimeError(value))
-                continue
-            predictor = self.predictors[tag]
-            if not ok:
-                predictor.metrics.record_error()
-                exc = RuntimeError(f"worker batch failed: {value}")
-                for r in group:
-                    if r.future.set_running_or_notify_cancel():
-                        r.future.set_exception(exc)
-                continue
-            self._deliver(predictor, group, value)
-
-    def _fail_pool(self) -> None:
-        """Fail in-flight work and fall back to inline execution."""
-        with self._pending_lock:
-            pool, self._pool = self._pool, None
-            pending = list(self._pending.values())
-            self._pending.clear()
-        for tag, group in pending:
-            exc = RuntimeError("serving worker crashed; request failed")
-            if tag == "__stats__":
-                group.set_exception(exc)
-                continue
-            self.predictors[tag].metrics.record_error()
-            for r in group:
-                if r.future.set_running_or_notify_cancel():
-                    r.future.set_exception(exc)
-        if pool is not None:
-            pool.close()
-
-    def _worker_stats(self, timeout: float = 5.0) -> list[dict]:
-        """Per-worker ``{kind: caches}`` snapshots via targeted stats tasks."""
-        pool = self._pool
-        if pool is None:
-            raise RuntimeError("no worker pool")
-        futures = []
-        with self._pending_lock:
-            for i in range(pool.n_workers):
-                future: Future = Future()
-                tid = pool.submit("stats", None, worker=i)
-                self._pending[tid] = ("__stats__", future)
-                futures.append(future)
-        return [f.result(timeout=timeout) for f in futures]
+    def _dispatch_failed(self, dispatch: _PoolDispatch) -> None:
+        """A dispatch generation died; fall back to inline execution."""
+        if self._dispatch is dispatch:
+            self._dispatch = None
 
     # ------------------------------------------------------------- health
     def metrics(self) -> dict:
@@ -719,9 +833,10 @@ class InferenceEngine:
         shutdown the last snapshot taken during :meth:`stop` is reported.
         """
         worker_caches: list[dict] | None = None
-        if self._pool is not None:
+        dispatch = self._dispatch
+        if dispatch is not None:
             try:
-                worker_caches = self._worker_stats(timeout=5.0)
+                worker_caches = dispatch.stats(timeout=5.0)
             except Exception:
                 worker_caches = None
         if worker_caches is None:
@@ -784,7 +899,7 @@ def predictor_for_bundle(bundle):
 
 
 def engine_from_store(
-    store: str,
+    store: str | ModelRegistry,
     names: list[str] | None = None,
     *,
     max_batch_size: int = 64,
@@ -795,12 +910,18 @@ def engine_from_store(
 
     Loads the latest version of each named model (default: every model in
     the store); bundles recorded against the same world config share one
-    regenerated world so startup pays world generation once.
+    regenerated world so startup pays world generation once.  Each
+    predictor remembers its registry source, so ``/v1/models/{name}/reload``
+    can swap it later.
     """
-    registry = ModelRegistry(store)
+    registry = store if isinstance(store, ModelRegistry) else ModelRegistry(store)
     names = list(names) if names else registry.list_models()
     if not names:
-        raise FileNotFoundError(f"no models found in registry {store!r}")
+        from repro.serving.registry import RegistryError
+
+        raise RegistryError(
+            f"no models found in registry {registry.root!r}", root=registry.root
+        )
     predictors: dict[str, object] = {}
     world = None
     for name in names:
@@ -814,6 +935,7 @@ def engine_from_store(
         bundle = registry.load_bundle(name, world=shared)
         world = bundle.extractor.world
         predictor = predictor_for_bundle(bundle)
+        predictor.source = {"name": manifest["name"], "version": manifest["version"]}
         if predictor.kind in predictors:
             raise ValueError(
                 f"two bundles of kind {predictor.kind!r} requested; each kind "

@@ -22,6 +22,16 @@ writes into a temp directory and renames it so readers never observe a
 half-written version.  Extractor state splits into JSON + ``.npz`` via a
 generic nested-dict flattener (ndarray leaves go to the npz keyed by their
 path), keeping every artifact inspectable with stdlib + numpy only.
+
+Aliases (``set_alias("prod", name, version)``) live in a root-level
+``aliases.json`` rewritten atomically (temp file + ``os.replace``), so an
+alias either points at its old target or its new one — never at a torn
+file.  Every read API accepts an alias wherever it accepts a model name.
+
+Lookups that find nothing raise :class:`RegistryError` (a
+``FileNotFoundError`` subclass) carrying the searched ``root``/``name``/
+``version`` so the serving API can surface them as 404s with a useful
+message instead of opaque 500s.
 """
 
 from __future__ import annotations
@@ -42,11 +52,35 @@ from repro.core.retina.features import RetinaFeatureExtractor
 from repro.core.retina.model import RETINA
 from repro.data.synthetic import SyntheticWorld, SyntheticWorldConfig
 
-__all__ = ["RetinaBundle", "HateGenBundle", "ModelRegistry"]
+__all__ = ["RetinaBundle", "HateGenBundle", "ModelRegistry", "RegistryError"]
 
 MANIFEST_SCHEMA = 1
 _ARRAY_KEY = "__ndarray__"
 _VERSION_RE = re.compile(r"^v(\d{4,})$")
+_NAME_RE = re.compile(r"[A-Za-z0-9._-]+")
+ALIASES_FILE = "aliases.json"
+
+
+class RegistryError(FileNotFoundError):
+    """A registry lookup found nothing; records what was searched.
+
+    Subclasses ``FileNotFoundError`` so pre-v1 callers that caught that
+    keep working, while the serving API can map it to a 404 with the
+    searched ``root``/``name``/``version`` in the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        root: str | None = None,
+        name: str | None = None,
+        version: int | None = None,
+    ):
+        super().__init__(message)
+        self.root = root
+        self.name = name
+        self.version = version
 
 
 # ----------------------------------------------------------- state <-> disk
@@ -179,26 +213,112 @@ class ModelRegistry:
     def latest_version(self, name: str) -> int:
         versions = self.list_versions(name)
         if not versions:
-            raise FileNotFoundError(f"no versions of {name!r} in registry {self.root}")
+            raise RegistryError(
+                f"no versions of model {name!r} in registry {self.root!r}",
+                root=self.root,
+                name=name,
+            )
         return versions[-1]
 
     def _version_dir(self, name: str, version: int) -> str:
         return os.path.join(self.root, name, f"v{version:04d}")
 
+    def resolve(self, ref: str, version: int | None = None) -> tuple[str, int]:
+        """``(name, version)`` for a model name or alias.
+
+        A model name resolves to itself (``version`` or its latest); an
+        alias resolves to its pinned target — an explicit ``version``
+        then overrides the pin.  Model names shadow aliases.
+        """
+        if self.list_versions(ref):
+            return ref, version if version is not None else self.latest_version(ref)
+        target = self.aliases().get(ref)
+        if target is not None:
+            return target["name"], version if version is not None else target["version"]
+        raise RegistryError(
+            f"no model or alias {ref!r} in registry {self.root!r}",
+            root=self.root,
+            name=ref,
+            version=version,
+        )
+
     def manifest(self, name: str, version: int | None = None) -> dict:
-        """The manifest of one version (latest by default)."""
-        version = version if version is not None else self.latest_version(name)
+        """The manifest of one version (latest by default; aliases accepted)."""
+        name, version = self.resolve(name, version)
         path = os.path.join(self._version_dir(name, version), "manifest.json")
         if not os.path.exists(path):
-            raise FileNotFoundError(f"no manifest for {name} v{version:04d}")
+            raise RegistryError(
+                f"no manifest for model {name!r} v{version:04d} in registry "
+                f"{self.root!r} (committed versions: {self.list_versions(name)})",
+                root=self.root,
+                name=name,
+                version=version,
+            )
         with open(path) as fh:
             return json.load(fh)
+
+    # ------------------------------------------------------------- aliases
+    def _aliases_path(self) -> str:
+        return os.path.join(self.root, ALIASES_FILE)
+
+    def aliases(self, name: str | None = None) -> dict[str, dict]:
+        """``{alias: {"name", "version"}}``, optionally for one model only."""
+        try:
+            with open(self._aliases_path()) as fh:
+                aliases = json.load(fh)
+        except FileNotFoundError:
+            return {}
+        if name is not None:
+            aliases = {a: t for a, t in aliases.items() if t["name"] == name}
+        return aliases
+
+    def _write_aliases(self, aliases: dict[str, dict]) -> None:
+        """Atomically rewrite ``aliases.json`` (temp file + rename)."""
+        tmp = os.path.join(self.root, f".{ALIASES_FILE}.tmp-{os.getpid()}")
+        with open(tmp, "w") as fh:
+            json.dump(aliases, fh, indent=2, sort_keys=True)
+        os.replace(tmp, self._aliases_path())
+
+    def set_alias(self, alias: str, name: str, version: int | None = None) -> dict:
+        """Point ``alias`` at ``name``/``version`` (latest pinned at call time).
+
+        The target version must be committed; an alias may not shadow an
+        existing model name.  Returns the stored target.
+        """
+        if not _NAME_RE.fullmatch(alias):
+            raise ValueError(f"invalid alias {alias!r}")
+        if self.list_versions(alias):
+            raise ValueError(f"alias {alias!r} would shadow a model of the same name")
+        version = version if version is not None else self.latest_version(name)
+        if version not in self.list_versions(name):
+            raise RegistryError(
+                f"cannot alias {alias!r}: model {name!r} has no committed "
+                f"v{version:04d} in registry {self.root!r}",
+                root=self.root,
+                name=name,
+                version=version,
+            )
+        target = {"name": name, "version": int(version)}
+        aliases = self.aliases()
+        aliases[alias] = target
+        self._write_aliases(aliases)
+        return target
+
+    def delete_alias(self, alias: str) -> bool:
+        """Drop ``alias``; returns whether it existed."""
+        aliases = self.aliases()
+        existed = aliases.pop(alias, None) is not None
+        if existed:
+            self._write_aliases(aliases)
+        return existed
 
     # -------------------------------------------------------------- saving
     def save_bundle(self, name: str, bundle) -> dict:
         """Persist a bundle as the next version of ``name``; return its manifest."""
-        if not re.fullmatch(r"[A-Za-z0-9._-]+", name):
+        if not _NAME_RE.fullmatch(name):
             raise ValueError(f"invalid model name {name!r}")
+        if name in self.aliases():
+            raise ValueError(f"model name {name!r} is already taken by an alias")
         if bundle.kind not in ("retina", "hategen"):
             raise ValueError(f"unknown bundle kind {bundle.kind!r}")
         model_dir = os.path.join(self.root, name)
@@ -264,14 +384,14 @@ class ModelRegistry:
     def load_bundle(
         self, name: str, version: int | None = None, *, world: SyntheticWorld | None = None
     ):
-        """Load a bundle (latest version by default).
+        """Load a bundle (latest version by default; aliases accepted).
 
         The synthetic world is regenerated from the manifest's recorded
         config unless an already-built ``world`` is supplied (it must come
         from the same config for features to match training).
         """
         manifest = self.manifest(name, version)
-        directory = self._version_dir(name, manifest["version"])
+        directory = self._version_dir(manifest["name"], manifest["version"])
         world_config = SyntheticWorldConfig(**manifest["world_config"])
         if world is None:
             world = SyntheticWorld.generate(world_config)

@@ -1,11 +1,28 @@
-"""Stdlib HTTP front-end for the inference engine.
+"""Stdlib HTTP front-end for the inference engine — API v1.
 
-Endpoints (all JSON)::
+Versioned endpoints (all JSON)::
 
-    POST /predict/retweeters   {"cascade_id": 17, "user_ids": [3, 5], ...}
-    POST /predict/hategen      {"user_id": 3, "hashtag": "ht0", "timestamp": 100.0}
-    GET  /healthz              liveness + loaded-model info
-    GET  /metrics              per-predictor latency/throughput/cache counters
+    POST /v1/predict/retweeters      one RetweeterRequest -> scores/ranking
+    POST /v1/predict/hategen         one HateGenRequest   -> score/label
+    POST /v1/batch/{kind}            {"requests": [...]} fanned into the
+                                     micro-batcher, answered in one call
+    GET  /v1/models                  registry models / versions / aliases
+    GET  /v1/models/{name}           manifest (?version=N; aliases accepted)
+    GET  /v1/models/{name}/versions  committed versions + aliases
+    POST /v1/models/{name}/reload    load a bundle version and atomically
+                                     swap the serving predictor
+    GET  /v1/healthz                 liveness + loaded-model info
+    GET  /v1/metrics                 latency/throughput/cache counters
+
+Errors are structured (``{"error": {"code", "message", "field"}}``) with
+the status on the HTTP line; payloads validate through
+:mod:`repro.serving.schemas` before they reach a predictor.
+
+The pre-v1 unversioned routes (``/predict/{kind}``, ``/healthz``,
+``/metrics``) keep working through a deprecation shim that delegates to
+the v1 handlers, flattens errors back to the legacy
+``{"error": "...", "status": N}`` shape, and adds a ``Deprecation: true``
+header plus a ``Link`` to the successor route.
 
 Built on ``ThreadingHTTPServer`` — each connection gets a thread, and all
 threads funnel their requests through the shared
@@ -16,14 +33,25 @@ micro-batching across concurrent clients happen.
 from __future__ import annotations
 
 import json
+import re
 import threading
+from concurrent.futures import TimeoutError as FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.serving.engine import InferenceEngine, ServingError
+from repro.serving.registry import ModelRegistry, RegistryError
+from repro.serving.schemas import (
+    BatchRequest,
+    ReloadRequest,
+    request_schema_for,
+)
 
-__all__ = ["PredictionServer", "serve_forever"]
+__all__ = ["PredictionServer", "serve_forever", "MAX_BODY_BYTES"]
 
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_MODEL_PATH_RE = re.compile(r"^/v1/models/([A-Za-z0-9._-]+)(/versions|/reload)?$")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -39,60 +67,315 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(fmt, *args)
 
-    def _send_json(self, status: int, obj: dict) -> None:
+    def _send_json(
+        self, status: int, obj: dict, *, close: bool = False, headers: dict | None = None
+    ) -> None:
         body = json.dumps(obj).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        if close:
+            # The request body (if any) was not consumed: the connection is
+            # out of sync for keep-alive, so tell the client and close it
+            # rather than leaving it hanging on a half-read socket.
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
-    def _read_json(self) -> dict:
+    def _send_error(self, exc: ServingError, *, legacy: bool, close: bool = False,
+                    headers: dict | None = None) -> None:
+        if legacy:
+            self._send_json(
+                exc.status,
+                {"error": str(exc), "status": exc.status},
+                close=close,
+                headers=headers,
+            )
+        else:
+            self._send_json(exc.status, exc.as_error(), close=close, headers=headers)
+
+    def _deprecation_headers(self, successor: str) -> dict:
+        return {
+            "Deprecation": "true",
+            "Link": f'<{successor}>; rel="successor-version"',
+        }
+
+    def _read_json(self, *, optional: bool = False) -> dict:
+        """Parse the request body, policing size *before* reading it.
+
+        An oversized ``Content-Length`` is answered 413 without touching
+        ``rfile`` — the caller then closes the connection, so the server
+        never buffers (or waits on) a body it already rejected.
+        """
         length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
-            raise ServingError("request body required")
         if length > MAX_BODY_BYTES:
-            raise ServingError(f"body too large ({length} bytes)", status=413)
+            raise ServingError(
+                f"body too large ({length} bytes; the limit is {MAX_BODY_BYTES})",
+                status=413,
+                code="body_too_large",
+            )
+        if length <= 0:
+            if optional:
+                return {}
+            raise ServingError("request body required", code="missing_body")
         raw = self.rfile.read(length)
         try:
             payload = json.loads(raw)
         except json.JSONDecodeError as exc:
-            raise ServingError(f"invalid JSON body: {exc}") from exc
+            raise ServingError(f"invalid JSON body: {exc}", code="invalid_json") from exc
         if not isinstance(payload, dict):
-            raise ServingError("body must be a JSON object")
+            raise ServingError("body must be a JSON object", code="invalid_type")
         return payload
 
-    # ------------------------------------------------------------- routes
-    def do_GET(self) -> None:  # noqa: N802 — http.server API
-        if self.path == "/healthz":
-            self._send_json(
-                200, {"status": "ok", "models": self.server.engine.describe()}
+    def _registry(self) -> ModelRegistry:
+        registry = self.server.registry
+        if registry is None:
+            raise ServingError(
+                "no model registry attached to this server; start it with "
+                "`repro serve --store ...` to enable model lifecycle routes",
+                status=503,
+                code="registry_unavailable",
             )
-        elif self.path == "/metrics":
-            self._send_json(200, self.server.engine.metrics())
-        else:
-            self._send_json(404, {"error": f"no route {self.path!r}"})
+        return registry
 
-    def do_POST(self) -> None:  # noqa: N802 — http.server API
-        if not self.path.startswith("/predict/"):
-            self._send_json(404, {"error": f"no route {self.path!r}"})
-            return
-        kind = self.path[len("/predict/") :]
+    # --------------------------------------------------------------- GET
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path, query = self._split_path()
+        legacy_map = {"/healthz": "/v1/healthz", "/metrics": "/v1/metrics"}
+        headers = None
+        if path in legacy_map:
+            headers = self._deprecation_headers(legacy_map[path])
+            path = legacy_map[path]
         try:
-            payload = self._read_json()
-            result = self.server.engine.predict(
-                kind, payload, timeout=self.server.request_timeout
+            if path == "/v1/healthz":
+                self._send_json(
+                    200,
+                    {"status": "ok", "api": "v1", "models": self.server.engine.describe()},
+                    headers=headers,
+                )
+            elif path == "/v1/metrics":
+                self._send_json(200, self.server.engine.metrics(), headers=headers)
+            elif path == "/v1/models":
+                self._send_json(200, self._models_payload())
+            else:
+                m = _MODEL_PATH_RE.match(path)
+                if m and m.group(2) in (None, "/versions"):
+                    name = m.group(1)
+                    if m.group(2) == "/versions":
+                        self._send_json(200, self._versions_payload(name))
+                    else:
+                        version = query.get("version")
+                        if version is not None:
+                            try:
+                                version = int(version[0])
+                            except ValueError:
+                                raise ServingError(
+                                    f"version: {version[0]!r} is not a valid int",
+                                    code="invalid_type",
+                                    field="version",
+                                ) from None
+                        self._send_json(
+                            200, self._registry().manifest(name, version)
+                        )
+                else:
+                    raise ServingError(
+                        f"no route {self.path!r}", status=404, code="unknown_route"
+                    )
+        except RegistryError as exc:
+            self._send_error(
+                ServingError(str(exc), status=404, code="model_not_found"),
+                legacy=False,
             )
         except ServingError as exc:
-            self._send_json(exc.status, exc.as_result())
-            return
+            self._send_error(exc, legacy=headers is not None, headers=headers)
+        except Exception as exc:  # keep serving
+            self._send_json(
+                500,
+                {"error": {"code": "internal", "message": f"{type(exc).__name__}: {exc}",
+                           "field": None}},
+            )
+
+    def _split_path(self) -> tuple[str, dict]:
+        parts = urlsplit(self.path)
+        return parts.path.rstrip("/") or "/", parse_qs(parts.query)
+
+    def _models_payload(self) -> dict:
+        registry = self._registry()
+        models = []
+        for name in registry.list_models():
+            versions = registry.list_versions(name)
+            manifest = registry.manifest(name)
+            models.append(
+                {
+                    "name": name,
+                    "kind": manifest["kind"],
+                    "versions": versions,
+                    "latest": versions[-1],
+                    "aliases": {
+                        alias: target["version"]
+                        for alias, target in registry.aliases(name).items()
+                    },
+                }
+            )
+        return {"models": models}
+
+    def _versions_payload(self, name: str) -> dict:
+        registry = self._registry()
+        name, _ = registry.resolve(name)
+        versions = registry.list_versions(name)
+        return {
+            "name": name,
+            "versions": versions,
+            "latest": versions[-1],
+            "aliases": {
+                alias: target["version"]
+                for alias, target in registry.aliases(name).items()
+            },
+        }
+
+    # --------------------------------------------------------------- POST
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        path, _ = self._split_path()
+        legacy = False
+        headers = None
+        if path.startswith("/predict/"):
+            legacy = True
+            headers = self._deprecation_headers("/v1" + path)
+            path = "/v1" + path
+        try:
+            if path.startswith("/v1/predict/"):
+                self._handle_predict(path[len("/v1/predict/"):], legacy, headers)
+            elif path.startswith("/v1/batch/"):
+                self._handle_batch(path[len("/v1/batch/"):])
+            else:
+                m = _MODEL_PATH_RE.match(path)
+                if m and m.group(2) == "/reload":
+                    self._handle_reload(m.group(1))
+                else:
+                    # Unknown POST route: the body (if any) was never read,
+                    # so close the connection to keep keep-alive clients in
+                    # sync.
+                    raise _Fatal(
+                        ServingError(
+                            f"no route {self.path!r}", status=404, code="unknown_route"
+                        )
+                    )
+        except _Fatal as fatal:
+            self._send_error(fatal.error, legacy=legacy, close=True, headers=headers)
+        except RegistryError as exc:
+            self._send_error(
+                ServingError(str(exc), status=404, code="model_not_found"),
+                legacy=legacy,
+                headers=headers,
+            )
+        except ServingError as exc:
+            self._send_error(exc, legacy=legacy, headers=headers)
+        except FutureTimeout:
+            self._send_error(
+                ServingError(
+                    "the engine did not answer in time; retry later",
+                    status=503,
+                    code="overloaded",
+                ),
+                legacy=legacy,
+                headers={**(headers or {}), "Retry-After": "1"},
+            )
         except Exception as exc:  # engine/model failure — keep serving
-            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
-            return
+            body = {"error": {"code": "internal",
+                              "message": f"{type(exc).__name__}: {exc}", "field": None}}
+            if legacy:
+                body = {"error": f"{type(exc).__name__}: {exc}", "status": 500}
+            self._send_json(500, body, headers=headers)
+
+    def _read_body_or_fatal(self, *, optional: bool = False) -> dict:
+        """Read + parse the body; size violations become fatal (close)."""
+        try:
+            return self._read_json(optional=optional)
+        except ServingError as exc:
+            if exc.code in ("body_too_large", "missing_body"):
+                raise _Fatal(exc) from None
+            raise
+
+    def _handle_predict(self, kind: str, legacy: bool, headers: dict | None) -> None:
+        # Body first (so a 404 for an unknown kind still leaves the
+        # keep-alive connection in sync), size policing before the read.
+        payload = self._read_body_or_fatal()
+        request_schema_for(kind)
+        result = self.server.engine.predict(
+            kind, payload, timeout=self.server.request_timeout
+        )
+        self._send_result(result, legacy, headers)
+
+    def _send_result(self, result: dict, legacy: bool, headers: dict | None) -> None:
         if "error" in result:
-            self._send_json(int(result.get("status", 400)), result)
+            status = int(result.get("status", 400))
+            err = result["error"]
+            if legacy:
+                message = err.get("message") if isinstance(err, dict) else str(err)
+                self._send_json(
+                    status, {"error": message, "status": status}, headers=headers
+                )
+            else:
+                self._send_json(status, {"error": err}, headers=headers)
         else:
-            self._send_json(200, result)
+            self._send_json(200, result, headers=headers)
+
+    def _handle_batch(self, kind: str) -> None:
+        payload = self._read_body_or_fatal()
+        request_schema_for(kind)
+        batch = BatchRequest.validate(payload)
+        engine = self.server.engine
+        futures = [engine.submit(kind, item) for item in batch.requests]
+        results, n_errors = [], 0
+        for future in futures:
+            try:
+                result = future.result(timeout=self.server.request_timeout)
+            except FutureTimeout:
+                result = ServingError(
+                    "the engine did not answer in time; retry later",
+                    status=503,
+                    code="overloaded",
+                ).as_result()
+            except Exception as exc:
+                result = ServingError(
+                    f"{type(exc).__name__}: {exc}", status=500, code="internal"
+                ).as_result()
+            if "error" in result:
+                n_errors += 1
+            results.append(result)
+        self._send_json(
+            200,
+            {"results": results, "n_ok": len(results) - n_errors, "n_errors": n_errors},
+        )
+
+    def _handle_reload(self, name: str) -> None:
+        registry = self._registry()
+        req = ReloadRequest.validate(self._read_body_or_fatal(optional=True))
+        version = req.version
+        if req.alias is not None:
+            alias_name, alias_version = registry.resolve(req.alias)
+            if alias_name != registry.resolve(name)[0]:
+                raise ServingError(
+                    f"alias {req.alias!r} points at model {alias_name!r}, "
+                    f"not {name!r}",
+                    status=409,
+                    code="alias_mismatch",
+                    field="alias",
+                )
+            version = alias_version if version is None else version
+        info = self.server.engine.reload_model(registry, name, version)
+        self._send_json(200, info)
+
+
+class _Fatal(Exception):
+    """An error answered without consuming the request body (close conn)."""
+
+    def __init__(self, error: ServingError):
+        super().__init__(str(error))
+        self.error = error
 
 
 class _EngineHTTPServer(ThreadingHTTPServer):
@@ -102,18 +385,22 @@ class _EngineHTTPServer(ThreadingHTTPServer):
     # the throughput benchmark's connection churn doesn't see RSTs.
     request_queue_size = 128
 
-    def __init__(self, address, engine: InferenceEngine, *, verbose: bool, request_timeout: float):
+    def __init__(self, address, engine: InferenceEngine, *, verbose: bool,
+                 request_timeout: float, registry: ModelRegistry | None):
         super().__init__(address, _Handler)
         self.engine = engine
         self.verbose = verbose
         self.request_timeout = request_timeout
+        self.registry = registry
 
 
 class PredictionServer:
     """Owns the HTTP server + engine lifecycle.
 
     ``port=0`` binds an ephemeral port (the actual one is in ``address``),
-    which is what the tests and the throughput benchmark use.
+    which is what the tests and the throughput benchmark use.  Passing a
+    ``registry`` (a :class:`ModelRegistry` or its root path) enables the
+    model-lifecycle routes (``/v1/models*``, reload).
     """
 
     def __init__(
@@ -122,12 +409,17 @@ class PredictionServer:
         host: str = "127.0.0.1",
         port: int = 8000,
         *,
+        registry: ModelRegistry | str | None = None,
         verbose: bool = False,
         request_timeout: float = 60.0,
     ):
         self.engine = engine
+        if registry is not None and not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        self.registry = registry
         self._httpd = _EngineHTTPServer(
-            (host, port), engine, verbose=verbose, request_timeout=request_timeout
+            (host, port), engine, verbose=verbose,
+            request_timeout=request_timeout, registry=registry,
         )
         self._thread: threading.Thread | None = None
 
@@ -168,9 +460,16 @@ class PredictionServer:
         self.stop()
 
 
-def serve_forever(engine: InferenceEngine, host: str, port: int, *, verbose: bool = True) -> None:
+def serve_forever(
+    engine: InferenceEngine,
+    host: str,
+    port: int,
+    *,
+    registry: ModelRegistry | str | None = None,
+    verbose: bool = True,
+) -> None:
     """Blocking serve loop for the CLI (Ctrl-C to stop)."""
-    server = PredictionServer(engine, host, port, verbose=verbose)
+    server = PredictionServer(engine, host, port, registry=registry, verbose=verbose)
     server.engine.start()
     host_, port_ = server.address
     print(f"serving on http://{host_}:{port_}  (models: {sorted(engine.predictors)})")

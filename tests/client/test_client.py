@@ -1,0 +1,151 @@
+"""ServingClient unit tests against a scripted stdlib HTTP stub:
+retry-with-backoff on 503, keep-alive pooling, error mapping, URL parsing.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.client import ServingClient, ServingError
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Serves canned (status, body) responses and records each request."""
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):
+        pass
+
+    def _serve(self):
+        script = self.server.script
+        with self.server.lock:
+            self.server.requests.append((self.command, self.path))
+            step = script[min(len(script) - 1, self.server.hits)]
+            self.server.hits += 1
+        status, body = step
+        raw = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
+    def do_GET(self):
+        self._serve()
+
+    def do_POST(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            self.rfile.read(length)
+        self._serve()
+
+
+@pytest.fixture()
+def stub():
+    """A scripted server; yield (set_script, server)."""
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    httpd.daemon_threads = True
+    httpd.script = [(200, {})]
+    httpd.hits = 0
+    httpd.requests = []
+    httpd.lock = threading.Lock()
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+
+def make_client(httpd, **kwargs):
+    host, port = httpd.server_address[:2]
+    return ServingClient(host=host, port=port, backoff=0.001, **kwargs)
+
+
+HEALTH = {"status": "ok", "models": {}, "api": "v1"}
+OVERLOADED = {"error": {"code": "overloaded", "message": "busy", "field": None}}
+
+
+class TestRetries:
+    def test_retries_503_then_succeeds(self, stub):
+        stub.script = [(503, OVERLOADED), (503, OVERLOADED), (200, HEALTH)]
+        with make_client(stub, retries=2) as client:
+            assert client.health().status == "ok"
+        assert stub.hits == 3
+
+    def test_gives_up_after_budget_with_typed_error(self, stub):
+        stub.script = [(503, OVERLOADED)]
+        with make_client(stub, retries=1) as client:
+            with pytest.raises(ServingError) as exc_info:
+                client.health()
+        assert exc_info.value.status == 503
+        assert exc_info.value.code == "overloaded"
+        assert stub.hits == 2
+
+    def test_no_retry_on_4xx(self, stub):
+        stub.script = [(404, {"error": {"code": "not_found", "message": "nope",
+                                        "field": "cascade_id"}})]
+        with make_client(stub, retries=3) as client:
+            with pytest.raises(ServingError) as exc_info:
+                client.metrics()
+        assert stub.hits == 1
+        assert exc_info.value.field == "cascade_id"
+
+    def test_connection_refused_surfaces_as_typed_error(self):
+        client = ServingClient(host="127.0.0.1", port=1, retries=1, backoff=0.001)
+        with pytest.raises(ServingError) as exc_info:
+            client.health()
+        assert exc_info.value.code == "connection_error"
+        assert exc_info.value.status == 503
+
+
+class TestPooling:
+    def test_keep_alive_connection_reused(self, stub):
+        stub.script = [(200, HEALTH)]
+        with make_client(stub, retries=0) as client:
+            client.health()
+            conn = client._pool._idle[0]
+            client.health()
+            assert client._pool._idle[0] is conn  # same socket, no redial
+
+    def test_pool_bounded(self, stub):
+        stub.script = [(200, HEALTH)]
+        with make_client(stub, retries=0, pool_size=1) as client:
+            for _ in range(3):
+                client.health()
+            assert len(client._pool._idle) == 1
+
+
+class TestAddressing:
+    def test_base_url_forms(self):
+        assert (ServingClient("http://10.0.0.5:8123").host,
+                ServingClient("http://10.0.0.5:8123").port) == ("10.0.0.5", 8123)
+        assert ServingClient("10.0.0.5:8123").port == 8123
+        assert ServingClient(host="h", port=99).port == 99
+
+    def test_legacy_string_error_bodies_still_map(self, stub):
+        stub.script = [(400, {"error": "flat message", "status": 400})]
+        with make_client(stub, retries=0) as client:
+            with pytest.raises(ServingError, match="flat message"):
+                client.metrics()
+
+
+class TestClientSideValidation:
+    def test_bad_args_never_reach_the_wire(self, stub):
+        with make_client(stub, retries=0) as client:
+            with pytest.raises(ServingError) as exc_info:
+                client.predict_hategen(1, 7, 1.0)  # hashtag must be a str
+        assert exc_info.value.code == "invalid_type"
+        assert stub.hits == 0
+
+    def test_predict_many_validates_every_item(self, stub):
+        with make_client(stub, retries=0) as client:
+            with pytest.raises(ServingError) as exc_info:
+                client.predict_many("retweeters", [{"cascade_id": 1}, {"top_k": 2}])
+        assert exc_info.value.code == "missing_field"
+        assert stub.hits == 0

@@ -164,8 +164,10 @@ class TestServedScoreParity:
                     .candidate_set.cascade.root.tweet_id
                 },
             )
-            assert engine._arena is not None  # weights really live in shm
-            assert live_segments() == [engine._arena.name]
+            assert engine._dispatch is not None
+            arena = engine._dispatch.arena
+            assert arena is not None  # weights really live in shm
+            assert live_segments() == [arena.name]
         assert live_segments() == []
         engine.stop()  # teardown is idempotent
         assert live_segments() == []

@@ -84,18 +84,23 @@ class TestRetweeterPredictor:
         }
         bad = {"cascade_id": 10**9}
         results = retweeter.predict_batch([bad, good])
-        assert results[0]["status"] == 404 and "unknown cascade" in results[0]["error"]
+        assert results[0]["status"] == 404
+        assert results[0]["error"]["code"] == "not_found"
+        assert "unknown cascade" in results[0]["error"]["message"]
+        assert results[0]["error"]["field"] == "cascade_id"
         assert "scores" in results[1]
 
     def test_interval_requires_dynamic_model(self, retweeter, trained_retina):
         _, _, test_samples = trained_retina
         cid = test_samples[0].candidate_set.cascade.root.tweet_id
         result = retweeter.predict_batch([{"cascade_id": cid, "interval": 2}])[0]
-        assert "dynamic" in result["error"]
+        assert "dynamic" in result["error"]["message"]
+        assert result["error"]["field"] == "interval"
 
     def test_missing_cascade_id_rejected(self, retweeter):
         result = retweeter.predict_batch([{}])[0]
-        assert "cascade_id" in result["error"]
+        assert result["error"]["code"] == "missing_field"
+        assert result["error"]["field"] == "cascade_id"
 
     def test_bad_types_do_not_poison_the_batch(self, retweeter, trained_retina):
         """A non-numeric field becomes that payload's 400, not a batch crash."""
@@ -112,9 +117,10 @@ class TestRetweeterPredictor:
                 good,
             ]
         )
-        assert "not a valid int" in results[0]["error"]
-        assert "not a valid int" in results[1]["error"]
-        assert "not a valid int" in results[2]["error"]
+        assert all(results[i]["error"]["code"] == "invalid_type" for i in range(3))
+        assert results[0]["error"]["field"] == "cascade_id"
+        assert results[1]["error"]["field"] == "user_ids entry"
+        assert results[2]["error"]["field"] == "top_k"
         assert "scores" in results[3]
 
 
@@ -165,7 +171,8 @@ class TestDynamicMode:
         result = dynamic_retweeter.predict_batch(
             [{"cascade_id": cid, "interval": 99}]
         )[0]
-        assert "interval" in result["error"]
+        assert result["error"]["code"] == "out_of_range"
+        assert result["error"]["field"] == "interval"
 
 
 class TestHateGenPredictor:

@@ -1,9 +1,9 @@
-"""Registry tests: state flattening, versioning, bundle round trips."""
+"""Registry tests: state flattening, versioning, aliases, bundle round trips."""
 
 import numpy as np
 import pytest
 
-from repro.serving import ModelRegistry
+from repro.serving import ModelRegistry, RegistryError
 from repro.serving.registry import _join_arrays, _split_arrays, load_state, save_state
 
 
@@ -41,6 +41,29 @@ class TestVersioning:
         with pytest.raises(FileNotFoundError):
             reg.latest_version("nope")
 
+    def test_lookup_errors_carry_the_search(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        with pytest.raises(RegistryError) as exc_info:
+            reg.latest_version("ghost")
+        err = exc_info.value
+        assert isinstance(err, FileNotFoundError)  # pre-v1 callers keep working
+        assert err.root == str(tmp_path) and err.name == "ghost"
+        assert "ghost" in str(err) and str(tmp_path) in str(err)
+
+    def test_manifest_for_uncommitted_version(self, tmp_path, trained_retina, serving_world):
+        from repro.serving import RetinaBundle
+
+        trainer, extractor, _ = trained_retina
+        reg = ModelRegistry(tmp_path)
+        reg.save_bundle("m", RetinaBundle(
+            model=trainer.model, extractor=extractor,
+            world_config=serving_world.world.config,
+        ))
+        with pytest.raises(RegistryError) as exc_info:
+            reg.manifest("m", version=9)
+        assert exc_info.value.version == 9
+        assert "v0009" in str(exc_info.value)
+
     def test_invalid_name_rejected(self, tmp_path, trained_retina, serving_world):
         from repro.serving import RetinaBundle
 
@@ -68,6 +91,83 @@ class TestVersioning:
         assert reg.list_versions("m") == [1, 2]
         assert reg.latest_version("m") == 2
         assert reg.list_models() == ["m"]
+
+
+class TestAliases:
+    @pytest.fixture()
+    def reg(self, tmp_path, trained_retina, serving_world):
+        from repro.serving import RetinaBundle
+
+        trainer, extractor, _ = trained_retina
+        reg = ModelRegistry(tmp_path)
+        bundle = RetinaBundle(
+            model=trainer.model, extractor=extractor,
+            world_config=serving_world.world.config,
+        )
+        reg.save_bundle("m", bundle)
+        reg.save_bundle("m", bundle)
+        return reg
+
+    def test_set_alias_pins_latest_at_call_time(self, reg):
+        target = reg.set_alias("prod", "m")
+        assert target == {"name": "m", "version": 2}
+        assert reg.aliases() == {"prod": {"name": "m", "version": 2}}
+        assert reg.resolve("prod") == ("m", 2)
+
+    def test_alias_survives_registry_reopen(self, reg):
+        reg.set_alias("prod", "m", version=1)
+        reopened = ModelRegistry(reg.root)
+        assert reopened.resolve("prod") == ("m", 1)
+        assert reopened.manifest("prod")["version"] == 1
+        assert reopened.load_bundle("prod").model is not None
+
+    def test_explicit_version_overrides_the_pin(self, reg):
+        reg.set_alias("prod", "m", version=1)
+        assert reg.resolve("prod", version=2) == ("m", 2)
+
+    def test_alias_to_unknown_model_or_version(self, reg):
+        with pytest.raises(RegistryError):
+            reg.set_alias("prod", "ghost")
+        with pytest.raises(RegistryError):
+            reg.set_alias("prod", "m", version=9)
+        assert reg.aliases() == {}  # nothing half-written
+
+    def test_alias_cannot_shadow_a_model(self, reg):
+        with pytest.raises(ValueError, match="shadow"):
+            reg.set_alias("m", "m")
+
+    def test_model_cannot_take_an_alias_name(self, reg, trained_retina, serving_world):
+        from repro.serving import RetinaBundle
+
+        trainer, extractor, _ = trained_retina
+        reg.set_alias("prod", "m")
+        with pytest.raises(ValueError, match="alias"):
+            reg.save_bundle("prod", RetinaBundle(
+                model=trainer.model, extractor=extractor,
+                world_config=serving_world.world.config,
+            ))
+
+    def test_delete_alias(self, reg):
+        reg.set_alias("prod", "m")
+        assert reg.delete_alias("prod") is True
+        assert reg.delete_alias("prod") is False
+        with pytest.raises(RegistryError):
+            reg.resolve("prod")
+
+    def test_retarget_is_atomic_rewrite(self, reg):
+        reg.set_alias("prod", "m", version=1)
+        reg.set_alias("canary", "m", version=2)
+        reg.set_alias("prod", "m", version=2)
+        reopened = ModelRegistry(reg.root)
+        assert reopened.aliases() == {
+            "prod": {"name": "m", "version": 2},
+            "canary": {"name": "m", "version": 2},
+        }
+
+    def test_aliases_filtered_by_name(self, reg):
+        reg.set_alias("prod", "m")
+        assert reg.aliases("m") == {"prod": {"name": "m", "version": 2}}
+        assert reg.aliases("other") == {}
 
 
 class TestBundleRoundTrip:

@@ -1,0 +1,159 @@
+"""Schema-layer tests: coercion, ranges, unknown keys, error contract."""
+
+import pytest
+
+from repro.serving.schemas import (
+    BatchRequest,
+    ErrorResponse,
+    HateGenRequest,
+    HateGenResponse,
+    MAX_BATCH_REQUESTS,
+    RetweeterRequest,
+    RetweeterResponse,
+    ServingError,
+    request_schema_for,
+    response_schema_for,
+)
+
+
+def err(schema, payload) -> ServingError:
+    with pytest.raises(ServingError) as exc_info:
+        schema.validate(payload)
+    return exc_info.value
+
+
+class TestRetweeterRequest:
+    def test_minimal(self):
+        req = RetweeterRequest.validate({"cascade_id": 17})
+        assert req.cascade_id == 17
+        assert req.user_ids is None and req.interval is None and req.top_k is None
+        assert req.to_dict() == {"cascade_id": 17}  # None optionals off the wire
+
+    def test_coercion(self):
+        req = RetweeterRequest.validate(
+            {"cascade_id": "17", "user_ids": ["3", 5.0], "top_k": "2"}
+        )
+        assert req.cascade_id == 17
+        assert req.user_ids == [3, 5]
+        assert req.top_k == 2
+
+    def test_missing_required(self):
+        e = err(RetweeterRequest, {})
+        assert e.code == "missing_field" and e.field == "cascade_id"
+        assert e.status == 400
+
+    def test_bool_is_not_an_int(self):
+        e = err(RetweeterRequest, {"cascade_id": True})
+        assert e.code == "invalid_type" and e.field == "cascade_id"
+
+    def test_empty_user_ids(self):
+        e = err(RetweeterRequest, {"cascade_id": 1, "user_ids": []})
+        assert e.code == "empty" and e.field == "user_ids"
+
+    def test_ranges(self):
+        assert err(RetweeterRequest, {"cascade_id": 1, "top_k": 0}).code == "out_of_range"
+        assert err(RetweeterRequest, {"cascade_id": 1, "interval": -1}).code == "out_of_range"
+
+    def test_unknown_key_rejected(self):
+        e = err(RetweeterRequest, {"cascade_id": 1, "casacde_id": 2})
+        assert e.code == "unknown_field" and e.field == "casacde_id"
+
+    def test_unknown_key_ignorable(self):
+        req = RetweeterRequest.validate(
+            {"cascade_id": 1, "extra": 9}, unknown="ignore"
+        )
+        assert req.cascade_id == 1
+
+    def test_null_required_is_missing(self):
+        assert err(RetweeterRequest, {"cascade_id": None}).code == "missing_field"
+
+    def test_non_object_payload(self):
+        assert err(RetweeterRequest, [1, 2]).code == "invalid_type"
+
+
+class TestHateGenRequest:
+    def test_round_trip(self):
+        req = HateGenRequest.validate(
+            {"user_id": 3, "hashtag": "ht0", "timestamp": 100}
+        )
+        assert req.timestamp == 100.0 and isinstance(req.timestamp, float)
+        assert req.to_dict() == {"user_id": 3, "hashtag": "ht0", "timestamp": 100.0}
+
+    def test_hashtag_must_be_string(self):
+        e = err(HateGenRequest, {"user_id": 3, "hashtag": 7, "timestamp": 1.0})
+        assert e.code == "invalid_type" and e.field == "hashtag"
+
+
+class TestBatchRequest:
+    def test_cap(self):
+        e = err(BatchRequest, {"requests": [{}] * (MAX_BATCH_REQUESTS + 1)})
+        assert e.code == "too_large" and e.status == 400
+
+    def test_empty(self):
+        assert err(BatchRequest, {"requests": []}).code == "empty"
+
+
+class TestResponses:
+    def test_retweeter_response_round_trip(self):
+        body = {
+            "cascade_id": 17,
+            "mode": "static",
+            "interval": None,
+            "scores": {"3": 0.8, "5": 0.1},
+            "ranking": [[3, 0.8], [5, 0.1]],
+        }
+        resp = RetweeterResponse.validate(body)
+        assert resp.scores["3"] == 0.8
+        assert resp.to_dict() == body  # responses keep null fields on the wire
+
+    def test_bad_scores_value(self):
+        e = err(
+            RetweeterResponse,
+            {"cascade_id": 1, "mode": "static", "scores": {"3": "high"},
+             "ranking": []},
+        )
+        assert e.field == "scores"
+
+    def test_bad_ranking_entry(self):
+        e = err(
+            RetweeterResponse,
+            {"cascade_id": 1, "mode": "static", "scores": {},
+             "ranking": [[3, 0.8, "extra"]]},
+        )
+        assert e.field == "ranking"
+
+    def test_hategen_response(self):
+        resp = HateGenResponse.validate(
+            {"user_id": 3, "hashtag": "h", "timestamp": 1.0, "score": 0.5,
+             "label": 1, "probabilistic": True}
+        )
+        assert resp.label == 1 and resp.probabilistic is True
+
+
+class TestErrorContract:
+    def test_wire_shape(self):
+        e = ServingError("nope", status=404, code="not_found", field="cascade_id")
+        assert e.as_error() == {
+            "error": {"code": "not_found", "message": "nope", "field": "cascade_id"}
+        }
+        assert e.as_result()["status"] == 404
+
+    def test_error_response_parses_v1_and_legacy(self):
+        v1 = ErrorResponse.from_body(
+            {"error": {"code": "x", "message": "m", "field": None}}, status=400
+        )
+        assert (v1.code, v1.message) == ("x", "m")
+        legacy = ErrorResponse.from_body({"error": "boom", "status": 503}, status=503)
+        assert legacy.message == "boom" and legacy.status == 503
+
+
+class TestKindDispatch:
+    def test_known_kinds(self):
+        assert request_schema_for("retweeters") is RetweeterRequest
+        assert response_schema_for("hategen") is HateGenResponse
+
+    def test_unknown_kind_is_404(self):
+        with pytest.raises(ServingError) as exc_info:
+            request_schema_for("nope")
+        assert exc_info.value.status == 404
+        assert exc_info.value.code == "unknown_predictor"

@@ -115,6 +115,27 @@ class TestSaveServePredictRoundTrip:
         assert result["cascade_id"] == cascade_id
         assert len(result["ranking"]) == 3
 
+    def test_cli_predict_against_url(self, saved_bundle, capsys):
+        from repro.serving import PredictionServer, engine_from_store
+
+        engine = engine_from_store(saved_bundle, ["retina-cli"], max_wait_ms=1.0)
+        cascade_id = next(iter(engine.predictors["retweeters"]._cascades))
+        with PredictionServer(engine, port=0, registry=saved_bundle) as server:
+            code = main(
+                ["predict", "--url", server.url, "--name", "retina-cli",
+                 "--cascade", str(cascade_id), "--top-k", "2"]
+            )
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["cascade_id"] == cascade_id
+        assert len(result["ranking"]) == 2
+
+    def test_cli_predict_needs_exactly_one_source(self, saved_bundle, capsys):
+        assert main(["predict", "--name", "retina-cli"]) == 2
+        assert "--store or --url" in capsys.readouterr().err
+        assert main(["predict", "--store", saved_bundle, "--url", "http://x",
+                     "--name", "retina-cli"]) == 2
+
     def test_cli_predict_from_store(self, saved_bundle, capsys):
         from repro.serving import ModelRegistry, predictor_for_bundle
 
