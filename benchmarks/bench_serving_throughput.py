@@ -52,6 +52,7 @@ from benchmarks.common import (
 from repro.client import ServingClient
 from repro.core.retina import RETINA, RetinaFeatureExtractor, RetinaTrainer
 from repro.data import HateDiffusionDataset, SyntheticWorldConfig
+from repro.obs import config as obs_config
 from repro.serving import InferenceEngine, PredictionServer, RetinaBundle, RetweeterPredictor
 
 BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64)
@@ -174,6 +175,10 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="also measure /v1/batch/retweeters with N "
                              "requests per HTTP call (0 disables; reports "
                              "per-request and per-row throughput)")
+    parser.add_argument("--obs-overhead", action="store_true",
+                        help="also measure telemetry overhead: one fixed-"
+                             "concurrency leg each with obs disabled, "
+                             "enabled-but-unsampled, and fully sampled")
     parser.add_argument("--min-rps", type=float, default=3000.0,
                         help="requests/sec floor at the largest sweep worker "
                              "count (enforced by --check when the host has "
@@ -205,6 +210,10 @@ def parse_args(argv=None) -> argparse.Namespace:
 def _run(args=None) -> dict:
     if args is None:
         args = parse_args([])
+    # Load legs run enabled-but-unsampled — the production posture — so the
+    # archived throughput trajectory stays comparable across PRs; the
+    # --obs-overhead leg flips the switches explicitly.
+    obs_config.configure(enabled=True, sample_rate=0.0)
     bundle, cascade_ids, user_pool = _serving_fixture()
     rng = np.random.default_rng(0)
     payloads = [
@@ -289,6 +298,38 @@ def _run(args=None) -> dict:
             "concurrency": args.concurrency,
             "batch_size": args.batch_size,
             "levels": batch_levels,
+        }
+
+    # ---- telemetry overhead: disabled vs unsampled vs fully sampled ------
+    if getattr(args, "obs_overhead", False):
+        overhead = []
+        try:
+            for label, enabled, rate in (
+                ("disabled", False, 0.0),
+                ("enabled_unsampled", True, 0.0),
+                ("enabled_sampled", True, 1.0),
+            ):
+                obs_config.configure(enabled=enabled, sample_rate=rate)
+                engine, server = serve(workers=1)
+                with server:
+                    host, port = server.address
+                    _fire_load(host, port, payloads, concurrency=2, seconds=0.5)
+                    level = _fire_load(
+                        host, port, payloads, args.concurrency, args.seconds
+                    )
+                level["obs"] = label
+                overhead.append(level)
+        finally:
+            obs_config.configure(enabled=True, sample_rate=0.0)
+        base_rps = overhead[0]["requests_per_s"]
+        for level in overhead:
+            level["overhead_pct_vs_disabled"] = round(
+                (base_rps - level["requests_per_s"]) / base_rps * 100, 2
+            )
+        report["obs_overhead"] = {
+            "concurrency": args.concurrency,
+            "levels": overhead,
+            "target_pct_unsampled": 3.0,
         }
     return report
 

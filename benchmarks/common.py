@@ -211,7 +211,17 @@ def floor_enforceable(workers: int) -> bool:
 
 
 def emit_report(report: dict, json_out: str | None = None) -> dict:
-    """Print a benchmark report as JSON and optionally archive it."""
+    """Print a benchmark report as JSON and optionally archive it.
+
+    Every report is stamped with a ``run_record`` — git SHA, host, the
+    telemetry switches, accumulated metric counters, and the slowest spans
+    seen during the run — so an archived ``BENCH_*.json`` says what
+    produced its numbers without consulting CI logs.
+    """
+    from repro.obs import run_record
+
+    report = dict(report)
+    report.setdefault("run_record", run_record())
     report = json_ready(report)
     text = json.dumps(report, indent=2)
     print(text)

@@ -8,18 +8,32 @@ validated by :mod:`repro.serving.schemas`, so a drift between server and
 schema fails loudly.  Also checks the legacy deprecation shim (same
 bytes + ``Deprecation`` header) and the structured-error contract.
 
+The observability pass pins the telemetry surface: the legacy
+``/metrics`` JSON shape must stay byte-compatible with pre-v1, the
+Prometheus exposition must parse line-by-line, inbound ``X-Trace-Id``
+headers must be echoed, and a forced trace's span tree must be
+retrievable (``--trace-out PATH`` archives it as a CI artifact).
+
 Run:  PYTHONPATH=src python scripts/api_contract_check.py
 Exit code 0 = contract holds.
 """
 
 from __future__ import annotations
 
+import argparse
 import http.client
 import json
+import re
 import sys
 import tempfile
+from pathlib import Path
 
 import numpy as np
+
+# One exposition line: a comment, or ``name{labels} value``.  Label values
+# may themselves contain ``}`` (route templates like "/v1/models/{name}"),
+# hence the greedy group.
+PROM_LINE_RE = re.compile(r"^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? [^ ]+)$")
 
 CHECKS: list[str] = []
 
@@ -80,12 +94,13 @@ def build_registry(store: str):
     return registry, trainer, te, h_test
 
 
-def raw(server, method, path, body=None):
+def raw(server, method, path, body=None, headers=None):
     host, port = server.address
     conn = http.client.HTTPConnection(host, port, timeout=30)
     try:
         payload = json.dumps(body).encode() if body is not None else None
-        conn.request(method, path, payload, {"Content-Type": "application/json"})
+        hdrs = {"Content-Type": "application/json", **(headers or {})}
+        conn.request(method, path, payload, hdrs)
         resp = conn.getresponse()
         data = resp.read()
         return resp.status, dict(resp.headers), json.loads(data) if data else {}
@@ -93,7 +108,28 @@ def raw(server, method, path, body=None):
         conn.close()
 
 
-def main() -> int:
+def raw_text(server, path):
+    """GET returning the undecoded body (for non-JSON responses)."""
+    host, port = server.address
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, dict(resp.headers), resp.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="serving API v1 contract check")
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="archive the forced sample trace's span tree as JSON at PATH",
+    )
+    args = parser.parse_args(argv)
+
     from repro.client import ServingClient, ServingError
     from repro.serving import PredictionServer, engine_from_store
     from repro.serving.schemas import (
@@ -228,6 +264,57 @@ def main() -> int:
                       and resp.headers.get("Connection") == "close")
             finally:
                 conn.close()
+
+            # ---- observability: trace-id echo + span tree -----------------
+            # A forced trace id must be honoured even with sampling off,
+            # echoed back, and its complete span tree retrievable.
+            status, hdrs, _ = raw(
+                server, "POST", "/v1/predict/retweeters", payload,
+                headers={"X-Trace-Id": "contractcheck"},
+            )
+            check("X-Trace-Id echoed", status == 200
+                  and hdrs.get("X-Trace-Id") == "contractcheck")
+            status, _, tree = raw(server, "GET", "/v1/traces/contractcheck")
+            span_names = {sp["name"] for sp in tree.get("spans", ())}
+            check("GET /v1/traces/{id} span tree", status == 200
+                  and tree.get("trace_id") == "contractcheck"
+                  and tree.get("n_spans", 0) >= 5
+                  and {"http.request", "handler.parse", "engine.queue_wait",
+                       "model.forward", "http.serialize"} <= span_names,
+                  f"got spans {sorted(span_names)}")
+            if args.trace_out:
+                Path(args.trace_out).write_text(json.dumps(tree, indent=2) + "\n")
+                print(f"  archived sample trace -> {args.trace_out}")
+
+            # ---- observability: metrics views -----------------------------
+            # Per-route status counters need a GET error on record too.
+            raw(server, "GET", "/v1/no/such/route")
+            s_v1, _, v1m = raw(server, "GET", "/v1/metrics")
+            pred = v1m.get("retweeters", {})
+            check("/v1/metrics windowed throughput", s_v1 == 200
+                  and "requests_per_s_window" in pred and "window_s" in pred)
+            responses = v1m.get("http", {}).get("responses", {})
+            check("/v1/metrics per-route status counters",
+                  any(key.endswith("|200") for key in responses)
+                  and any(key.startswith("other|GET|404") for key in responses),
+                  f"got counter keys {sorted(responses)}")
+            s_old, _, legacy_m = raw(server, "GET", "/metrics")
+            check("legacy /metrics shape unchanged", s_old == 200
+                  and "http" not in legacy_m
+                  and set(legacy_m) == set(v1m) - {"http"})
+            s_prom, prom_hdrs, text = raw_text(
+                server, "/v1/metrics?format=prometheus"
+            )
+            lines = [ln for ln in text.splitlines() if ln]
+            bad = [ln for ln in lines if not PROM_LINE_RE.match(ln)]
+            check("Prometheus exposition parses", s_prom == 200
+                  and prom_hdrs.get("Content-Type", "").startswith(
+                      "text/plain; version=0.0.4")
+                  and lines and not bad,
+                  f"unparseable lines: {bad[:3]}")
+            check("Prometheus carries serving families",
+                  any(ln.startswith("repro_http_requests_total{") for ln in lines)
+                  and any("_bucket{" in ln for ln in lines))
 
     print(f"\napi-contract: all {len(CHECKS)} checks passed")
     return 0

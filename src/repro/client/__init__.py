@@ -139,6 +139,9 @@ class ServingClient:
         self.backoff = backoff
         self.strict = strict
         self._pool = _ConnectionPool(host, port, timeout, pool_size)
+        #: Trace id echoed by the server on the most recent traced request
+        #: (``None`` when the last response carried no ``X-Trace-Id``).
+        self.last_trace_id: str | None = None
 
     def _parse(self, schema, body: dict):
         if self.strict:
@@ -146,13 +149,18 @@ class ServingClient:
         return schema.from_wire(body)
 
     # ------------------------------------------------------------ plumbing
-    def _request(self, method: str, path: str, payload: dict | None = None):
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 trace_id: str | None = None):
         """One HTTP round trip with pooling + retries; returns (status, body)."""
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if trace_id is not None:
+            # Forces server-side tracing of this request even on a server
+            # running with sampling off; the id comes back in the response.
+            headers["X-Trace-Id"] = trace_id
         last_exc: Exception | None = None
         for attempt in range(self.retries + 1):
             if attempt:
@@ -163,6 +171,7 @@ class ServingClient:
                 resp = conn.getresponse()
                 raw = resp.read()
                 status = resp.status
+                self.last_trace_id = resp.headers.get("X-Trace-Id")
                 keep = resp.headers.get("Connection", "").lower() != "close"
             except (http.client.HTTPException, ConnectionError, OSError) as exc:
                 # Stale keep-alive connections surface here; drop the
@@ -192,9 +201,10 @@ class ServingClient:
             code="connection_error",
         )
 
-    def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _call(self, method: str, path: str, payload: dict | None = None,
+              trace_id: str | None = None) -> dict:
         """Request + raise a typed ServingError on any error payload."""
-        status, body = self._request(method, path, payload)
+        status, body = self._request(method, path, payload, trace_id=trace_id)
         if status >= 400 or (isinstance(body, dict) and "error" in body):
             err = ErrorResponse.from_body(body, status=status)
             raise ServingError(
@@ -213,23 +223,33 @@ class ServingClient:
         user_ids: list[int] | None = None,
         interval: int | None = None,
         top_k: int | None = None,
+        trace_id: str | None = None,
     ) -> RetweeterResponse:
-        """Score candidate retweeters of one cascade."""
+        """Score candidate retweeters of one cascade.
+
+        Passing ``trace_id`` forces a server-side trace of this request;
+        fetch its span tree afterwards with :meth:`trace`.
+        """
         req = RetweeterRequest.validate(
             {"cascade_id": cascade_id, "user_ids": user_ids,
              "interval": interval, "top_k": top_k}
         )
-        body = self._call("POST", "/v1/predict/retweeters", req.to_dict())
+        body = self._call(
+            "POST", "/v1/predict/retweeters", req.to_dict(), trace_id=trace_id
+        )
         return self._parse(RetweeterResponse, body)
 
     def predict_hategen(
-        self, user_id: int, hashtag: str, timestamp: float
+        self, user_id: int, hashtag: str, timestamp: float, *,
+        trace_id: str | None = None,
     ) -> HateGenResponse:
         """Score one (user, hashtag, timestamp) hate-generation query."""
         req = HateGenRequest.validate(
             {"user_id": user_id, "hashtag": hashtag, "timestamp": timestamp}
         )
-        body = self._call("POST", "/v1/predict/hategen", req.to_dict())
+        body = self._call(
+            "POST", "/v1/predict/hategen", req.to_dict(), trace_id=trace_id
+        )
         return self._parse(HateGenResponse, body)
 
     def predict_many(self, kind: str, requests: list) -> BatchPredictResponse:
@@ -281,6 +301,15 @@ class ServingClient:
     def metrics(self) -> dict:
         """Per-predictor latency/throughput/cache counters (free-form)."""
         return self._call("GET", "/v1/metrics")
+
+    # ------------------------------------------------------------- tracing
+    def traces(self) -> list[dict]:
+        """One-line summaries of the server's most recent traces."""
+        return self._call("GET", "/v1/traces")["traces"]
+
+    def trace(self, trace_id: str) -> dict:
+        """The full span tree of one trace (404 -> ServingError)."""
+        return self._call("GET", f"/v1/traces/{trace_id}")
 
     # ----------------------------------------------------------- lifecycle
     def close(self) -> None:

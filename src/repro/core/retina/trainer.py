@@ -7,16 +7,30 @@ for dynamic mode (batch 32, lambda 2.5).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.retina.features import RetinaSample
 from repro.core.retina.model import RETINA, interval_edges_hours
 from repro.nn import Adam, SGD, Tensor
 from repro.nn.losses import positive_class_weight, weighted_bce_with_logits
+from repro.obs import log as obs_log
 from repro.parallel import ShmArena, WorkerPool, fork_available
 from repro.utils.rng import ensure_rng
 
 __all__ = ["RetinaTrainer"]
+
+_log = obs_log.get_logger("repro.train")
+
+
+def _grad_norm(params) -> float:
+    """Global L2 norm of the current parameter gradients (read-only)."""
+    acc = 0.0
+    for p in params:
+        if p.grad is not None:
+            acc += float(np.dot(p.grad.ravel(), p.grad.ravel()))
+    return float(np.sqrt(acc))
 
 
 class RetinaTrainer:
@@ -132,7 +146,23 @@ class RetinaTrainer:
         order = np.arange(len(samples))
         if self.workers is not None:
             return self._fit_sharded(prepared, order, rng, opt, w)
-        for _ in range(self.epochs):
+        # Telemetry only *reads* training state (loss scalars, gradient
+        # norms): no RNG draw, no weight write — trained weights stay
+        # bit-identical with logging on or off.
+        track = _log.enabled_for("info")
+        if track:
+            _log.info(
+                "fit.start",
+                n_samples=len(samples),
+                epochs=self.epochs,
+                mode=self.model.mode,
+                optimizer=self.optimizer_name,
+                layout={"workers": 1, "shard_size": 1},
+            )
+        fit_t0 = time.perf_counter()
+        for epoch in range(self.epochs):
+            epoch_t0 = time.perf_counter()
+            loss_sum, steps = 0.0, 0
             rng.shuffle(order)
             for si in order:
                 sample, tweet, news, targets_all, pos, neg, X, targets = prepared[si]
@@ -154,6 +184,26 @@ class RetinaTrainer:
                 opt.zero_grad()
                 loss.backward()
                 opt.step()
+                if track:
+                    loss_sum += float(loss.data)
+                    steps += 1
+            if track:
+                epoch_s = time.perf_counter() - epoch_t0
+                _log.info(
+                    "train.epoch",
+                    epoch=epoch,
+                    mean_loss=round(loss_sum / max(steps, 1), 6),
+                    grad_norm=round(_grad_norm(params), 6),
+                    steps=steps,
+                    step_ms=round(epoch_s / max(steps, 1) * 1e3, 3),
+                    epoch_s=round(epoch_s, 3),
+                )
+        if track:
+            _log.info(
+                "fit.end",
+                epochs=self.epochs,
+                duration_s=round(time.perf_counter() - fit_t0, 3),
+            )
         return self
 
     # ------------------------------------------------------ sharded training
@@ -203,7 +253,11 @@ class RetinaTrainer:
             grad_rows = np.empty((shard, total_p))
 
         def _cascade_grad(task):
-            """Forward/backward one cascade; write its flat gradient row."""
+            """Forward/backward one cascade; write its flat gradient row.
+
+            Returns the per-parameter grad mask plus the loss scalar — the
+            loss ride-along feeds epoch telemetry and is a pure read.
+            """
             slot, si, idx = task
             sample, tweet, news, targets_all, _pos, _neg, X, targets = prepared[si]
             if X is None:
@@ -223,13 +277,26 @@ class RetinaTrainer:
                 else:
                     row[off : off + size] = p.grad.ravel()
                     mask.append(True)
-            return tuple(mask)
+            return tuple(mask), float(loss.data)
 
+        track = _log.enabled_for("info")
+        if track:
+            _log.info(
+                "fit.start",
+                n_samples=len(prepared),
+                epochs=self.epochs,
+                mode=self.model.mode,
+                optimizer=self.optimizer_name,
+                layout={"workers": n_workers, "shard_size": shard},
+            )
+        fit_t0 = time.perf_counter()
         try:
             if n_workers > 1:
                 pool = WorkerPool(n_workers, {"grad": _cascade_grad},
                                   name="repro-train")
-            for _ in range(self.epochs):
+            for epoch in range(self.epochs):
+                epoch_t0 = time.perf_counter()
+                loss_sum, n_cascades, steps, last_norm = 0.0, 0, 0, 0.0
                 rng.shuffle(order)
                 for start in range(0, len(order), shard):
                     group = order[start : start + shard]
@@ -251,9 +318,14 @@ class RetinaTrainer:
                                 idx = np.concatenate([pos, keep_neg])
                         tasks.append((slot, int(si), idx))
                     if pool is None:
-                        masks = [_cascade_grad(t) for t in tasks]
+                        results = [_cascade_grad(t) for t in tasks]
                     else:
-                        masks = pool.map("grad", tasks)
+                        results = pool.map("grad", tasks)
+                    masks = [m for m, _ in results]
+                    if track:
+                        loss_sum += sum(l for _, l in results)
+                        n_cascades += len(results)
+                        steps += 1
                     # Canonical reduction: rows in shuffled-cascade order,
                     # summed sequentially, then scaled to the mean — the
                     # same float sequence whichever worker filled a row.
@@ -269,6 +341,26 @@ class RetinaTrainer:
                         else:
                             p.grad = None
                     opt.step()
+                    if track:
+                        last_norm = _grad_norm(params)
+                if track:
+                    epoch_s = time.perf_counter() - epoch_t0
+                    _log.info(
+                        "train.epoch",
+                        epoch=epoch,
+                        mean_loss=round(loss_sum / max(n_cascades, 1), 6),
+                        grad_norm=round(last_norm, 6),
+                        steps=steps,
+                        step_ms=round(epoch_s / max(steps, 1) * 1e3, 3),
+                        epoch_s=round(epoch_s, 3),
+                        layout={"workers": n_workers, "shard_size": shard},
+                    )
+            if track:
+                _log.info(
+                    "fit.end",
+                    epochs=self.epochs,
+                    duration_s=round(time.perf_counter() - fit_t0, 3),
+                )
         finally:
             if pool is not None:
                 pool.close()

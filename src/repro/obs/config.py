@@ -1,0 +1,86 @@
+"""Global telemetry switches for :mod:`repro.obs`.
+
+One process-wide state object answers two questions on every hot-path
+call: *is telemetry on at all* (``enabled`` — when off, every obs
+entry point short-circuits to a no-op) and *what fraction of requests
+get a full trace* (``sample_rate`` — metrics counters and logs are
+cheap enough to always run when enabled; span recording is the part
+worth sampling).
+
+Environment knobs (read once at import; ``configure`` overrides):
+
+- ``REPRO_OBS=0``        turn the whole subsystem off ("compiled out")
+- ``REPRO_OBS_SAMPLE=x`` trace sampling rate in [0, 1] (default 1.0)
+
+An inbound ``X-Trace-Id`` header always forces a trace regardless of
+the sampling rate — "trace this one request" must work even on a
+server running unsampled.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+__all__ = ["configure", "enabled", "sample_rate", "should_sample", "snapshot"]
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "1").strip().lower() not in ("0", "false", "off")
+
+
+def _env_sample() -> float:
+    raw = os.environ.get("REPRO_OBS_SAMPLE", "").strip()
+    if not raw:
+        return 1.0
+    try:
+        rate = float(raw)
+    except ValueError:
+        return 1.0
+    return min(1.0, max(0.0, rate))
+
+
+class _State:
+    __slots__ = ("enabled", "sample_rate")
+
+    def __init__(self) -> None:
+        self.enabled = _env_enabled()
+        self.sample_rate = _env_sample()
+
+
+STATE = _State()
+
+
+def configure(enabled: bool | None = None, sample_rate: float | None = None) -> None:
+    """Override the process-wide telemetry switches (``None`` keeps current)."""
+    if enabled is not None:
+        STATE.enabled = bool(enabled)
+    if sample_rate is not None:
+        STATE.sample_rate = min(1.0, max(0.0, float(sample_rate)))
+
+
+def enabled() -> bool:
+    """Whether the telemetry subsystem is on at all."""
+    return STATE.enabled
+
+
+def sample_rate() -> float:
+    """Fraction of (unforced) requests that get a full trace."""
+    return STATE.sample_rate
+
+
+def should_sample() -> bool:
+    """One sampling decision: True when this request should be traced."""
+    if not STATE.enabled:
+        return False
+    rate = STATE.sample_rate
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return random.random() < rate
+
+
+def snapshot() -> dict:
+    """The current switches, for run records and ``/v1/metrics``."""
+    return {"enabled": STATE.enabled, "sample_rate": STATE.sample_rate}

@@ -1,0 +1,138 @@
+"""Structured JSON-lines logging with automatic trace correlation.
+
+``get_logger(name)`` returns a cached :class:`JsonLogger` whose methods
+emit one JSON object per line::
+
+    {"ts": "...", "level": "warning", "logger": "repro.serving.engine",
+     "event": "dispatch.stats_failed", "trace_id": "ab12...", "error": "..."}
+
+The ``trace_id`` is picked up from the ambient tracing context when one
+is active, so a log line emitted mid-request links back to its trace.
+Replaces the repo's ad-hoc ``print``/silent-``except`` reporting in the
+serving, pool, registry, and training layers.
+
+Destination and level come from the environment (overridable via
+:func:`set_stream` / :func:`set_level`):
+
+- ``REPRO_OBS_LOG``        ``stderr`` (default), ``off``, or a file path
+- ``REPRO_OBS_LOG_LEVEL``  ``debug`` / ``info`` / ``warning`` / ``error``
+
+Logging is a no-op when telemetry is disabled (``REPRO_OBS=0``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+
+from repro.obs import config
+
+__all__ = ["JsonLogger", "get_logger", "set_stream", "set_level", "LEVELS"]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_lock = threading.Lock()
+_loggers: dict[str, "JsonLogger"] = {}
+_stream = None  # None => resolve from env at emit time
+_level = LEVELS.get(os.environ.get("REPRO_OBS_LOG_LEVEL", "info").lower(), 20)
+
+
+def _resolve_stream():
+    """The configured sink: a writable stream, or None for ``off``."""
+    global _stream
+    if _stream is not None:
+        return _stream if _stream != "off" else None
+    dest = os.environ.get("REPRO_OBS_LOG", "stderr").strip()
+    if dest.lower() in ("off", "none", "0"):
+        _stream = "off"
+        return None
+    if dest.lower() in ("stderr", ""):
+        return sys.stderr  # late-bound: pytest may swap sys.stderr
+    try:
+        _stream = open(dest, "a")  # noqa: SIM115 — process-lifetime sink
+    except OSError:
+        return sys.stderr
+    return _stream
+
+
+def set_stream(stream) -> None:
+    """Redirect all loggers (tests pass a ``StringIO``; ``None`` re-reads env)."""
+    global _stream
+    _stream = stream
+
+
+def set_level(level: str) -> None:
+    global _level
+    _level = LEVELS[level]
+
+
+def level_value() -> int:
+    return _level
+
+
+class JsonLogger:
+    """One named emitter of JSON log lines."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def enabled_for(self, level: str = "info") -> bool:
+        """Cheap guard for callers that only *compute* fields when logging."""
+        return config.STATE.enabled and LEVELS[level] >= _level
+
+    def log(self, level: str, event: str, **fields) -> None:
+        if not config.STATE.enabled or LEVELS[level] < _level:
+            return
+        stream = _resolve_stream()
+        if stream is None:
+            return
+        from repro.obs.trace import current_trace_id
+
+        record = {
+            "ts": datetime.fromtimestamp(time.time(), tz=timezone.utc).isoformat(
+                timespec="milliseconds"
+            ),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        record.update(fields)
+        try:
+            line = json.dumps(record, default=str)
+        except (TypeError, ValueError):
+            line = json.dumps({k: str(v) for k, v in record.items()})
+        with _lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                pass  # a closed sink must never take the serving path down
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+def get_logger(name: str) -> JsonLogger:
+    with _lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = _loggers[name] = JsonLogger(name)
+        return logger

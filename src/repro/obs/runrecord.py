@@ -1,0 +1,66 @@
+"""Self-describing run records for benchmark JSON documents.
+
+``benchmarks/common.py`` stamps every ``BENCH_*.json`` with
+:func:`run_record` so the archived perf trajectory says *what* produced
+each number: the git SHA, the host, the telemetry switches, a summary of
+the metric counters accumulated during the run, and the slowest spans
+seen by the tracer.  Every field degrades to ``None``/empty rather than
+raising — a bench must never fail because git is absent.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.obs import config
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import STORE
+
+__all__ = ["git_sha", "run_record"]
+
+
+def git_sha() -> str | None:
+    """The repo HEAD SHA, or None when git/the repo is unavailable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parents[3],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def run_record(*, max_spans: int = 5) -> dict:
+    """A JSON-ready snapshot describing the run that produced a report."""
+    counters = {}
+    try:
+        for name, value in REGISTRY.snapshot().items():
+            if isinstance(value, (int, float)) and value:
+                counters[name] = round(value, 6)
+            elif isinstance(value, dict) and value:
+                counters[name] = value
+    except Exception:
+        counters = {}
+    return {
+        "timestamp": datetime.fromtimestamp(time.time(), tz=timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "pid": os.getpid(),
+        "obs": config.snapshot(),
+        "metrics": counters,
+        "slowest_spans": STORE.slowest_spans(max_spans),
+    }

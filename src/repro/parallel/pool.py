@@ -21,7 +21,11 @@ import signal
 import time
 import traceback
 
+from repro.obs import log as obs_log
+
 __all__ = ["WorkerPool", "WorkerCrashed", "WorkerTaskError", "in_worker"]
+
+_log = obs_log.get_logger("repro.parallel.pool")
 
 _IN_WORKER = False
 
@@ -142,6 +146,14 @@ class WorkerPool:
                         tid, ok, value = self._result_q.get(timeout=0.05)
                     except _queue.Empty:
                         dead = [p.name for p in self._procs if not p.is_alive()]
+                        _log.error(
+                            "pool.worker_crashed",
+                            dead_workers=dead,
+                            exit_codes=[
+                                p.exitcode for p in self._procs if not p.is_alive()
+                            ],
+                            n_inflight=len(self._inflight),
+                        )
                         raise WorkerCrashed(
                             f"worker(s) {dead} died with "
                             f"{len(self._inflight)} task(s) in flight"

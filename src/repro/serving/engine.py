@@ -26,7 +26,9 @@ re-forks onto a fresh shared-memory arena holding the new weights.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
+import os
 import queue
 import threading
 import time
@@ -36,6 +38,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.diffusion.cascade import build_candidate_set
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.parallel import (
     ShmArena,
     WorkerCrashed,
@@ -60,6 +65,29 @@ __all__ = [
 
 #: Bundle kind (registry manifest) -> predictor kind (API route).
 KIND_FOR_BUNDLE = {"retina": "retweeters", "hategen": "hategen"}
+
+_log = obs_log.get_logger("repro.serving.engine")
+
+#: End-to-end latency through the engine in fixed log-scale buckets —
+#: mergeable across processes/scrapes, unlike the rolling deque window.
+_LATENCY = obs_metrics.REGISTRY.histogram(
+    "repro_request_latency_seconds",
+    "End-to-end request latency through the inference engine (seconds).",
+    ("kind",),
+)
+_QUEUE_DEPTH = obs_metrics.REGISTRY.gauge(
+    "repro_engine_queue_depth",
+    "Requests sitting in the engine queue, not yet gathered into a batch.",
+)
+_QUEUE_AGE = obs_metrics.REGISTRY.gauge(
+    "repro_engine_queue_age_seconds",
+    "Age of the oldest request still waiting in the engine queue.",
+)
+_BATCHES = obs_metrics.REGISTRY.counter(
+    "repro_engine_batches_total",
+    "Micro-batches executed, by predictor kind and execution site.",
+    ("kind", "site"),
+)
 
 
 # ------------------------------------------------------------- retweeters
@@ -240,21 +268,35 @@ class RetweeterPredictor:
             groups.setdefault(parsed[i]["cascade"].root.tweet_id, []).append(i)
 
         packs, positions = [], []
-        for cascade_id, idxs in groups.items():
-            cascade = parsed[idxs[0]]["cascade"]
-            ctx = self._context(cascade)
-            users: list[int] = []
-            position: dict[int, int] = {}
-            for i in idxs:
-                for uid in parsed[i]["user_ids"]:
-                    if uid not in position:
-                        position[uid] = len(users)
-                        users.append(uid)
-            cand = self._candidate_rows(cascade, users)
-            packs.append((cand, ctx["shared"], ctx["tweet_vec"], ctx["news_vecs"]))
-            positions.append(position)
+        n_rows = 0
+        feature_span = obs_trace.batch_span("serve.feature_build")
+        with feature_span:
+            hits0 = self.feature_cache.hits
+            misses0 = self.feature_cache.misses
+            for cascade_id, idxs in groups.items():
+                cascade = parsed[idxs[0]]["cascade"]
+                ctx = self._context(cascade)
+                users: list[int] = []
+                position: dict[int, int] = {}
+                for i in idxs:
+                    for uid in parsed[i]["user_ids"]:
+                        if uid not in position:
+                            position[uid] = len(users)
+                            users.append(uid)
+                cand = self._candidate_rows(cascade, users)
+                n_rows += len(users)
+                packs.append((cand, ctx["shared"], ctx["tweet_vec"], ctx["news_vecs"]))
+                positions.append(position)
+            feature_span.annotate(
+                cache_hits=self.feature_cache.hits - hits0,
+                cache_misses=self.feature_cache.misses - misses0,
+                rows=n_rows,
+            )
 
-        probas = self.model.predict_proba_packed(packs)
+        with obs_trace.batch_span(
+            "model.forward", kind=self.kind, rows=n_rows, cascades=len(groups)
+        ):
+            probas = self.model.predict_proba_packed(packs)
         for (cascade_id, idxs), position, proba in zip(groups.items(), positions, probas):
             if self.model.mode == "dynamic":
                 static_scores = self.model.static_score_from_dynamic(proba)
@@ -361,11 +403,20 @@ class HateGenPredictor:
             except ServingError as exc:
                 results[i] = exc.as_result()
         if live:
-            X = np.stack([self._vector(req) for req in parsed])
-            for t in self.transforms:
-                X = t.transform(X)
-            scores = self._scores(X)
-            labels = self.model.predict(X)
+            feature_span = obs_trace.batch_span("serve.feature_build")
+            with feature_span:
+                hits0, misses0 = self.feature_cache.hits, self.feature_cache.misses
+                X = np.stack([self._vector(req) for req in parsed])
+                feature_span.annotate(
+                    cache_hits=self.feature_cache.hits - hits0,
+                    cache_misses=self.feature_cache.misses - misses0,
+                    rows=len(parsed),
+                )
+            with obs_trace.batch_span("model.forward", kind=self.kind, rows=len(parsed)):
+                for t in self.transforms:
+                    X = t.transform(X)
+                scores = self._scores(X)
+                labels = self.model.predict(X)
             for req, i, score, label in zip(parsed, live, scores, labels):
                 results[i] = {
                     **req,
@@ -383,6 +434,11 @@ class _Request:
     payload: dict
     future: Future
     submitted_at: float = field(default_factory=time.perf_counter)
+    #: ``(trace_id, parent_span_id)`` of the sampled trace this request
+    #: belongs to (None when untraced) — rides the dispatch task tuple
+    #: into pool workers so their spans land in the right trace.
+    trace: tuple[str, str] | None = None
+    dequeued_at: float = 0.0
 
 
 _SHUTDOWN = object()
@@ -445,10 +501,11 @@ class _PoolDispatch:
 
     # -------------------------------------------------------------- submit
     def submit_batch(self, kind: str, payloads: list[dict], group) -> None:
+        traces = [r.trace for r in group]
         with self.lock:
             if self.retired:
                 raise _DispatchRetired
-            tid = self.pool.submit("batch", (kind, payloads))
+            tid = self.pool.submit("batch", (kind, payloads, traces))
             self.pending[tid] = (kind, group)
 
     def stats(self, timeout: float = 5.0) -> list[dict]:
@@ -489,6 +546,13 @@ class _PoolDispatch:
             self.retired = True
             pending = list(self.pending.values())
             self.pending.clear()
+        _log.error(
+            "dispatch.failed",
+            n_workers=self.n_workers,
+            n_pending_batches=len(pending),
+            detail="worker pool died; in-flight requests failed, engine "
+                   "falls back to inline execution",
+        )
         for tag, group in pending:
             exc = RuntimeError("serving worker crashed; request failed")
             if tag == "__stats__":
@@ -554,12 +618,24 @@ class _PoolDispatch:
             predictor = self.engine.predictors[tag]
             if not ok:
                 predictor.metrics.record_error()
+                _log.error(
+                    "worker.batch_failed",
+                    kind=tag,
+                    n_requests=len(group),
+                    error=str(value)[:400],
+                )
                 exc = RuntimeError(f"worker batch failed: {value}")
                 for r in group:
                     if r.future.set_running_or_notify_cancel():
                         r.future.set_exception(exc)
                 continue
-            self.engine._deliver(predictor, group, value)
+            outcomes, worker_spans = value
+            if worker_spans:
+                # Child spans recorded inside the fork worker: adopt them
+                # before resolving futures so a client that immediately
+                # fetches its trace sees the complete cross-process tree.
+                obs_trace.STORE.adopt(worker_spans)
+            self.engine._deliver(predictor, group, outcomes)
 
 
 class InferenceEngine:
@@ -612,6 +688,16 @@ class InferenceEngine:
         self._dispatch: _PoolDispatch | None = None
         self._swap_lock = threading.Lock()
         self._last_worker_caches: list[dict] | None = None
+        #: Arrival stamps of queued-but-ungathered requests (deque ops are
+        #: atomic), backing the queue depth/age saturation gauges.
+        self._queued_arrivals: collections.deque[float] = collections.deque()
+        self._depth_fn = None
+
+    def _queue_age_s(self) -> float:
+        try:
+            return time.perf_counter() - self._queued_arrivals[0]
+        except IndexError:
+            return 0.0
 
     # ----------------------------------------------------------- lifecycle
     def start(self) -> "InferenceEngine":
@@ -620,6 +706,12 @@ class InferenceEngine:
         n = resolve_workers(self.workers)
         if n > 1 and fork_available() and self._dispatch is None:
             self._dispatch = _PoolDispatch(self, n)
+        # Saturation signals for admission control: how deep the request
+        # queue is and how long its head has been waiting.  The last
+        # started engine owns the gauges (one engine per serving process).
+        self._depth_fn = lambda: len(self._queued_arrivals)
+        _QUEUE_DEPTH.set_fn(self._depth_fn)
+        _QUEUE_AGE.set_fn(self._queue_age_s)
         self._worker = threading.Thread(
             target=self._run, name="repro-inference-engine", daemon=True
         )
@@ -636,6 +728,11 @@ class InferenceEngine:
             self._queue.put(_SHUTDOWN)
             self._worker.join(timeout=10.0)
             self._worker = None
+            if _QUEUE_DEPTH._fn is getattr(self, "_depth_fn", None):
+                # Unwire only our own callbacks: a newer engine may have
+                # claimed the gauges since this one started.
+                _QUEUE_DEPTH.set_fn(None)
+                _QUEUE_AGE.set_fn(None)
         with self._swap_lock:
             dispatch, self._dispatch = self._dispatch, None
         if dispatch is not None:
@@ -725,7 +822,13 @@ class InferenceEngine:
                 status=404,
                 code="unknown_predictor",
             )
-        request = _Request(kind=kind, payload=payload, future=Future())
+        request = _Request(
+            kind=kind,
+            payload=payload,
+            future=Future(),
+            trace=obs_trace.current_context(),
+        )
+        self._queued_arrivals.append(request.submitted_at)
         self._queue.put(request)
         return request.future
 
@@ -739,6 +842,7 @@ class InferenceEngine:
         first = self._queue.get()
         if first is _SHUTDOWN:
             return [first]
+        self._dequeue(first)
         batch = [first]
         deadline = time.perf_counter() + self.max_wait_ms / 1e3
         while len(batch) < self.max_batch_size:
@@ -752,7 +856,15 @@ class InferenceEngine:
             batch.append(item)
             if item is _SHUTDOWN:
                 break
+            self._dequeue(item)
         return batch
+
+    def _dequeue(self, request: _Request) -> None:
+        request.dequeued_at = time.perf_counter()
+        try:
+            self._queued_arrivals.popleft()
+        except IndexError:
+            pass
 
     def _run(self) -> None:
         while True:
@@ -762,17 +874,39 @@ class InferenceEngine:
             by_kind: dict[str, list[_Request]] = {}
             for r in requests:
                 by_kind.setdefault(r.kind, []).append(r)
+            assembled_at = time.perf_counter()
+            for r in requests:
+                if r.trace is None:
+                    continue
+                trace_id, parent_id = r.trace
+                obs_trace.record_span(
+                    trace_id,
+                    "engine.queue_wait",
+                    r.submitted_at,
+                    r.dequeued_at,
+                    parent_id=parent_id,
+                )
+                obs_trace.record_span(
+                    trace_id,
+                    "engine.batch_assembly",
+                    r.dequeued_at,
+                    assembled_at,
+                    parent_id=parent_id,
+                    batch_size=len(by_kind[r.kind]),
+                )
             for kind, group in by_kind.items():
                 self.predictors[kind].metrics.record_batch()
                 dispatch = self._dispatch
                 if dispatch is not None:
                     try:
                         dispatch.submit_batch(kind, [r.payload for r in group], group)
+                        _BATCHES.inc(kind=kind, site="worker")
                         continue
                     except _DispatchRetired:
                         pass  # draining for a swap/stop: serve inline
                     except Exception:  # pool broken mid-submit: serve inline
                         dispatch.fail()
+                _BATCHES.inc(kind=kind, site="inline")
                 self._execute_inline(kind, group)
             if shutdown:
                 return
@@ -780,7 +914,8 @@ class InferenceEngine:
     def _execute_inline(self, kind: str, group: list[_Request]) -> None:
         predictor = self.predictors[kind]
         try:
-            outcomes = predictor.predict_batch([r.payload for r in group])
+            with obs_trace.batch_context([r.trace for r in group]):
+                outcomes = predictor.predict_batch([r.payload for r in group])
         except BaseException as exc:  # engine must survive bad batches
             predictor.metrics.record_error()
             for r in group:
@@ -801,14 +936,29 @@ class InferenceEngine:
             else:
                 n_items = 1
             predictor.metrics.record(now - r.submitted_at, n_items=n_items)
+            _LATENCY.observe(now - r.submitted_at, kind=predictor.kind)
             if r.future.set_running_or_notify_cancel():
                 r.future.set_result(outcome)
 
     # ----------------------------------------------- multi-process dispatch
     def _worker_batch(self, task):
-        """Runs inside a pool worker: execute one kind-grouped micro-batch."""
-        kind, payloads = task
-        return self.predictors[kind].predict_batch(payloads)
+        """Runs inside a pool worker: execute one kind-grouped micro-batch.
+
+        Returns ``(outcomes, spans)``: spans recorded during the batch are
+        captured into a sink and shipped back with the result so the parent
+        can stitch them into the originating traces (the worker's own span
+        store dies with the fork).
+        """
+        kind, payloads, traces = task
+        contexts = [t for t in traces if t]
+        if not contexts:
+            return self.predictors[kind].predict_batch(payloads), ()
+        sink: list = []
+        with obs_trace.batch_context(
+            contexts, sink=sink, common={"in_worker": True, "pid": os.getpid()}
+        ):
+            outcomes = self.predictors[kind].predict_batch(payloads)
+        return outcomes, tuple(sink)
 
     def _worker_cache_stats(self, _payload) -> dict:
         """Runs inside a pool worker: this worker's per-predictor caches."""
@@ -833,14 +983,23 @@ class InferenceEngine:
         shutdown the last snapshot taken during :meth:`stop` is reported.
         """
         worker_caches: list[dict] | None = None
+        stale = False
         dispatch = self._dispatch
         if dispatch is not None:
             try:
                 worker_caches = dispatch.stats(timeout=5.0)
-            except Exception:
+            except Exception as exc:
+                _log.warning(
+                    "dispatch.stats_failed",
+                    error=f"{type(exc).__name__}: {exc}"[:400],
+                    n_workers=dispatch.n_workers,
+                )
                 worker_caches = None
-        if worker_caches is None:
+        if worker_caches is None and self._last_worker_caches is not None:
+            # Serving the snapshot taken at the last drain — mark it so a
+            # reader never mistakes frozen counters for live ones.
             worker_caches = self._last_worker_caches
+            stale = True
         out = {}
         for kind, predictor in self.predictors.items():
             entry = dict(predictor.metrics.snapshot())
@@ -848,6 +1007,8 @@ class InferenceEngine:
                 entry["caches"] = _aggregate_cache_stats(
                     [wc.get(kind, {}) for wc in worker_caches]
                 )
+                if stale:
+                    entry["caches"]["stale"] = True
                 entry["workers"] = len(worker_caches)
             else:
                 entry["caches"] = _predictor_cache_stats(predictor)

@@ -32,6 +32,7 @@ class ServingMetrics:
         self._clock = clock
         self._lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=window)
+        self._arrivals: deque[float] = deque(maxlen=window)
         self._started = clock()
         self.n_requests = 0
         self.n_items = 0
@@ -44,6 +45,7 @@ class ServingMetrics:
             self.n_requests += 1
             self.n_items += n_items
             self._latencies.append(latency_s)
+            self._arrivals.append(self._clock())
 
     def record_batch(self) -> None:
         """Record one engine batch execution."""
@@ -65,11 +67,25 @@ class ServingMetrics:
         }
 
     def snapshot(self) -> dict:
-        """Counters + percentiles, JSON-ready for ``/metrics``."""
+        """Counters + percentiles, JSON-ready for ``/metrics``.
+
+        ``requests_per_s`` divides lifetime requests by total uptime, so
+        after any idle stretch it understates the live rate — it is kept
+        as the lifetime average, and ``requests_per_s_window`` reports
+        the rate over the latency window's wall-clock span (requests in
+        the window / time since the oldest windowed arrival), which
+        decays naturally when traffic stops.
+        """
         with self._lock:
-            uptime = self._clock() - self._started
+            now = self._clock()
+            uptime = now - self._started
             n_req, n_items = self.n_requests, self.n_items
             n_batches, n_errors = self.n_batches, self.n_errors
+            window_n = len(self._arrivals)
+            window_span = (now - self._arrivals[0]) if self._arrivals else 0.0
+        window_rate = (
+            round(window_n / max(window_span, 1e-3), 3) if window_n else 0.0
+        )
         snap = {
             "requests": n_req,
             "predictions": n_items,
@@ -77,6 +93,8 @@ class ServingMetrics:
             "errors": n_errors,
             "uptime_s": round(uptime, 3),
             "requests_per_s": round(n_req / uptime, 3) if uptime > 0 else 0.0,
+            "requests_per_s_window": window_rate,
+            "window_s": round(window_span, 3),
             "mean_batch_size": round(n_req / n_batches, 3) if n_batches else 0.0,
         }
         snap.update(self.percentiles())

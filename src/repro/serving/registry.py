@@ -51,8 +51,11 @@ from repro.core.hategen.features import HateGenFeatureExtractor
 from repro.core.retina.features import RetinaFeatureExtractor
 from repro.core.retina.model import RETINA
 from repro.data.synthetic import SyntheticWorld, SyntheticWorldConfig
+from repro.obs import log as obs_log
 
 __all__ = ["RetinaBundle", "HateGenBundle", "ModelRegistry", "RegistryError"]
+
+_log = obs_log.get_logger("repro.serving.registry")
 
 MANIFEST_SCHEMA = 1
 _ARRAY_KEY = "__ndarray__"
@@ -371,11 +374,21 @@ class ModelRegistry:
                 except OSError:
                     if not os.path.exists(self._version_dir(name, version)):
                         raise
+                    # A concurrent saver won this version number; retry with
+                    # the next one.
+                    _log.warning(
+                        "registry.version_claim_retry", name=name, version=version
+                    )
             else:
                 raise RuntimeError(
                     f"could not claim a version for {name!r} after 100 attempts"
                 )
-        except BaseException:
+        except BaseException as exc:
+            _log.error(
+                "registry.save_failed",
+                name=name,
+                error=f"{type(exc).__name__}: {exc}"[:400],
+            )
             shutil.rmtree(tmp_dir, ignore_errors=True)
             raise
         return manifest

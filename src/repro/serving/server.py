@@ -39,6 +39,9 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.serving.engine import InferenceEngine, ServingError
 from repro.serving.registry import ModelRegistry, RegistryError
 from repro.serving.schemas import (
@@ -53,6 +56,47 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 
 _MODEL_PATH_RE = re.compile(r"^/v1/models/([A-Za-z0-9._-]+)(/versions|/reload)?$")
 
+_log = obs_log.get_logger("repro.serving.server")
+
+_HTTP_REQUESTS = obs_metrics.REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP responses by templated route, method, and status code.",
+    ("route", "method", "status"),
+)
+_CACHE_HIT_RATIO = obs_metrics.REGISTRY.gauge(
+    "repro_cache_hit_ratio",
+    "Serving cache hit ratio per predictor/cache (refreshed at scrape).",
+    ("kind", "cache"),
+)
+_PREDICTOR_REQUESTS = obs_metrics.REGISTRY.gauge(
+    "repro_predictor_requests",
+    "Lifetime requests served per predictor (refreshed at scrape).",
+    ("kind",),
+)
+
+#: Client-supplied trace ids are used verbatim when well-formed; anything
+#: else is ignored so a hostile header can't pollute the trace store keys.
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+def _route_label(path: str) -> str:
+    """Template a request path into a bounded-cardinality metric label."""
+    if path in ("/", "/healthz", "/metrics", "/v1/healthz", "/v1/metrics",
+                "/v1/models", "/v1/traces"):
+        return path
+    if path.startswith("/v1/predict/"):
+        return "/v1/predict/{kind}"
+    if path.startswith("/predict/"):
+        return "/predict/{kind}"
+    if path.startswith("/v1/batch/"):
+        return "/v1/batch/{kind}"
+    if path.startswith("/v1/traces/"):
+        return "/v1/traces/{id}"
+    m = _MODEL_PATH_RE.match(path)
+    if m:
+        return "/v1/models/{name}" + (m.group(2) or "")
+    return "other"
+
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serving/1"
@@ -61,6 +105,9 @@ class _Handler(BaseHTTPRequestHandler):
     # they collide with delayed ACKs and every keep-alive response after the
     # first stalls ~40 ms.
     disable_nagle_algorithm = True
+    # Per-request telemetry state, reset at the top of each do_* call.
+    _route = "other"
+    _trace_id: str | None = None
 
     # ------------------------------------------------------------- plumbing
     def log_message(self, fmt, *args):  # noqa: D102 — quiet by default
@@ -70,7 +117,11 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_json(
         self, status: int, obj: dict, *, close: bool = False, headers: dict | None = None
     ) -> None:
-        body = json.dumps(obj).encode("utf-8")
+        with obs_trace.span("http.serialize", status=status):
+            body = json.dumps(obj).encode("utf-8")
+        _HTTP_REQUESTS.inc(route=self._route, method=self.command, status=str(status))
+        if self._trace_id is not None:
+            headers = {**(headers or {}), "X-Trace-Id": self._trace_id}
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -121,13 +172,16 @@ class _Handler(BaseHTTPRequestHandler):
             if optional:
                 return {}
             raise ServingError("request body required", code="missing_body")
-        raw = self.rfile.read(length)
-        try:
-            payload = json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise ServingError(f"invalid JSON body: {exc}", code="invalid_json") from exc
-        if not isinstance(payload, dict):
-            raise ServingError("body must be a JSON object", code="invalid_type")
+        with obs_trace.span("handler.parse", bytes=length):
+            raw = self.rfile.read(length)
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ServingError(
+                    f"invalid JSON body: {exc}", code="invalid_json"
+                ) from exc
+            if not isinstance(payload, dict):
+                raise ServingError("body must be a JSON object", code="invalid_type")
         return payload
 
     def _registry(self) -> ModelRegistry:
@@ -144,9 +198,12 @@ class _Handler(BaseHTTPRequestHandler):
     # --------------------------------------------------------------- GET
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         path, query = self._split_path()
+        self._route = _route_label(path)
+        self._trace_id = None
         legacy_map = {"/healthz": "/v1/healthz", "/metrics": "/v1/metrics"}
         headers = None
-        if path in legacy_map:
+        legacy = path in legacy_map
+        if legacy:
             headers = self._deprecation_headers(legacy_map[path])
             path = legacy_map[path]
         try:
@@ -157,7 +214,25 @@ class _Handler(BaseHTTPRequestHandler):
                     headers=headers,
                 )
             elif path == "/v1/metrics":
-                self._send_json(200, self.server.engine.metrics(), headers=headers)
+                if query.get("format", [""])[0] == "prometheus":
+                    self._send_prometheus()
+                else:
+                    payload = self.server.engine.metrics()
+                    if not legacy:
+                        # New top-level block; the legacy /metrics body keeps
+                        # its pre-v1 shape (per-predictor entries only).
+                        payload["http"] = {"responses": _HTTP_REQUESTS.snapshot()}
+                    self._send_json(200, payload, headers=headers)
+            elif path == "/v1/traces":
+                self._send_json(200, {"traces": obs_trace.STORE.summaries()})
+            elif path.startswith("/v1/traces/"):
+                trace_id = path[len("/v1/traces/"):]
+                tree = obs_trace.STORE.trace(trace_id)
+                if tree is None:
+                    raise ServingError(
+                        f"unknown trace {trace_id!r}", status=404, code="unknown_trace"
+                    )
+                self._send_json(200, tree)
             elif path == "/v1/models":
                 self._send_json(200, self._models_payload())
             else:
@@ -192,11 +267,40 @@ class _Handler(BaseHTTPRequestHandler):
         except ServingError as exc:
             self._send_error(exc, legacy=headers is not None, headers=headers)
         except Exception as exc:  # keep serving
+            _log.error(
+                "http.internal_error",
+                route=self._route,
+                method="GET",
+                error=f"{type(exc).__name__}: {exc}"[:400],
+            )
             self._send_json(
                 500,
                 {"error": {"code": "internal", "message": f"{type(exc).__name__}: {exc}",
                            "field": None}},
             )
+
+    def _send_prometheus(self) -> None:
+        """``/v1/metrics?format=prometheus`` — text exposition of the registry.
+
+        Scrape-time gauges (cache hit ratios, per-predictor request totals)
+        are refreshed from one engine snapshot first, so Prometheus sees the
+        same numbers the JSON body would report.
+        """
+        for kind, entry in self.server.engine.metrics().items():
+            for cache_name, stats in (entry.get("caches") or {}).items():
+                if not isinstance(stats, dict):
+                    continue  # the "stale" marker rides alongside the caches
+                _CACHE_HIT_RATIO.set(
+                    stats.get("hit_rate", 0.0), kind=kind, cache=cache_name
+                )
+            _PREDICTOR_REQUESTS.set(entry.get("requests", 0), kind=kind)
+        _HTTP_REQUESTS.inc(route=self._route, method="GET", status="200")
+        body = obs_metrics.REGISTRY.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _split_path(self) -> tuple[str, dict]:
         parts = urlsplit(self.path)
@@ -239,56 +343,88 @@ class _Handler(BaseHTTPRequestHandler):
     # --------------------------------------------------------------- POST
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         path, _ = self._split_path()
+        self._route = _route_label(path)
+        self._trace_id = None
         legacy = False
         headers = None
         if path.startswith("/predict/"):
             legacy = True
             headers = self._deprecation_headers("/v1" + path)
             path = "/v1" + path
-        try:
-            if path.startswith("/v1/predict/"):
-                self._handle_predict(path[len("/v1/predict/"):], legacy, headers)
-            elif path.startswith("/v1/batch/"):
-                self._handle_batch(path[len("/v1/batch/"):])
-            else:
-                m = _MODEL_PATH_RE.match(path)
-                if m and m.group(2) == "/reload":
-                    self._handle_reload(m.group(1))
+        # Prediction routes get a trace: a client-supplied X-Trace-Id always
+        # forces sampling (and is echoed back); otherwise the configured
+        # sample rate decides.  The id is None when the trace isn't sampled,
+        # which turns every downstream span into a no-op.
+        inbound = (self.headers.get("X-Trace-Id") or "").strip()
+        if not _TRACE_ID_RE.match(inbound):
+            inbound = ""
+        traced = path.startswith("/v1/predict/") or path.startswith("/v1/batch/")
+        root = (
+            obs_trace.start_trace(
+                "http.request",
+                trace_id=inbound or None,
+                sampled=True if inbound else None,
+                method="POST",
+                route=self._route,
+            )
+            if traced
+            else obs_trace.NOOP
+        )
+        with root:
+            self._trace_id = root.trace_id
+            try:
+                if path.startswith("/v1/predict/"):
+                    self._handle_predict(path[len("/v1/predict/"):], legacy, headers)
+                elif path.startswith("/v1/batch/"):
+                    self._handle_batch(path[len("/v1/batch/"):])
                 else:
-                    # Unknown POST route: the body (if any) was never read,
-                    # so close the connection to keep keep-alive clients in
-                    # sync.
-                    raise _Fatal(
-                        ServingError(
-                            f"no route {self.path!r}", status=404, code="unknown_route"
+                    m = _MODEL_PATH_RE.match(path)
+                    if m and m.group(2) == "/reload":
+                        self._handle_reload(m.group(1))
+                    else:
+                        # Unknown POST route: the body (if any) was never
+                        # read, so close the connection to keep keep-alive
+                        # clients in sync.
+                        raise _Fatal(
+                            ServingError(
+                                f"no route {self.path!r}",
+                                status=404,
+                                code="unknown_route",
+                            )
                         )
-                    )
-        except _Fatal as fatal:
-            self._send_error(fatal.error, legacy=legacy, close=True, headers=headers)
-        except RegistryError as exc:
-            self._send_error(
-                ServingError(str(exc), status=404, code="model_not_found"),
-                legacy=legacy,
-                headers=headers,
-            )
-        except ServingError as exc:
-            self._send_error(exc, legacy=legacy, headers=headers)
-        except FutureTimeout:
-            self._send_error(
-                ServingError(
-                    "the engine did not answer in time; retry later",
-                    status=503,
-                    code="overloaded",
-                ),
-                legacy=legacy,
-                headers={**(headers or {}), "Retry-After": "1"},
-            )
-        except Exception as exc:  # engine/model failure — keep serving
-            body = {"error": {"code": "internal",
-                              "message": f"{type(exc).__name__}: {exc}", "field": None}}
-            if legacy:
-                body = {"error": f"{type(exc).__name__}: {exc}", "status": 500}
-            self._send_json(500, body, headers=headers)
+            except _Fatal as fatal:
+                self._send_error(fatal.error, legacy=legacy, close=True, headers=headers)
+            except RegistryError as exc:
+                self._send_error(
+                    ServingError(str(exc), status=404, code="model_not_found"),
+                    legacy=legacy,
+                    headers=headers,
+                )
+            except ServingError as exc:
+                self._send_error(exc, legacy=legacy, headers=headers)
+            except FutureTimeout:
+                self._send_error(
+                    ServingError(
+                        "the engine did not answer in time; retry later",
+                        status=503,
+                        code="overloaded",
+                    ),
+                    legacy=legacy,
+                    headers={**(headers or {}), "Retry-After": "1"},
+                )
+            except Exception as exc:  # engine/model failure — keep serving
+                _log.error(
+                    "http.internal_error",
+                    route=self._route,
+                    method="POST",
+                    error=f"{type(exc).__name__}: {exc}"[:400],
+                )
+                body = {"error": {"code": "internal",
+                                  "message": f"{type(exc).__name__}: {exc}",
+                                  "field": None}}
+                if legacy:
+                    body = {"error": f"{type(exc).__name__}: {exc}", "status": 500}
+                self._send_json(500, body, headers=headers)
 
     def _read_body_or_fatal(self, *, optional: bool = False) -> dict:
         """Read + parse the body; size violations become fatal (close)."""

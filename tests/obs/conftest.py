@@ -1,0 +1,23 @@
+"""Fixtures for observability tests: a tiny trainable RETINA dataset."""
+
+import pytest
+
+from repro.core.retina import RetinaFeatureExtractor, RetinaTrainer
+from repro.data import HateDiffusionDataset, SyntheticWorldConfig
+
+OBS_CONFIG = SyntheticWorldConfig(
+    scale=0.01, n_hashtags=4, n_users=80, n_news=200, seed=11
+)
+
+
+@pytest.fixture(scope="session")
+def obs_retina_samples():
+    """A handful of training samples — enough for a 2-epoch fit."""
+    dataset = HateDiffusionDataset.generate(OBS_CONFIG)
+    train, _ = dataset.cascade_split(random_state=0)
+    extractor = RetinaFeatureExtractor(dataset.world, random_state=0).fit(train)
+    edges = RetinaTrainer.default_interval_edges()
+    samples = extractor.build_samples(
+        train[:20], interval_edges_hours=edges, random_state=0
+    )
+    return extractor, samples

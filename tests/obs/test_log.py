@@ -1,0 +1,83 @@
+"""Unit tests for the JSON-lines logger and its trace correlation."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import config as obs_config
+from repro.obs import log as obs_log
+from repro.obs.trace import STORE, start_trace
+
+
+@pytest.fixture(autouse=True)
+def _stream():
+    obs_config.configure(enabled=True, sample_rate=1.0)
+    stream = io.StringIO()
+    obs_log.set_stream(stream)
+    obs_log.set_level("info")
+    yield stream
+    obs_log.set_stream(None)
+    obs_log.set_level("info")
+    obs_config.configure(enabled=True, sample_rate=1.0)
+    STORE.clear()
+
+
+def _lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_one_json_object_per_line(_stream):
+    log = obs_log.get_logger("repro.test")
+    log.info("thing.happened", count=3, name="x")
+    log.warning("thing.weird")
+    first, second = _lines(_stream)
+    assert first == {
+        "ts": first["ts"],
+        "level": "info",
+        "logger": "repro.test",
+        "event": "thing.happened",
+        "count": 3,
+        "name": "x",
+    }
+    assert second["level"] == "warning" and second["event"] == "thing.weird"
+
+
+def test_trace_id_stamped_from_ambient_context(_stream):
+    log = obs_log.get_logger("repro.test")
+    with start_trace("root", trace_id="logtrace", sampled=True):
+        log.info("inside.trace")
+    log.info("outside.trace")
+    inside, outside = _lines(_stream)
+    assert inside["trace_id"] == "logtrace"
+    assert "trace_id" not in outside
+
+
+def test_level_filtering(_stream):
+    log = obs_log.get_logger("repro.test")
+    obs_log.set_level("warning")
+    log.info("dropped")
+    log.error("kept")
+    (only,) = _lines(_stream)
+    assert only["event"] == "kept"
+    assert not log.enabled_for("info")
+    assert log.enabled_for("error")
+
+
+def test_disabled_obs_silences_logging(_stream):
+    obs_config.configure(enabled=False)
+    log = obs_log.get_logger("repro.test")
+    log.error("never.emitted")
+    assert _stream.getvalue() == ""
+    assert not log.enabled_for("error")
+
+
+def test_unserialisable_fields_degrade_to_str(_stream):
+    log = obs_log.get_logger("repro.test")
+    log.info("odd.payload", obj=object())
+    (line,) = _lines(_stream)
+    assert "object object" in line["obj"]
+
+
+def test_get_logger_is_cached():
+    assert obs_log.get_logger("a.b") is obs_log.get_logger("a.b")
