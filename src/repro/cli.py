@@ -95,6 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--wait-ms", type=float, default=2.0,
                    help="micro-batch coalescing window in milliseconds")
     add_workers_arg(s)
+    s.add_argument("--frontend", choices=("async", "threaded"), default="async",
+                   help="HTTP front end: the asyncio event-loop server "
+                        "(default) or the legacy thread-per-connection one "
+                        "(kept for one release)")
+    s.add_argument("--no-admission", action="store_true",
+                   help="disable admission control (quotas + load shedding; "
+                        "tunable via REPRO_ADMIT_* env vars)")
     s.add_argument("--quiet", action="store_true", help="suppress request logs")
 
     p = sub.add_parser("predict", help="one-shot prediction from a registry bundle")
@@ -287,7 +294,13 @@ def _cmd_train_hategen(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.serving import ModelRegistry, engine_from_store, serve_forever
+    from repro.serving import (
+        AdmissionConfig,
+        ModelRegistry,
+        engine_from_store,
+        serve_forever,
+        serve_forever_async,
+    )
 
     registry = ModelRegistry(args.store)
     try:
@@ -301,8 +314,11 @@ def _cmd_serve(args) -> int:
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 1
-    serve_forever(
-        engine, args.host, args.port, registry=registry, verbose=not args.quiet
+    admission = None if args.no_admission else AdmissionConfig.from_env()
+    serve = serve_forever_async if args.frontend == "async" else serve_forever
+    serve(
+        engine, args.host, args.port, registry=registry,
+        verbose=not args.quiet, admission=admission,
     )
     return 0
 

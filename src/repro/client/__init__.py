@@ -2,8 +2,8 @@
 
 :class:`ServingClient` is a stdlib-only (``http.client``) client with
 keep-alive connection pooling, typed methods returning
-:mod:`repro.serving.schemas` objects, and retry-with-backoff on 503 /
-transport failures.  Requests are validated client-side by the *same*
+:mod:`repro.serving.schemas` objects, and retry-with-backoff on 429/503
+(honouring the server's ``Retry-After`` hint) and transport failures.  Requests are validated client-side by the *same*
 schema layer the server uses, so a bad argument fails fast with the same
 structured :class:`~repro.serving.schemas.ServingError` the server would
 have returned::
@@ -47,7 +47,13 @@ from repro.serving.schemas import (
 
 __all__ = ["ServingClient", "ServingError", "parse_response"]
 
-_RETRYABLE_STATUS = frozenset({503})
+#: 503 = engine overloaded; 429 = shed by the admission controller.  Both
+#: carry ``Retry-After`` hints that :meth:`ServingClient._request` honours.
+_RETRYABLE_STATUS = frozenset({429, 503})
+
+#: Upper bound on a server-suggested ``Retry-After`` delay — a confused
+#: (or hostile) server shouldn't park a client for minutes.
+_RETRY_AFTER_CAP_S = 5.0
 
 
 class _ConnectionPool:
@@ -102,11 +108,14 @@ class ServingClient:
     timeout:
         Per-request socket timeout in seconds.
     retries:
-        Extra attempts on 503 (engine overloaded) and transport errors;
-        every endpoint here is safe to retry (predictions are pure reads
-        and reloading an already-serving version is a no-op swap).
+        Extra attempts on 503 (engine overloaded), 429 (shed by the
+        admission controller), and transport errors; every endpoint here
+        is safe to retry (predictions are pure reads and reloading an
+        already-serving version is a no-op swap).
     backoff:
-        First retry delay in seconds; doubles per attempt.
+        First retry delay in seconds; doubles per attempt.  A 429/503
+        response carrying ``Retry-After`` overrides the backoff with the
+        server's hint (capped at 5 s).
     pool_size:
         Keep-alive connections retained for reuse (threads beyond it
         still work — they just dial fresh connections).
@@ -162,15 +171,20 @@ class ServingClient:
             # running with sampling off; the id comes back in the response.
             headers["X-Trace-Id"] = trace_id
         last_exc: Exception | None = None
+        delay = 0.0
         for attempt in range(self.retries + 1):
-            if attempt:
-                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            if delay:
+                time.sleep(delay)
+            # Default exponential backoff for the *next* attempt; a 429/503
+            # with a Retry-After header overrides it below.
+            delay = self.backoff * (2 ** attempt)
             conn = self._pool.acquire()
             try:
                 conn.request(method, path, body, headers)
                 resp = conn.getresponse()
                 raw = resp.read()
                 status = resp.status
+                retry_after = resp.headers.get("Retry-After")
                 self.last_trace_id = resp.headers.get("X-Trace-Id")
                 keep = resp.headers.get("Connection", "").lower() != "close"
             except (http.client.HTTPException, ConnectionError, OSError) as exc:
@@ -184,6 +198,11 @@ class ServingClient:
             else:
                 self._pool.discard(conn)
             if status in _RETRYABLE_STATUS and attempt < self.retries:
+                if retry_after:
+                    try:
+                        delay = min(float(retry_after), _RETRY_AFTER_CAP_S)
+                    except ValueError:
+                        pass  # non-numeric hint: keep the backoff default
                 continue
             try:
                 parsed = json.loads(raw) if raw else {}

@@ -159,13 +159,30 @@ class Gauge(_Metric):
             self._values[key] = float(value)
 
     def set_fn(self, fn) -> None:
-        """Back an unlabelled gauge with ``fn() -> float`` read at render."""
-        if self.label_names:
-            raise ValueError(f"{self.name}: callback gauges cannot be labelled")
+        """Back the gauge with a callback read at render/value time.
+
+        Unlabelled gauges take ``fn() -> float``.  Labelled gauges take
+        ``fn() -> {label-values tuple: float}`` — one entry per live
+        label set, re-read at every scrape (so e.g. per-tenant levels
+        track the source of truth instead of being pushed).
+        """
         self._fn = fn
+
+    def _fn_series(self) -> dict[tuple, float]:
+        """Labelled callback output, normalised + guarded."""
+        try:
+            series = self._fn()
+            return {
+                tuple(str(v) for v in key): float(value)
+                for key, value in series.items()
+            }
+        except Exception:
+            return {}
 
     def value(self, **labels) -> float:
         if self._fn is not None:
+            if self.label_names:
+                return self._fn_series().get(self._key(labels), 0.0)
             try:
                 return float(self._fn())
             except Exception:
@@ -175,11 +192,14 @@ class Gauge(_Metric):
 
     def render(self) -> list[str]:
         lines = self._header()
-        if self._fn is not None:
+        if self._fn is not None and not self.label_names:
             lines.append(f"{self.name} {_format_value(self.value())}")
             return lines
-        with self._lock:
-            values = sorted(self._values.items())
+        if self._fn is not None:
+            values = sorted(self._fn_series().items())
+        else:
+            with self._lock:
+                values = sorted(self._values.items())
         if not values and not self.label_names:
             values = [((), 0.0)]
         for key, v in values:
@@ -189,8 +209,12 @@ class Gauge(_Metric):
         return lines
 
     def snapshot(self):
-        if self._fn is not None or not self.label_names:
-            return self.value() if not self.label_names else {}
+        if not self.label_names:
+            return self.value()
+        if self._fn is not None:
+            return {
+                "|".join(key): v for key, v in sorted(self._fn_series().items())
+            }
         with self._lock:
             return {
                 "|".join(map(str, key)): v

@@ -8,14 +8,30 @@ Turns trained pipelines into persistent, low-latency prediction services:
   one validation layer shared by server, engine, and client;
 - :mod:`repro.serving.engine` — predictors with vectorised micro-batching,
   LRU feature caches, and atomic model hot-swap;
-- :mod:`repro.serving.server` — stdlib ``ThreadingHTTPServer`` JSON API
+- :mod:`repro.serving.routes` — the front-end-agnostic route core (one
+  handler table, error shaping, legacy deprecation shim) shared by both
+  HTTP front ends;
+- :mod:`repro.serving.aio` — the default front end: a single-event-loop
+  ``asyncio`` HTTP/1.1 server (keep-alive, pipelining, future bridging
+  into the micro-batcher);
+- :mod:`repro.serving.server` — the classic ``ThreadingHTTPServer``
+  front end (``--frontend threaded``), same JSON API
   (``/v1/predict/{kind}``, ``/v1/batch/{kind}``, ``/v1/models*``,
   ``/v1/healthz``, ``/v1/metrics``; legacy unversioned routes kept via a
-  deprecation shim).
+  deprecation shim);
+- :mod:`repro.serving.admission` — bounded accept queue, per-route and
+  per-tenant token buckets, and watermark-hysteresis load shedding
+  (429 + ``Retry-After``) driven by the engine's live queue signals.
 
 The matching Python client lives in :mod:`repro.client`.
 """
 
+from repro.serving.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.serving.aio import AsyncPredictionServer, serve_forever_async
 from repro.serving.cache import LRUCache
 from repro.serving.engine import (
     HateGenPredictor,
@@ -32,10 +48,17 @@ from repro.serving.registry import (
     RegistryError,
     RetinaBundle,
 )
+from repro.serving.routes import RouteCore
 from repro.serving.server import PredictionServer, serve_forever
 from repro.serving import schemas
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AsyncPredictionServer",
+    "RouteCore",
+    "TokenBucket",
+    "serve_forever_async",
     "LRUCache",
     "ServingMetrics",
     "ModelRegistry",

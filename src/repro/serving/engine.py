@@ -33,6 +33,7 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -87,6 +88,11 @@ _BATCHES = obs_metrics.REGISTRY.counter(
     "repro_engine_batches_total",
     "Micro-batches executed, by predictor kind and execution site.",
     ("kind", "site"),
+)
+_TIMEOUTS = obs_metrics.REGISTRY.counter(
+    "repro_requests_timed_out_total",
+    "Requests whose waiter gave up before the engine answered, by kind.",
+    ("kind",),
 )
 
 
@@ -833,8 +839,37 @@ class InferenceEngine:
         return request.future
 
     def predict(self, kind: str, payload: dict, timeout: float | None = 30.0) -> dict:
-        """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(kind, payload).result(timeout=timeout)
+        """Blocking convenience wrapper around :meth:`submit`.
+
+        A timed-out wait is not silent: it emits a ``request_timeout``
+        span event and bumps ``repro_requests_timed_out_total`` before
+        cancelling the future and re-raising.
+        """
+        future = self.submit(kind, payload)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeout:
+            self.record_timeout(kind)
+            future.cancel()
+            raise
+
+    def record_timeout(self, kind: str) -> None:
+        """A waiter gave up on a submitted request before it was answered.
+
+        Emits a zero-duration ``request_timeout`` span event into the
+        caller's trace (when sampled) so the trace tree shows *why* the
+        request ended, and counts it in
+        ``repro_requests_timed_out_total``.
+        """
+        _TIMEOUTS.inc(kind=kind)
+        ctx = obs_trace.current_context()
+        if ctx is not None:
+            trace_id, parent_id = ctx
+            now = time.perf_counter()
+            obs_trace.record_span(
+                trace_id, "request_timeout", now, now,
+                parent_id=parent_id, kind=kind,
+            )
 
     # ------------------------------------------------------------- worker
     def _gather(self) -> list:

@@ -1,4 +1,4 @@
-"""Stdlib HTTP front-end for the inference engine — API v1.
+"""Threaded HTTP front-end for the inference engine — API v1.
 
 Versioned endpoints (all JSON)::
 
@@ -14,88 +14,60 @@ Versioned endpoints (all JSON)::
     GET  /v1/healthz                 liveness + loaded-model info
     GET  /v1/metrics                 latency/throughput/cache counters
 
-Errors are structured (``{"error": {"code", "message", "field"}}``) with
-the status on the HTTP line; payloads validate through
-:mod:`repro.serving.schemas` before they reach a predictor.
-
-The pre-v1 unversioned routes (``/predict/{kind}``, ``/healthz``,
-``/metrics``) keep working through a deprecation shim that delegates to
-the v1 handlers, flattens errors back to the legacy
-``{"error": "...", "status": N}`` shape, and adds a ``Deprecation: true``
-header plus a ``Link`` to the successor route.
-
-Built on ``ThreadingHTTPServer`` — each connection gets a thread, and all
-threads funnel their requests through the shared
+All route logic — dispatch, error shaping, the legacy ``/predict/*``
+deprecation shim — lives in :class:`repro.serving.routes.RouteCore`,
+shared byte-for-byte with the asyncio front end
+(:mod:`repro.serving.aio`).  This module only does the
+``ThreadingHTTPServer`` transport work: each connection gets a thread,
+and all threads funnel their requests through the shared
 :class:`~repro.serving.engine.InferenceEngine`, which is what makes
 micro-batching across concurrent clients happen.
+
+Resolution happens *before* the body is read, so unknown routes, unknown
+predictor kinds, and admission-control rejections (429 + ``Retry-After``)
+answer without consuming the payload — those responses carry
+``Connection: close`` since the connection is out of sync for keep-alive.
 """
 
 from __future__ import annotations
 
-import json
-import re
 import threading
 from concurrent.futures import TimeoutError as FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.obs import log as obs_log
-from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.serving.admission import AdmissionConfig, AdmissionController
 from repro.serving.engine import InferenceEngine, ServingError
-from repro.serving.registry import ModelRegistry, RegistryError
-from repro.serving.schemas import (
-    BatchRequest,
-    ReloadRequest,
-    request_schema_for,
+from repro.serving.registry import ModelRegistry
+from repro.serving.routes import (
+    HTTP_REQUESTS as _HTTP_REQUESTS,
+)
+from repro.serving.routes import (
+    MAX_BODY_BYTES,
+    TENANT_HEADER,
+    Reply,
+    RouteCore,
+)
+from repro.serving.routes import (
+    TRACE_ID_RE as _TRACE_ID_RE,
+)
+from repro.serving.routes import (
+    route_label as _route_label,
 )
 
 __all__ = ["PredictionServer", "serve_forever", "MAX_BODY_BYTES"]
 
-MAX_BODY_BYTES = 8 * 1024 * 1024
 
-_MODEL_PATH_RE = re.compile(r"^/v1/models/([A-Za-z0-9._-]+)(/versions|/reload)?$")
-
-_log = obs_log.get_logger("repro.serving.server")
-
-_HTTP_REQUESTS = obs_metrics.REGISTRY.counter(
-    "repro_http_requests_total",
-    "HTTP responses by templated route, method, and status code.",
-    ("route", "method", "status"),
-)
-_CACHE_HIT_RATIO = obs_metrics.REGISTRY.gauge(
-    "repro_cache_hit_ratio",
-    "Serving cache hit ratio per predictor/cache (refreshed at scrape).",
-    ("kind", "cache"),
-)
-_PREDICTOR_REQUESTS = obs_metrics.REGISTRY.gauge(
-    "repro_predictor_requests",
-    "Lifetime requests served per predictor (refreshed at scrape).",
-    ("kind",),
-)
-
-#: Client-supplied trace ids are used verbatim when well-formed; anything
-#: else is ignored so a hostile header can't pollute the trace store keys.
-_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
-
-
-def _route_label(path: str) -> str:
-    """Template a request path into a bounded-cardinality metric label."""
-    if path in ("/", "/healthz", "/metrics", "/v1/healthz", "/v1/metrics",
-                "/v1/models", "/v1/traces"):
-        return path
-    if path.startswith("/v1/predict/"):
-        return "/v1/predict/{kind}"
-    if path.startswith("/predict/"):
-        return "/predict/{kind}"
-    if path.startswith("/v1/batch/"):
-        return "/v1/batch/{kind}"
-    if path.startswith("/v1/traces/"):
-        return "/v1/traces/{id}"
-    m = _MODEL_PATH_RE.match(path)
-    if m:
-        return "/v1/models/{name}" + (m.group(2) or "")
-    return "other"
+def _build_admission(admission, engine) -> AdmissionController | None:
+    """Normalise the ``admission=`` argument both front ends accept."""
+    if admission is None:
+        return None
+    if isinstance(admission, AdmissionConfig):
+        admission = AdmissionController(admission)
+    if admission._depth_fn is None:
+        admission.bind_engine(engine)
+    return admission
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -114,20 +86,21 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(fmt, *args)
 
-    def _send_json(
-        self, status: int, obj: dict, *, close: bool = False, headers: dict | None = None
-    ) -> None:
-        with obs_trace.span("http.serialize", status=status):
-            body = json.dumps(obj).encode("utf-8")
-        _HTTP_REQUESTS.inc(route=self._route, method=self.command, status=str(status))
+    def _send_reply(self, reply: Reply) -> None:
+        with obs_trace.span("http.serialize", status=reply.status):
+            body = reply.body_bytes()
+        _HTTP_REQUESTS.inc(
+            route=self._route, method=self.command, status=str(reply.status)
+        )
+        headers = dict(reply.headers)
         if self._trace_id is not None:
-            headers = {**(headers or {}), "X-Trace-Id": self._trace_id}
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+            headers["X-Trace-Id"] = self._trace_id
+        self.send_response(reply.status)
+        self.send_header("Content-Type", reply.content_type)
         self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
+        for name, value in headers.items():
             self.send_header(name, value)
-        if close:
+        if reply.close:
             # The request body (if any) was not consumed: the connection is
             # out of sync for keep-alive, so tell the client and close it
             # rather than leaving it hanging on a half-read socket.
@@ -136,221 +109,65 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error(self, exc: ServingError, *, legacy: bool, close: bool = False,
-                    headers: dict | None = None) -> None:
-        if legacy:
-            self._send_json(
-                exc.status,
-                {"error": str(exc), "status": exc.status},
-                close=close,
-                headers=headers,
-            )
-        else:
-            self._send_json(exc.status, exc.as_error(), close=close, headers=headers)
+    def _split_path(self) -> tuple[str, dict]:
+        parts = urlsplit(self.path)
+        return parts.path.rstrip("/") or "/", parse_qs(parts.query)
 
-    def _deprecation_headers(self, successor: str) -> dict:
-        return {
-            "Deprecation": "true",
-            "Link": f'<{successor}>; rel="successor-version"',
-        }
-
-    def _read_json(self, *, optional: bool = False) -> dict:
-        """Parse the request body, policing size *before* reading it.
+    def _read_body_or_fatal(self, core: RouteCore, *, optional: bool = False) -> dict:
+        """Read + parse the body, policing size *before* reading it.
 
         An oversized ``Content-Length`` is answered 413 without touching
-        ``rfile`` — the caller then closes the connection, so the server
-        never buffers (or waits on) a body it already rejected.
+        ``rfile`` — the connection then closes, so the server never
+        buffers (or waits on) a body it already rejected.
         """
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
-            raise ServingError(
-                f"body too large ({length} bytes; the limit is {MAX_BODY_BYTES})",
-                status=413,
-                code="body_too_large",
-            )
-        if length <= 0:
-            if optional:
-                return {}
-            raise ServingError("request body required", code="missing_body")
-        with obs_trace.span("handler.parse", bytes=length):
-            raw = self.rfile.read(length)
-            try:
-                payload = json.loads(raw)
-            except json.JSONDecodeError as exc:
-                raise ServingError(
-                    f"invalid JSON body: {exc}", code="invalid_json"
-                ) from exc
-            if not isinstance(payload, dict):
-                raise ServingError("body must be a JSON object", code="invalid_type")
-        return payload
-
-    def _registry(self) -> ModelRegistry:
-        registry = self.server.registry
-        if registry is None:
-            raise ServingError(
-                "no model registry attached to this server; start it with "
-                "`repro serve --store ...` to enable model lifecycle routes",
-                status=503,
-                code="registry_unavailable",
-            )
-        return registry
+            raise _Fatal(core.body_too_large(length))
+        raw = self.rfile.read(length) if length > 0 else b""
+        try:
+            return core.parse_body(raw, optional=optional)
+        except ServingError as exc:
+            if exc.code == "missing_body":
+                raise _Fatal(exc) from None
+            raise
 
     # --------------------------------------------------------------- GET
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         path, query = self._split_path()
         self._route = _route_label(path)
         self._trace_id = None
-        legacy_map = {"/healthz": "/v1/healthz", "/metrics": "/v1/metrics"}
-        headers = None
-        legacy = path in legacy_map
-        if legacy:
-            headers = self._deprecation_headers(legacy_map[path])
-            path = legacy_map[path]
+        core: RouteCore = self.server.core
+        resolved = None
         try:
-            if path == "/v1/healthz":
-                self._send_json(
-                    200,
-                    {"status": "ok", "api": "v1", "models": self.server.engine.describe()},
-                    headers=headers,
-                )
-            elif path == "/v1/metrics":
-                if query.get("format", [""])[0] == "prometheus":
-                    self._send_prometheus()
-                else:
-                    payload = self.server.engine.metrics()
-                    if not legacy:
-                        # New top-level block; the legacy /metrics body keeps
-                        # its pre-v1 shape (per-predictor entries only).
-                        payload["http"] = {"responses": _HTTP_REQUESTS.snapshot()}
-                    self._send_json(200, payload, headers=headers)
-            elif path == "/v1/traces":
-                self._send_json(200, {"traces": obs_trace.STORE.summaries()})
-            elif path.startswith("/v1/traces/"):
-                trace_id = path[len("/v1/traces/"):]
-                tree = obs_trace.STORE.trace(trace_id)
-                if tree is None:
-                    raise ServingError(
-                        f"unknown trace {trace_id!r}", status=404, code="unknown_trace"
-                    )
-                self._send_json(200, tree)
-            elif path == "/v1/models":
-                self._send_json(200, self._models_payload())
-            else:
-                m = _MODEL_PATH_RE.match(path)
-                if m and m.group(2) in (None, "/versions"):
-                    name = m.group(1)
-                    if m.group(2) == "/versions":
-                        self._send_json(200, self._versions_payload(name))
-                    else:
-                        version = query.get("version")
-                        if version is not None:
-                            try:
-                                version = int(version[0])
-                            except ValueError:
-                                raise ServingError(
-                                    f"version: {version[0]!r} is not a valid int",
-                                    code="invalid_type",
-                                    field="version",
-                                ) from None
-                        self._send_json(
-                            200, self._registry().manifest(name, version)
-                        )
-                else:
-                    raise ServingError(
-                        f"no route {self.path!r}", status=404, code="unknown_route"
-                    )
-        except RegistryError as exc:
-            self._send_error(
-                ServingError(str(exc), status=404, code="model_not_found"),
-                legacy=False,
-            )
-        except ServingError as exc:
-            self._send_error(exc, legacy=headers is not None, headers=headers)
+            resolved = core.resolve("GET", path)
+            reply = core.dispatch_simple(resolved, query, {})
         except Exception as exc:  # keep serving
-            _log.error(
-                "http.internal_error",
-                route=self._route,
-                method="GET",
-                error=f"{type(exc).__name__}: {exc}"[:400],
+            reply = core.error_reply(
+                exc, resolved if resolved is not None else core.unresolved("GET", path)
             )
-            self._send_json(
-                500,
-                {"error": {"code": "internal", "message": f"{type(exc).__name__}: {exc}",
-                           "field": None}},
-            )
-
-    def _send_prometheus(self) -> None:
-        """``/v1/metrics?format=prometheus`` — text exposition of the registry.
-
-        Scrape-time gauges (cache hit ratios, per-predictor request totals)
-        are refreshed from one engine snapshot first, so Prometheus sees the
-        same numbers the JSON body would report.
-        """
-        for kind, entry in self.server.engine.metrics().items():
-            for cache_name, stats in (entry.get("caches") or {}).items():
-                if not isinstance(stats, dict):
-                    continue  # the "stale" marker rides alongside the caches
-                _CACHE_HIT_RATIO.set(
-                    stats.get("hit_rate", 0.0), kind=kind, cache=cache_name
-                )
-            _PREDICTOR_REQUESTS.set(entry.get("requests", 0), kind=kind)
-        _HTTP_REQUESTS.inc(route=self._route, method="GET", status="200")
-        body = obs_metrics.REGISTRY.render().encode("utf-8")
-        self.send_response(200)
-        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _split_path(self) -> tuple[str, dict]:
-        parts = urlsplit(self.path)
-        return parts.path.rstrip("/") or "/", parse_qs(parts.query)
-
-    def _models_payload(self) -> dict:
-        registry = self._registry()
-        models = []
-        for name in registry.list_models():
-            versions = registry.list_versions(name)
-            manifest = registry.manifest(name)
-            models.append(
-                {
-                    "name": name,
-                    "kind": manifest["kind"],
-                    "versions": versions,
-                    "latest": versions[-1],
-                    "aliases": {
-                        alias: target["version"]
-                        for alias, target in registry.aliases(name).items()
-                    },
-                }
-            )
-        return {"models": models}
-
-    def _versions_payload(self, name: str) -> dict:
-        registry = self._registry()
-        name, _ = registry.resolve(name)
-        versions = registry.list_versions(name)
-        return {
-            "name": name,
-            "versions": versions,
-            "latest": versions[-1],
-            "aliases": {
-                alias: target["version"]
-                for alias, target in registry.aliases(name).items()
-            },
-        }
+        self._send_reply(reply)
 
     # --------------------------------------------------------------- POST
     def do_POST(self) -> None:  # noqa: N802 — http.server API
-        path, _ = self._split_path()
+        path, query = self._split_path()
         self._route = _route_label(path)
         self._trace_id = None
-        legacy = False
-        headers = None
-        if path.startswith("/predict/"):
-            legacy = True
-            headers = self._deprecation_headers("/v1" + path)
-            path = "/v1" + path
+        core: RouteCore = self.server.core
+        try:
+            resolved = core.resolve("POST", path)
+        except ServingError as exc:
+            # Unknown route / unknown kind: the body was never read, so
+            # close the connection to keep keep-alive clients in sync.
+            self._send_reply(
+                core.error_reply(exc, core.unresolved("POST", path), close=True)
+            )
+            return
+        # Admission runs after resolve but before the trace and the body
+        # read: a shed request costs one decision and one small write.
+        admitted = core.check_admission(resolved, self.headers.get(TENANT_HEADER))
+        if admitted is not None and not admitted.admitted:
+            self._send_reply(core.shed_reply(admitted, resolved))
+            return
         # Prediction routes get a trace: a client-supplied X-Trace-Id always
         # forces sampling (and is echoed back); otherwise the configured
         # sample rate decides.  The id is None when the trace isn't sampled,
@@ -358,7 +175,6 @@ class _Handler(BaseHTTPRequestHandler):
         inbound = (self.headers.get("X-Trace-Id") or "").strip()
         if not _TRACE_ID_RE.match(inbound):
             inbound = ""
-        traced = path.startswith("/v1/predict/") or path.startswith("/v1/batch/")
         root = (
             obs_trace.start_trace(
                 "http.request",
@@ -367,143 +183,27 @@ class _Handler(BaseHTTPRequestHandler):
                 method="POST",
                 route=self._route,
             )
-            if traced
+            if resolved.traced
             else obs_trace.NOOP
         )
-        with root:
-            self._trace_id = root.trace_id
-            try:
-                if path.startswith("/v1/predict/"):
-                    self._handle_predict(path[len("/v1/predict/"):], legacy, headers)
-                elif path.startswith("/v1/batch/"):
-                    self._handle_batch(path[len("/v1/batch/"):])
-                else:
-                    m = _MODEL_PATH_RE.match(path)
-                    if m and m.group(2) == "/reload":
-                        self._handle_reload(m.group(1))
-                    else:
-                        # Unknown POST route: the body (if any) was never
-                        # read, so close the connection to keep keep-alive
-                        # clients in sync.
-                        raise _Fatal(
-                            ServingError(
-                                f"no route {self.path!r}",
-                                status=404,
-                                code="unknown_route",
-                            )
-                        )
-            except _Fatal as fatal:
-                self._send_error(fatal.error, legacy=legacy, close=True, headers=headers)
-            except RegistryError as exc:
-                self._send_error(
-                    ServingError(str(exc), status=404, code="model_not_found"),
-                    legacy=legacy,
-                    headers=headers,
-                )
-            except ServingError as exc:
-                self._send_error(exc, legacy=legacy, headers=headers)
-            except FutureTimeout:
-                self._send_error(
-                    ServingError(
-                        "the engine did not answer in time; retry later",
-                        status=503,
-                        code="overloaded",
-                    ),
-                    legacy=legacy,
-                    headers={**(headers or {}), "Retry-After": "1"},
-                )
-            except Exception as exc:  # engine/model failure — keep serving
-                _log.error(
-                    "http.internal_error",
-                    route=self._route,
-                    method="POST",
-                    error=f"{type(exc).__name__}: {exc}"[:400],
-                )
-                body = {"error": {"code": "internal",
-                                  "message": f"{type(exc).__name__}: {exc}",
-                                  "field": None}}
-                if legacy:
-                    body = {"error": f"{type(exc).__name__}: {exc}", "status": 500}
-                self._send_json(500, body, headers=headers)
-
-    def _read_body_or_fatal(self, *, optional: bool = False) -> dict:
-        """Read + parse the body; size violations become fatal (close)."""
         try:
-            return self._read_json(optional=optional)
-        except ServingError as exc:
-            if exc.code in ("body_too_large", "missing_body"):
-                raise _Fatal(exc) from None
-            raise
-
-    def _handle_predict(self, kind: str, legacy: bool, headers: dict | None) -> None:
-        # Body first (so a 404 for an unknown kind still leaves the
-        # keep-alive connection in sync), size policing before the read.
-        payload = self._read_body_or_fatal()
-        request_schema_for(kind)
-        result = self.server.engine.predict(
-            kind, payload, timeout=self.server.request_timeout
-        )
-        self._send_result(result, legacy, headers)
-
-    def _send_result(self, result: dict, legacy: bool, headers: dict | None) -> None:
-        if "error" in result:
-            status = int(result.get("status", 400))
-            err = result["error"]
-            if legacy:
-                message = err.get("message") if isinstance(err, dict) else str(err)
-                self._send_json(
-                    status, {"error": message, "status": status}, headers=headers
-                )
-            else:
-                self._send_json(status, {"error": err}, headers=headers)
-        else:
-            self._send_json(200, result, headers=headers)
-
-    def _handle_batch(self, kind: str) -> None:
-        payload = self._read_body_or_fatal()
-        request_schema_for(kind)
-        batch = BatchRequest.validate(payload)
-        engine = self.server.engine
-        futures = [engine.submit(kind, item) for item in batch.requests]
-        results, n_errors = [], 0
-        for future in futures:
-            try:
-                result = future.result(timeout=self.server.request_timeout)
-            except FutureTimeout:
-                result = ServingError(
-                    "the engine did not answer in time; retry later",
-                    status=503,
-                    code="overloaded",
-                ).as_result()
-            except Exception as exc:
-                result = ServingError(
-                    f"{type(exc).__name__}: {exc}", status=500, code="internal"
-                ).as_result()
-            if "error" in result:
-                n_errors += 1
-            results.append(result)
-        self._send_json(
-            200,
-            {"results": results, "n_ok": len(results) - n_errors, "n_errors": n_errors},
-        )
-
-    def _handle_reload(self, name: str) -> None:
-        registry = self._registry()
-        req = ReloadRequest.validate(self._read_body_or_fatal(optional=True))
-        version = req.version
-        if req.alias is not None:
-            alias_name, alias_version = registry.resolve(req.alias)
-            if alias_name != registry.resolve(name)[0]:
-                raise ServingError(
-                    f"alias {req.alias!r} points at model {alias_name!r}, "
-                    f"not {name!r}",
-                    status=409,
-                    code="alias_mismatch",
-                    field="alias",
-                )
-            version = alias_version if version is None else version
-        info = self.server.engine.reload_model(registry, name, version)
-        self._send_json(200, info)
+            with root:
+                self._trace_id = root.trace_id
+                try:
+                    payload = self._read_body_or_fatal(
+                        core, optional=(resolved.op == "reload")
+                    )
+                    reply = core.dispatch(resolved, query, payload)
+                except _Fatal as fatal:
+                    reply = core.error_reply(fatal.error, resolved, close=True)
+                except FutureTimeout:
+                    reply = core.overloaded_reply(resolved)
+                except Exception as exc:  # engine/model failure — keep serving
+                    reply = core.error_reply(exc, resolved)
+                self._send_reply(reply)
+        finally:
+            if admitted is not None:
+                core.admission.release()
 
 
 class _Fatal(Exception):
@@ -521,13 +221,13 @@ class _EngineHTTPServer(ThreadingHTTPServer):
     # the throughput benchmark's connection churn doesn't see RSTs.
     request_queue_size = 128
 
-    def __init__(self, address, engine: InferenceEngine, *, verbose: bool,
-                 request_timeout: float, registry: ModelRegistry | None):
+    def __init__(self, address, core: RouteCore, *, verbose: bool):
         super().__init__(address, _Handler)
-        self.engine = engine
+        self.core = core
+        self.engine = core.engine
         self.verbose = verbose
-        self.request_timeout = request_timeout
-        self.registry = registry
+        self.request_timeout = core.request_timeout
+        self.registry = core.registry
 
 
 class PredictionServer:
@@ -536,7 +236,10 @@ class PredictionServer:
     ``port=0`` binds an ephemeral port (the actual one is in ``address``),
     which is what the tests and the throughput benchmark use.  Passing a
     ``registry`` (a :class:`ModelRegistry` or its root path) enables the
-    model-lifecycle routes (``/v1/models*``, reload).
+    model-lifecycle routes (``/v1/models*``, reload).  Passing
+    ``admission`` (an :class:`AdmissionController` or
+    :class:`AdmissionConfig`) gates the prediction routes behind the
+    admission controller; ``None`` (the default) admits everything.
     """
 
     def __init__(
@@ -548,15 +251,20 @@ class PredictionServer:
         registry: ModelRegistry | str | None = None,
         verbose: bool = False,
         request_timeout: float = 60.0,
+        admission: AdmissionController | AdmissionConfig | None = None,
     ):
         self.engine = engine
         if registry is not None and not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry)
         self.registry = registry
-        self._httpd = _EngineHTTPServer(
-            (host, port), engine, verbose=verbose,
-            request_timeout=request_timeout, registry=registry,
+        self.admission = _build_admission(admission, engine)
+        self.core = RouteCore(
+            engine,
+            registry=registry,
+            request_timeout=request_timeout,
+            admission=self.admission,
         )
+        self._httpd = _EngineHTTPServer((host, port), self.core, verbose=verbose)
         self._thread: threading.Thread | None = None
 
     @property
@@ -603,9 +311,12 @@ def serve_forever(
     *,
     registry: ModelRegistry | str | None = None,
     verbose: bool = True,
+    admission: AdmissionController | AdmissionConfig | None = None,
 ) -> None:
     """Blocking serve loop for the CLI (Ctrl-C to stop)."""
-    server = PredictionServer(engine, host, port, registry=registry, verbose=verbose)
+    server = PredictionServer(
+        engine, host, port, registry=registry, verbose=verbose, admission=admission
+    )
     server.engine.start()
     host_, port_ = server.address
     print(f"serving on http://{host_}:{port_}  (models: {sorted(engine.predictors)})")

@@ -66,10 +66,21 @@ class TestGauge:
         g.set_fn(None)
         assert g.value() == 2.5
 
-    def test_callback_gauge_rejects_labels(self):
+    def test_labelled_callback_gauge(self):
         g = Gauge("g2", "help", ("kind",))
-        with pytest.raises(ValueError, match="cannot be labelled"):
-            g.set_fn(lambda: 1)
+        g.set_fn(lambda: {("a",): 1.5, ("b",): 3.0})
+        assert g.value(kind="a") == 1.5
+        assert g.value(kind="missing") == 0.0
+        assert g.snapshot() == {"a": 1.5, "b": 3.0}
+        lines = g.render()
+        assert 'g2{kind="a"} 1.5' in lines
+        assert 'g2{kind="b"} 3' in lines
+
+    def test_labelled_callback_gauge_guards_bad_fn(self):
+        g = Gauge("g3", "help", ("kind",))
+        g.set_fn(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert g.snapshot() == {}
+        assert g.render() == g._header()
 
 
 class TestHistogram:
