@@ -23,9 +23,6 @@ per-HTTP-request and per-row throughput.
 
 Saturation behaviour is measured separately from closed-loop throughput:
 
-- ``--frontends`` compares the threaded and asyncio front ends closed-loop
-  at the highest concurrency level (the ≥3x floor is enforced by
-  ``--check`` only at concurrency ≥64 on a ≥4-core host);
 - ``--arrival-rate R`` fires *open-loop* Poisson load at R req/s against
   the asyncio front end with admission control — arrivals are scheduled,
   not gated on responses, and latency is measured from the scheduled
@@ -77,7 +74,6 @@ from repro.serving import (
     AdmissionController,
     AsyncPredictionServer,
     InferenceEngine,
-    PredictionServer,
     RetinaBundle,
     RetweeterPredictor,
 )
@@ -311,13 +307,6 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="also measure telemetry overhead: one fixed-"
                              "concurrency leg each with obs disabled, "
                              "enabled-but-unsampled, and fully sampled")
-    parser.add_argument("--frontends", action="store_true",
-                        help="compare the threaded and asyncio front ends "
-                             "closed-loop at the highest concurrency level")
-    parser.add_argument("--frontend-factor", type=float, default=3.0,
-                        help="async/threaded req/s ratio floor (enforced by "
-                             "--check at concurrency >= 64 on a >= 4-core "
-                             "host)")
     parser.add_argument("--arrival-rate", type=float, default=0.0, metavar="R",
                         help="open-loop leg: Poisson arrivals at R req/s "
                              "against the asyncio front end with admission "
@@ -355,7 +344,6 @@ def parse_args(argv=None) -> argparse.Namespace:
         # The smoke gate proves the multi-process serving path works under
         # load; the 3000 req/s floor belongs to the 4-core default run.
         args.min_rps = min(args.min_rps, 150.0)
-        args.frontends = True
         args.check = True
     if args.overload_only:
         args.overload = True
@@ -380,7 +368,7 @@ def _run(args=None) -> dict:
         for _ in range(256)
     ]
 
-    def serve(workers: int, frontend: str = "threaded", admission=None):
+    def serve(workers: int, admission=None):
         """A fresh predictor + engine + server for one measurement leg."""
         predictor = RetweeterPredictor(bundle)
         engine = InferenceEngine(
@@ -389,8 +377,7 @@ def _run(args=None) -> dict:
             max_wait_ms=2.0,
             workers=workers,
         )
-        cls = AsyncPredictionServer if frontend == "async" else PredictionServer
-        return engine, cls(engine, port=0, admission=admission)
+        return engine, AsyncPredictionServer(engine, port=0, admission=admission)
 
     report = {"client": "repro.client.ServingClient", "api": "v1",
               "cores": available_cores()}
@@ -457,36 +444,10 @@ def _run(args=None) -> dict:
                 "levels": batch_levels,
             }
 
-    # ---- front-end comparison: threaded vs asyncio, closed loop ----------
-    if getattr(args, "frontends", False):
-        conc = max(args.base_levels)
-        legs = {}
-        for label in ("threaded", "async"):
-            engine, server = serve(workers=1, frontend=label)
-            with server:
-                host, port = server.address
-                _fire_load(host, port, payloads, concurrency=2, seconds=0.5)
-                legs[label] = _fire_load(host, port, payloads, conc, args.seconds)
-        ratio = legs["async"]["requests_per_s"] / max(
-            legs["threaded"]["requests_per_s"], 1e-9
-        )
-        report["frontends"] = {
-            "concurrency": conc,
-            "threaded": legs["threaded"],
-            "async": legs["async"],
-            "async_over_threaded": round(ratio, 2),
-            "factor_floor": args.frontend_factor,
-            # The >=3x claim is about event-loop vs thread-per-connection
-            # scheduling under real concurrency — meaningless on a 1-core
-            # host or at trivial concurrency, so the floor gates on both.
-            "factor_floor_enforced": floor_enforceable(4) and conc >= 64,
-        }
-
     # ---- open-loop leg at a fixed offered rate ---------------------------
     if getattr(args, "arrival_rate", 0.0) > 0:
         engine, server = serve(
-            workers=1, frontend="async",
-            admission=AdmissionController(AdmissionConfig()),
+            workers=1, admission=AdmissionController(AdmissionConfig()),
         )
         with server:
             host, port = server.address
@@ -498,7 +459,7 @@ def _run(args=None) -> dict:
     # ---- overload curve: 0.5x and 2x measured capacity -------------------
     if getattr(args, "overload", False):
         # Probe capacity on an unthrottled server first...
-        engine, probe = serve(workers=1, frontend="async")
+        engine, probe = serve(workers=1)
         with probe:
             host, port = probe.address
             _fire_load(host, port, payloads, concurrency=2, seconds=0.5)
@@ -517,8 +478,7 @@ def _run(args=None) -> dict:
             depth_high=64, depth_low=16, age_high_s=0.25, age_low_s=0.05,
         )
         engine, server = serve(
-            workers=1, frontend="async",
-            admission=AdmissionController(admission_cfg),
+            workers=1, admission=AdmissionController(admission_cfg),
         )
         legs = []
         with server:
@@ -632,19 +592,6 @@ def main(argv=None) -> int:
             else:
                 print(f"note: req/s floor skipped ({available_cores()} core(s) "
                       f"< {max_w} workers)", file=sys.stderr)
-        if "frontends" in results:
-            fr = results["frontends"]
-            if fr["factor_floor_enforced"]:
-                if fr["async_over_threaded"] < fr["factor_floor"]:
-                    print(f"FAIL: async front end is only "
-                          f"{fr['async_over_threaded']}x the threaded one at "
-                          f"concurrency {fr['concurrency']} (floor "
-                          f"{fr['factor_floor']}x)", file=sys.stderr)
-                    return 1
-            else:
-                print(f"note: front-end factor floor skipped "
-                      f"({available_cores()} core(s), concurrency "
-                      f"{fr['concurrency']})", file=sys.stderr)
         open_legs = []
         if "open_loop" in results:
             open_legs.append(("open_loop", results["open_loop"]))

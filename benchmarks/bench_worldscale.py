@@ -1,0 +1,350 @@
+"""World-scale substrate benchmark: CSR graph + paged features at 10^4-10^6 users.
+
+Sweeps streamed worlds over ``--users`` and records, per scale:
+
+- **build_s** — streamed world construction (edge stream -> CSR freeze);
+- **bfs_sources_per_s** — vectorised single-source BFS throughput
+  (``distances_array_from``) over random sources;
+- **serve_req_s** — feature-block requests/s through a *paged*
+  :class:`~repro.features.store.FeatureStore` (per request: one
+  ``peer_block`` over a candidate list plus on-demand history fills),
+  i.e. the substrate work behind each serving prediction;
+- **max_rss_kb** / **delta_rss_kb** — peak RSS of the leg, total and net
+  of the interpreter baseline.
+
+Each leg runs in its own subprocess so ``ru_maxrss`` (a process-lifetime
+high-water mark) measures that leg alone.
+
+A **parity** leg at 10^4 users pins the new substrate to the old one:
+
+- CSR BFS distances and follower/followee sets bit-identical to networkx
+  on the same graph (sampled sources/pairs);
+- paged FeatureStore rows (history, doc-vec, peer blocks) bit-identical
+  to the dense store over the same world and fitted text models;
+- measures **dense_delta_kb**: the resident cost of the dense-era
+  substrate (networkx DiGraph + materialised User/history objects +
+  dense matrices) at 10^4 users, which linear-scales into the
+  dense-projection RSS estimate for the larger legs.
+
+``--check`` exits non-zero when any parity bit fails, or when a scale
+leg at >= ``RSS_CHECK_MIN_USERS`` users exceeds ``--rss-fraction``
+(default 0.25) of the dense projection.  (Below that scale the dense
+substrate still fits comfortably, so the sublinearity floor is not
+informative — parity is what CI's 10^4 smoke run gates.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # executed as a script: make `benchmarks` importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import add_json_out, emit_report
+
+PARITY_USERS = 10_000
+RSS_CHECK_MIN_USERS = 50_000
+SEED = 42
+CUTOFF = 4
+
+
+# --------------------------------------------------------------- leg helpers
+def _maxrss_kb() -> int:
+    from repro.obs import max_rss_kb
+
+    return int(max_rss_kb() or 0)
+
+
+def _build_world(n_users: int):
+    from repro.data.stream import WorldStream, WorldStreamConfig
+
+    cfg = WorldStreamConfig(n_users=n_users, seed=SEED)
+    return WorldStream(cfg).build()
+
+
+def _fit_text_stack(world, sample_users: int = 300):
+    """Fit a small tf-idf/lexicon/Doc2Vec stack on sampled histories.
+
+    The bench measures the *substrate* (paging, CSR, BFS), so the text
+    models stay deliberately small; both stores in the parity leg share
+    one fitted stack, which is what makes their rows comparable bit for
+    bit.
+    """
+    from repro.text.doc2vec import Doc2Vec
+    from repro.text.lexicon import HateLexicon
+    from repro.text.tfidf import TfidfVectorizer
+
+    rng = np.random.default_rng(SEED)
+    uids = rng.choice(len(world.user_ids), size=min(sample_users, len(world.user_ids)), replace=False)
+    texts = [t.text for uid in sorted(uids) for t in world.history.get(int(uid), [])]
+    vec = TfidfVectorizer(max_features=48).fit(texts)
+    d2v = Doc2Vec(vector_size=12, epochs=1, random_state=SEED).fit(texts[:500])
+    return vec, HateLexicon(), d2v
+
+
+def _make_store(world, stack, storage: str):
+    from repro.features.store import FeatureStore
+
+    vec, lex, d2v = stack
+    return FeatureStore(
+        world,
+        text_vectorizer=vec,
+        lexicon=lex,
+        doc2vec=d2v,
+        history_size=30,
+        doc2vec_dim=d2v.vector_size,
+        storage=storage,
+    )
+
+
+def _serve_requests(world, store, n_requests: int, candidates: int, rng) -> float:
+    """Feature-block request loop; returns requests/s."""
+    n = len(world.user_ids)
+    roots = rng.integers(0, n, size=n_requests)
+    t0 = time.perf_counter()
+    for root in roots:
+        cand = rng.integers(0, n, size=candidates)
+        store.peer_block(int(root), cand, cutoff=CUTOFF)
+        store.history_rows(cand[:8])
+    return n_requests / (time.perf_counter() - t0)
+
+
+# ----------------------------------------------------------------- scale leg
+def run_scale_leg(n_users: int, bfs_sources: int, serve_requests: int) -> dict:
+    baseline_kb = _maxrss_kb()
+    rng = np.random.default_rng(SEED + 1)
+
+    t0 = time.perf_counter()
+    world = _build_world(n_users)
+    build_s = time.perf_counter() - t0
+
+    sources = rng.integers(0, n_users, size=bfs_sources)
+    t0 = time.perf_counter()
+    for s in sources:
+        world.network.distances_array_from(int(s), CUTOFF)
+    bfs_s = time.perf_counter() - t0
+
+    stack = _fit_text_stack(world)
+    store = _make_store(world, stack, "paged")
+    serve_req_s = _serve_requests(world, store, serve_requests, 32, rng)
+    max_rss = _maxrss_kb()
+    return {
+        "leg": "scale",
+        "n_users": n_users,
+        "n_edges": int(world.network.n_follows),
+        "build_s": round(build_s, 3),
+        "bfs_sources_per_s": round(bfs_sources / bfs_s, 1),
+        "bfs_ms_per_source": round(1000.0 * bfs_s / bfs_sources, 3),
+        "serve_req_s": round(serve_req_s, 1),
+        "page_stats": dict(store.history.stats),
+        "resident_pages": store.history.resident_pages + store.doc_vecs.resident_pages,
+        "baseline_rss_kb": baseline_kb,
+        "max_rss_kb": max_rss,
+        "delta_rss_kb": max_rss - baseline_kb,
+    }
+
+
+# ---------------------------------------------------------------- parity leg
+def run_parity_leg(bfs_sources: int) -> dict:
+    import networkx as nx
+
+    baseline_kb = _maxrss_kb()
+    rng = np.random.default_rng(SEED + 2)
+    world = _build_world(PARITY_USERS)
+    net = world.network
+    n = PARITY_USERS
+
+    # --- graph parity: CSR vs networkx over the identical edge set.
+    g = net.to_networkx()
+    sample = rng.integers(0, n, size=bfs_sources)
+    dist_ok = True
+    for s in sample:
+        ours = net.distances_from(int(s), CUTOFF)
+        ref = nx.single_source_shortest_path_length(g, int(s), cutoff=CUTOFF)
+        if ours != dict(ref):
+            dist_ok = False
+            break
+    # Followers compare order-exact (the RNG-parity contract: cascade
+    # simulation iterates them).  Followees compare as sets — the CSR keeps
+    # stream-emission order while a successor-first networkx rebuild
+    # re-inserts edges in follower order, so only membership is shared.
+    nbr_ok = all(
+        list(net.followers(int(u))) == list(g.successors(int(u)))
+        and sorted(net.followees(int(u))) == sorted(g.predecessors(int(u)))
+        for u in rng.integers(0, n, size=200)
+    )
+    pair_ok = True
+    for s, t in zip(rng.integers(0, n, size=100), rng.integers(0, n, size=100)):
+        try:
+            ref_spl = nx.shortest_path_length(g, int(s), int(t))
+            ref_spl = ref_spl if ref_spl <= CUTOFF else CUTOFF + 1
+        except nx.NetworkXNoPath:
+            ref_spl = CUTOFF + 1
+        if net.shortest_path_length(int(s), int(t), cutoff=CUTOFF) != ref_spl:
+            pair_ok = False
+            break
+
+    # --- feature parity: paged store vs dense store, same world + models.
+    stack = _fit_text_stack(world)
+    dense = _make_store(world, stack, "dense")
+    paged = _make_store(world, stack, "paged")
+    feat_ok = True
+    for _ in range(20):
+        root = int(rng.integers(0, n))
+        cand = rng.integers(0, n, size=40)
+        if not np.array_equal(
+            dense.peer_block(root, cand, cutoff=CUTOFF),
+            paged.peer_block(root, cand, cutoff=CUTOFF),
+        ):
+            feat_ok = False
+            break
+        if not np.array_equal(dense.history_rows(cand), paged.history_rows(cand)):
+            feat_ok = False
+            break
+        if not np.array_equal(dense.doc_vec(root), paged.doc_vec(root)):
+            feat_ok = False
+            break
+
+    # --- dense-substrate resident cost at 10^4 users (for RSS projection):
+    # what the pre-CSR/pre-paging stack kept resident — the networkx graph
+    # (already built above), every User object, every history tweet list,
+    # and touched dense matrices (`dense` filled lazily; force-touch all).
+    users_resident = {uid: world.users[uid] for uid in range(n)}
+    hist_resident = {uid: world.history.get(uid) for uid in range(n)}
+    dense.history[:] = 1.0
+    dense.doc_vecs[:] = 1.0
+    dense_peak_kb = _maxrss_kb()
+    del users_resident, hist_resident
+
+    return {
+        "leg": "parity",
+        "n_users": n,
+        "distances_vs_networkx": dist_ok,
+        "neighbors_vs_networkx": nbr_ok,
+        "pair_spl_vs_networkx": pair_ok,
+        "paged_vs_dense_features": feat_ok,
+        "parity_ok": bool(dist_ok and nbr_ok and pair_ok and feat_ok),
+        "baseline_rss_kb": baseline_kb,
+        "dense_peak_kb": dense_peak_kb,
+        "dense_delta_kb": dense_peak_kb - baseline_kb,
+    }
+
+
+# -------------------------------------------------------------- orchestration
+def _run_leg_subprocess(argv: list[str]) -> dict:
+    """Run one leg in a fresh interpreter; its stdout is the leg JSON."""
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".json") as tmp:
+        cmd = [sys.executable, str(Path(__file__).resolve()), *argv, "--leg-out", tmp.name]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"leg {argv} failed (rc={proc.returncode}):\n{proc.stderr[-2000:]}"
+            )
+        return json.loads(Path(tmp.name).read_text())
+
+
+def parse_users(spec: str) -> list[int]:
+    out = []
+    for part in spec.split(","):
+        part = part.strip().lower().replace("_", "")
+        if part:
+            out.append(int(float(part)))
+    if not out:
+        raise argparse.ArgumentTypeError(f"no user counts in {spec!r}")
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="world-scale substrate benchmark")
+    parser.add_argument(
+        "--users",
+        type=parse_users,
+        default=[10_000, 100_000],
+        metavar="LIST",
+        help="comma-separated world sizes to sweep (default 10000,100000; "
+        "the full sweep of the roadmap is 1e4,1e5,1e6)",
+    )
+    parser.add_argument("--check", action="store_true", help="gate parity + RSS floors")
+    parser.add_argument("--bfs-sources", type=int, default=50)
+    parser.add_argument("--serve-requests", type=int, default=120)
+    parser.add_argument(
+        "--rss-fraction",
+        type=float,
+        default=0.25,
+        help="scale-leg delta RSS must stay under this fraction of the "
+        "dense projection (checked at >= %d users)" % RSS_CHECK_MIN_USERS,
+    )
+    parser.add_argument("--leg", choices=("scale", "parity"), default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--leg-users", type=int, default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--leg-out", default=None, help=argparse.SUPPRESS)
+    add_json_out(parser)
+    args = parser.parse_args(argv)
+
+    # ---- leg mode (invoked in a subprocess by the orchestrator).
+    if args.leg:
+        if args.leg == "scale":
+            result = run_scale_leg(args.leg_users, args.bfs_sources, args.serve_requests)
+        else:
+            result = run_parity_leg(args.bfs_sources)
+        Path(args.leg_out).write_text(json.dumps(result))
+        return 0
+
+    # ---- orchestrator.
+    parity = _run_leg_subprocess(
+        ["--leg", "parity", "--bfs-sources", str(args.bfs_sources)]
+    )
+    legs = []
+    for n_users in args.users:
+        legs.append(
+            _run_leg_subprocess(
+                [
+                    "--leg",
+                    "scale",
+                    "--leg-users",
+                    str(n_users),
+                    "--bfs-sources",
+                    str(args.bfs_sources),
+                    "--serve-requests",
+                    str(args.serve_requests),
+                ]
+            )
+        )
+
+    dense_delta_kb = parity["dense_delta_kb"]
+    checks = {"parity_ok": parity["parity_ok"]}
+    for leg in legs:
+        projection_kb = int(dense_delta_kb * leg["n_users"] / PARITY_USERS)
+        leg["dense_projection_kb"] = projection_kb
+        leg["rss_vs_dense_projection"] = (
+            round(leg["delta_rss_kb"] / projection_kb, 4) if projection_kb else None
+        )
+        if leg["n_users"] >= RSS_CHECK_MIN_USERS and projection_kb:
+            checks[f"rss_sublinear_{leg['n_users']}"] = bool(
+                leg["delta_rss_kb"] < args.rss_fraction * projection_kb
+            )
+
+    ok = all(checks.values())
+    report = {
+        "benchmark": "worldscale",
+        "parity": parity,
+        "scales": legs,
+        "checks": checks,
+        "check_ok": ok,
+    }
+    emit_report(report, args.json_out)
+    if args.check and not ok:
+        print("worldscale check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

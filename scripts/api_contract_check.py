@@ -8,13 +8,14 @@ whose responses are parsed and validated by
 fails loudly.  Also checks the legacy deprecation shim (same bytes +
 ``Deprecation`` header) and the structured-error contract.
 
-The full endpoint pass runs against BOTH front ends — the threaded
-:class:`PredictionServer` and the asyncio
-:class:`AsyncPredictionServer` — each on its own fresh engine, then the
-deterministic routes are byte-compared between them: the async front
-end must serve exactly what the threaded one does.  A final pass pins
-the admission-control contract on both: a request shed by quota returns
-429 with ``Retry-After`` and ``Connection: close``.
+The full endpoint pass runs against the asyncio
+:class:`AsyncPredictionServer` (the only front end since the threaded
+one's retirement; ``PredictionServer`` is an alias).  The deterministic
+routes are then byte-compared across two fresh server + engine
+instances — responses must not depend on server lifecycle or engine
+state.  A final pass pins the admission-control contract: a request
+shed by quota returns 429 with ``Retry-After`` and
+``Connection: close``.
 
 The observability pass pins the telemetry surface: the legacy
 ``/metrics`` JSON shape must stay byte-compatible with pre-v1, the
@@ -335,25 +336,28 @@ def main(argv=None) -> int:
         engine_from_store,
     )
 
-    frontends = {"threaded": PredictionServer, "async": AsyncPredictionServer}
+    # The retired threaded front end's name must stay importable and
+    # resolve to the asyncio server — callers constructed against it
+    # keep working unchanged.
+    check("PredictionServer aliases the async server",
+          PredictionServer is AsyncPredictionServer)
 
     print("building fixture registry (tiny world, 2 retina versions + hategen) ...")
     with tempfile.TemporaryDirectory() as store:
         registry, trainer, te, h_test = build_registry(store)
 
-        # ---- full endpoint pass against each front end --------------------
-        for label, cls in frontends.items():
-            engine = engine_from_store(registry, max_wait_ms=1.0)
-            with cls(engine, port=0, registry=registry) as server:
-                cid, users = drive_contract(
-                    server, label, registry, trainer, te, h_test,
-                    # Archive the trace from the default front end.
-                    trace_out=args.trace_out if label == "async" else None,
-                )
+        # ---- full endpoint pass -------------------------------------------
+        engine = engine_from_store(registry, max_wait_ms=1.0)
+        with AsyncPredictionServer(engine, port=0, registry=registry) as server:
+            cid, users = drive_contract(
+                server, "async", registry, trainer, te, h_test,
+                trace_out=args.trace_out,
+            )
 
-        # ---- front-end byte identity --------------------------------------
+        # ---- response byte stability --------------------------------------
         # The deterministic routes must serve the exact same bytes from
-        # both front ends (fresh engine each, so no state drift).
+        # two independent server + engine instances: responses cannot
+        # depend on server lifecycle, engine state, or accumulated load.
         probes = [
             ("POST", "/v1/predict/retweeters",
              {"cascade_id": cid, "user_ids": users}),
@@ -365,10 +369,12 @@ def main(argv=None) -> int:
             ("POST", "/v1/predict/nothing", {"a": 1}),  # 404 shaping too
         ]
         bodies = {}
-        for label, cls in frontends.items():
+        for label in ("first", "second"):
             engine = engine_from_store(registry, max_wait_ms=1.0)
             got = []
-            with cls(engine, port=0, registry=registry) as server:
+            with AsyncPredictionServer(
+                engine, port=0, registry=registry
+            ) as server:
                 host, port = server.address
                 for method, path, payload in probes:
                     conn = http.client.HTTPConnection(host, port, timeout=30)
@@ -384,33 +390,32 @@ def main(argv=None) -> int:
             bodies[label] = got
         mismatch = [
             (a[0], a[1:], b[1:])
-            for a, b in zip(bodies["threaded"], bodies["async"])
+            for a, b in zip(bodies["first"], bodies["second"])
             if a != b
         ]
-        check("front-end byte identity", not mismatch,
+        check("response byte stability", not mismatch,
               f"diverging routes: {mismatch[:2]}")
 
-        # ---- admission contract on both front ends ------------------------
+        # ---- admission contract -------------------------------------------
         # A quota of ~one request: the second POST must shed with 429,
-        # Retry-After, and Connection: close — identically on each.
-        for label, cls in frontends.items():
-            engine = engine_from_store(registry, max_wait_ms=1.0)
-            admission = AdmissionController(
-                AdmissionConfig(route_rps=0.001, route_burst=1.0)
+        # Retry-After, and Connection: close.
+        engine = engine_from_store(registry, max_wait_ms=1.0)
+        admission = AdmissionController(
+            AdmissionConfig(route_rps=0.001, route_burst=1.0)
+        )
+        with AsyncPredictionServer(engine, port=0, registry=registry,
+                                   admission=admission) as server:
+            payload = {"cascade_id": cid, "user_ids": users}
+            s1, _, _ = raw(server, "POST", "/v1/predict/retweeters", payload)
+            s2, hdrs, body = raw(
+                server, "POST", "/v1/predict/retweeters", payload
             )
-            with cls(engine, port=0, registry=registry,
-                     admission=admission) as server:
-                payload = {"cascade_id": cid, "user_ids": users}
-                s1, _, _ = raw(server, "POST", "/v1/predict/retweeters", payload)
-                s2, hdrs, body = raw(
-                    server, "POST", "/v1/predict/retweeters", payload
-                )
-            check(f"[{label}] 429 shed contract",
-                  s1 == 200 and s2 == 429
-                  and int(hdrs.get("Retry-After", 0)) >= 1
-                  and hdrs.get("Connection") == "close"
-                  and body["error"]["code"] == "shed_route_quota",
-                  f"got {s2} {dict(hdrs)} {body}")
+        check("429 shed contract",
+              s1 == 200 and s2 == 429
+              and int(hdrs.get("Retry-After", 0)) >= 1
+              and hdrs.get("Connection") == "close"
+              and body["error"]["code"] == "shed_route_quota",
+              f"got {s2} {dict(hdrs)} {body}")
 
     print(f"\napi-contract: all {len(CHECKS)} checks passed")
     return 0

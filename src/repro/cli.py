@@ -95,10 +95,6 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--wait-ms", type=float, default=2.0,
                    help="micro-batch coalescing window in milliseconds")
     add_workers_arg(s)
-    s.add_argument("--frontend", choices=("async", "threaded"), default="async",
-                   help="HTTP front end: the asyncio event-loop server "
-                        "(default) or the legacy thread-per-connection one "
-                        "(kept for one release)")
     s.add_argument("--no-admission", action="store_true",
                    help="disable admission control (quotas + load shedding; "
                         "tunable via REPRO_ADMIT_* env vars)")
@@ -298,7 +294,6 @@ def _cmd_serve(args) -> int:
         AdmissionConfig,
         ModelRegistry,
         engine_from_store,
-        serve_forever,
         serve_forever_async,
     )
 
@@ -315,8 +310,7 @@ def _cmd_serve(args) -> int:
         print(str(exc), file=sys.stderr)
         return 1
     admission = None if args.no_admission else AdmissionConfig.from_env()
-    serve = serve_forever_async if args.frontend == "async" else serve_forever
-    serve(
+    serve_forever_async(
         engine, args.host, args.port, registry=registry,
         verbose=not args.quiet, admission=admission,
     )

@@ -12,6 +12,7 @@ hate, and a timestamped news stream correlated with on-platform activity.
 from repro.data.schema import Cascade, HashtagSpec, NewsArticle, Retweet, Tweet, User
 from repro.data.hashtags import TABLE2_HASHTAGS, hashtag_catalog
 from repro.data.synthetic import SyntheticWorld, SyntheticWorldConfig
+from repro.data.stream import StreamedWorld, WorldStream, WorldStreamConfig
 from repro.data.annotate import AnnotatorPool
 from repro.data.dataset import HateDiffusionDataset
 
@@ -26,6 +27,9 @@ __all__ = [
     "hashtag_catalog",
     "SyntheticWorld",
     "SyntheticWorldConfig",
+    "StreamedWorld",
+    "WorldStream",
+    "WorldStreamConfig",
     "AnnotatorPool",
     "HateDiffusionDataset",
 ]

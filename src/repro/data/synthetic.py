@@ -114,6 +114,10 @@ class SyntheticWorld:
         )
         users = cls._make_users(cfg, catalog, communities, rng)
         cls._densify_hate_cliques(cfg, users, network, communities, rng)
+        # Last mutation is done: compile to CSR so cascade simulation and
+        # the feature path run on the frozen fast path.  Freezing preserves
+        # per-node neighbour order, so every RNG draw below is unchanged.
+        network.freeze()
         news = generate_news_stream(
             n_articles=cfg.n_news, window_hours=WINDOW_HOURS, random_state=rng
         )

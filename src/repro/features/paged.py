@@ -1,0 +1,241 @@
+"""Memory-mapped, LRU-paged row matrices for world-scale feature stores.
+
+The dense :class:`~repro.features.store.FeatureStore` allocates
+``np.zeros((n_users, d))`` up front — resident memory linear in world
+size, which caps worlds near 10^4 users.  :class:`PagedMatrix` keeps the
+matrix in a sparse temporary file instead and pages fixed-size row
+blocks through a bounded LRU of in-memory copies:
+
+- reads/writes touch the backing file through **transient**
+  ``np.memmap`` views scoped to one block (created, copied, unmapped) —
+  a persistent whole-file mapping would count every page ever touched
+  against the process high-water RSS, defeating the point;
+- resident state is ``max_pages`` block copies plus one in-flight block
+  view, so RSS is bounded by the page budget, not ``n_rows``;
+- the backing file is created sparse (``ftruncate``), so untouched
+  regions of a million-row matrix cost neither RAM nor disk.
+
+:class:`ValidityBitmap` packs the per-row "has this row been filled"
+flag into bits (vs the dense store's byte-per-row bool array) with the
+small ndarray-assignment surface the store uses.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["PagedMatrix", "ValidityBitmap"]
+
+
+class ValidityBitmap:
+    """Packed per-row validity bits with ndarray-style assignment.
+
+    Supports exactly the access patterns the feature store uses:
+    ``bm[i]`` (scalar bool), ``bm[idx_array]`` (bool array),
+    ``bm[idx] = True`` and ``bm[:] = False``.
+    """
+
+    def __init__(self, n: int):
+        self.n = int(n)
+        self._bits = np.zeros((self.n + 7) // 8, dtype=np.uint8)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            idx = np.arange(*idx.indices(self.n))
+            return (self._bits[idx >> 3] >> (idx & 7).astype(np.uint8)) & 1 == 1
+        arr = np.asarray(idx)
+        if arr.ndim == 0:
+            i = int(arr)
+            return bool((self._bits[i >> 3] >> (i & 7)) & 1)
+        return (self._bits[arr >> 3] >> (arr & 7).astype(np.uint8)) & 1 == 1
+
+    def __setitem__(self, idx, value) -> None:
+        if isinstance(idx, slice):
+            if idx == slice(None) and not value:
+                self._bits[:] = 0
+                return
+            idx = np.arange(*idx.indices(self.n))
+        arr = np.atleast_1d(np.asarray(idx))
+        bytes_ = arr >> 3
+        masks = np.uint8(1) << (arr & 7).astype(np.uint8)
+        if value:
+            np.bitwise_or.at(self._bits, bytes_, masks)
+        else:
+            np.bitwise_and.at(self._bits, bytes_, ~masks)
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return int(np.unpackbits(self._bits).sum())
+
+
+class PagedMatrix:
+    """A ``(n_rows, n_cols)`` matrix in a sparse file, paged by row block.
+
+    Parameters
+    ----------
+    n_rows, n_cols, dtype:
+        Logical matrix shape and element type.
+    page_rows:
+        Rows per block (the paging granularity).
+    max_pages:
+        LRU budget: at most this many blocks stay resident as ndarray
+        copies.  Peak resident bytes ≈
+        ``max_pages * page_rows * n_cols * itemsize``.
+    dir:
+        Directory for the backing file (default: the system tempdir, or
+        ``REPRO_FEATURE_MMAP_DIR`` when set).
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        dtype=np.float64,
+        *,
+        page_rows: int = 256,
+        max_pages: int = 64,
+        dir: str | None = None,
+    ):
+        if n_rows < 0 or n_cols <= 0:
+            raise ValueError(f"bad shape ({n_rows}, {n_cols})")
+        if page_rows <= 0 or max_pages <= 0:
+            raise ValueError("page_rows and max_pages must be positive")
+        self.shape = (int(n_rows), int(n_cols))
+        self.dtype = np.dtype(dtype)
+        self.page_rows = int(page_rows)
+        self.max_pages = int(max_pages)
+        self._nbytes = self.shape[0] * self.shape[1] * self.dtype.itemsize
+        dir = dir or os.environ.get("REPRO_FEATURE_MMAP_DIR") or None
+        fd, self.path = tempfile.mkstemp(prefix="repro-paged-", suffix=".mmap", dir=dir)
+        self._fd = fd
+        os.ftruncate(fd, max(self._nbytes, 1))
+        # block id -> ndarray copy of the block's rows; insertion order = LRU.
+        self._pages: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._dirty: set[int] = set()
+        self.stats = {"hits": 0, "misses": 0, "evictions": 0, "writebacks": 0}
+        self._closed = False
+
+    # ------------------------------------------------------------ block I/O
+    def _block_rows(self, bid: int) -> tuple[int, int]:
+        lo = bid * self.page_rows
+        return lo, min(lo + self.page_rows, self.shape[0])
+
+    def _block_view(self, bid: int, mode: str) -> np.ndarray:
+        """A transient memmap over one block — caller must drop it promptly."""
+        lo, hi = self._block_rows(bid)
+        return np.memmap(
+            self.path,
+            dtype=self.dtype,
+            mode=mode,
+            offset=lo * self.shape[1] * self.dtype.itemsize,
+            shape=(hi - lo, self.shape[1]),
+        )
+
+    def _writeback(self, bid: int, block: np.ndarray) -> None:
+        mm = self._block_view(bid, "r+")
+        mm[:] = block
+        mm.flush()
+        del mm
+        self.stats["writebacks"] += 1
+
+    def _get_block(self, bid: int) -> np.ndarray:
+        block = self._pages.get(bid)
+        if block is not None:
+            self._pages.move_to_end(bid)
+            self.stats["hits"] += 1
+            return block
+        self.stats["misses"] += 1
+        while len(self._pages) >= self.max_pages:
+            old_bid, old_block = self._pages.popitem(last=False)
+            self.stats["evictions"] += 1
+            if old_bid in self._dirty:
+                self._dirty.discard(old_bid)
+                self._writeback(old_bid, old_block)
+        mm = self._block_view(bid, "r")
+        block = np.array(mm)  # resident copy; the mapping itself is dropped
+        del mm
+        self._pages[bid] = block
+        return block
+
+    # -------------------------------------------------------------- row API
+    def read_rows(self, rows) -> np.ndarray:
+        """(len(rows), n_cols) gather, paging blocks in as needed."""
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.empty((len(rows), self.shape[1]), dtype=self.dtype)
+        if len(rows) == 0:
+            return out
+        bids = rows // self.page_rows
+        for bid in np.unique(bids):
+            block = self._get_block(int(bid))
+            sel = bids == bid
+            out[sel] = block[rows[sel] - int(bid) * self.page_rows]
+        return out
+
+    def read_row(self, row: int) -> np.ndarray:
+        """One row (a copy, like ``read_rows``)."""
+        bid, off = divmod(int(row), self.page_rows)
+        return self._get_block(bid)[off].copy()
+
+    def write_rows(self, rows, values) -> None:
+        """Scatter ``values`` into the matrix, marking touched blocks dirty."""
+        rows = np.asarray(rows, dtype=np.int64)
+        values = np.asarray(values, dtype=self.dtype)
+        if len(rows) == 0:
+            return
+        bids = rows // self.page_rows
+        for bid in np.unique(bids):
+            bid = int(bid)
+            block = self._get_block(bid)
+            sel = bids == bid
+            block[rows[sel] - bid * self.page_rows] = values[sel]
+            self._dirty.add(bid)
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def resident_nbytes(self) -> int:
+        return sum(b.nbytes for b in self._pages.values())
+
+    # ------------------------------------------------------------ lifecycle
+    def flush(self) -> None:
+        """Write every dirty resident block back to the file."""
+        for bid in sorted(self._dirty):
+            self._writeback(bid, self._pages[bid])
+        self._dirty.clear()
+
+    def clear(self) -> None:
+        """Drop resident pages and re-sparse the backing file (all zeros)."""
+        self._pages.clear()
+        self._dirty.clear()
+        os.ftruncate(self._fd, 0)
+        os.ftruncate(self._fd, max(self._nbytes, 1))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pages.clear()
+        self._dirty.clear()
+        try:
+            os.close(self._fd)
+        except OSError:
+            pass
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -25,8 +25,11 @@ same order.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
+from repro.features.paged import PagedMatrix, ValidityBitmap
 from repro.parallel import ShmArena, WorkerPool, resolve_workers
 
 __all__ = ["FeatureStore"]
@@ -35,6 +38,37 @@ __all__ = ["FeatureStore"]
 #: retweet-count ratio, retweeted-tweet ratio, follower count, account age
 #: (years), number of distinct recent hashtags.
 N_HISTORY_SCALARS = 6
+
+#: Byte budget for cached frozen-path BFS distance arrays (int16 per user).
+_DIST_ARRAY_CACHE_BYTES = 64 << 20
+
+
+class _IdentityIndex:
+    """user id -> store row for the contiguous ``0..n-1`` id space.
+
+    World-scale stores would otherwise pay a million-entry Python dict just
+    to map ``uid`` to ``uid``.  Implements the mapping surface the store
+    uses (``[]``, ``get``, ``in``).
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int):
+        self.n = int(n)
+
+    def __getitem__(self, u: int) -> int:
+        i = int(u)
+        if 0 <= i < self.n:
+            return i
+        raise KeyError(u)
+
+    def get(self, u, default=None):
+        i = int(u)
+        return i if 0 <= i < self.n else default
+
+    def __contains__(self, u) -> bool:
+        i = int(u)
+        return 0 <= i < self.n
 
 
 class FeatureStore:
@@ -57,6 +91,15 @@ class FeatureStore:
         resolves through ``REPRO_NUM_WORKERS``, then 1).  Parallel fills
         are bit-identical to serial ones for every worker count: each
         user's block is a pure function of that user's history.
+    storage:
+        ``"dense"`` (default) keeps resident ``(n_users, d)`` matrices —
+        the historical layout.  ``"paged"`` backs both matrices with
+        memory-mapped :class:`~repro.features.paged.PagedMatrix` files and
+        a bounded LRU of row blocks, so resident memory follows the page
+        budget (``REPRO_FEATURE_PAGE_ROWS`` × ``REPRO_FEATURE_MAX_PAGES``)
+        instead of world size.  Every value read back is bit-identical
+        between modes.  ``None`` resolves through
+        ``REPRO_FEATURE_STORAGE``, then ``"dense"``.
     """
 
     def __init__(
@@ -69,6 +112,7 @@ class FeatureStore:
         history_size: int,
         doc2vec_dim: int,
         workers: int | None = None,
+        storage: str | None = None,
     ):
         self.world = world
         self.workers = workers
@@ -77,15 +121,36 @@ class FeatureStore:
         self.doc2vec = doc2vec
         self.history_size = history_size
         self.doc2vec_dim = doc2vec_dim
+        storage = storage or os.environ.get("REPRO_FEATURE_STORAGE", "dense")
+        if storage not in ("dense", "paged"):
+            raise ValueError(f"unknown feature storage {storage!r}")
+        self.storage = storage
 
-        self._uids = np.array(sorted(world.users), dtype=np.int64)
-        self._index = {int(u): i for i, u in enumerate(self._uids)}
+        user_ids = getattr(world.users, "user_ids", None)
+        if user_ids is not None:
+            self._uids = np.asarray(user_ids, dtype=np.int64)
+        else:
+            self._uids = np.array(sorted(world.users), dtype=np.int64)
         n = len(self._uids)
+        if n and self._uids[0] == 0 and self._uids[-1] == n - 1:
+            self._index = _IdentityIndex(n)
+        else:
+            self._index = {int(u): i for i, u in enumerate(self._uids)}
         d_text = len(text_vectorizer.vocabulary_)
         self._d_hist = d_text + len(lexicon) + N_HISTORY_SCALARS
-        self.history = np.zeros((n, self._d_hist))
-        self.doc_vecs = np.zeros((n, doc2vec_dim))
-        self._built = np.zeros(n, dtype=bool)
+        if storage == "paged":
+            page_rows = int(os.environ.get("REPRO_FEATURE_PAGE_ROWS", "256"))
+            max_pages = int(os.environ.get("REPRO_FEATURE_MAX_PAGES", "64"))
+            self.history = PagedMatrix(
+                n, self._d_hist, page_rows=page_rows, max_pages=max_pages
+            )
+            self.doc_vecs = PagedMatrix(
+                n, doc2vec_dim, page_rows=page_rows, max_pages=max_pages
+            )
+        else:
+            self.history = np.zeros((n, self._d_hist))
+            self.doc_vecs = np.zeros((n, doc2vec_dim))
+        self._built = ValidityBitmap(n)
 
         # One pass over the world: in-window tweets grouped per user (order
         # preserved, mirroring ``user_history_before``) and retweet-reception
@@ -119,6 +184,10 @@ class FeatureStore:
         # entries, and a long-running server must not grow without bound.
         self._dist_cache: dict[tuple[int, int], dict[int, int]] = {}
         self._dist_cache_cap = 4096
+        # Frozen-network counterpart: int16 per-row distance arrays, capped
+        # by bytes (a per-root dict at 10^6 users would be ~100x larger).
+        self._dist_arr_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._dist_arr_cache_cap = max(1, _DIST_ARRAY_CACHE_BYTES // max(1, 2 * n))
         # Doc2Vec tweet embeddings keyed by tweet text (inference is
         # deterministic at random_state=0 and depends only on the text, so
         # rebuilds and serving share it and edited copies can never alias).
@@ -243,8 +312,12 @@ class FeatureStore:
         idx = np.fromiter(
             (self._index[u] for u in missing), dtype=np.int64, count=len(missing)
         )
-        self.history[idx] = hist
-        self.doc_vecs[idx] = docv
+        if self.storage == "paged":
+            self.history.write_rows(idx, hist)
+            self.doc_vecs.write_rows(idx, docv)
+        else:
+            self.history[idx] = hist
+            self.doc_vecs[idx] = docv
         self._built[idx] = True
 
     def history_rows(self, user_ids) -> np.ndarray:
@@ -253,17 +326,26 @@ class FeatureStore:
         idx = np.fromiter(
             (self._index[u] for u in user_ids), dtype=np.int64, count=len(user_ids)
         )
+        if self.storage == "paged":
+            return self.history.read_rows(idx)
         return self.history[idx]
 
     def user_block(self, user_id: int) -> dict:
         """Seed-shaped ``{"history": ..., "doc_vec": ...}`` for one user."""
         self.ensure([user_id])
         i = self._index[user_id]
+        if self.storage == "paged":
+            return {
+                "history": self.history.read_row(i),
+                "doc_vec": self.doc_vecs.read_row(i),
+            }
         return {"history": self.history[i], "doc_vec": self.doc_vecs[i]}
 
     def doc_vec(self, user_id: int) -> np.ndarray:
         """Mean Doc2Vec vector of one user's recent history."""
         self.ensure([user_id])
+        if self.storage == "paged":
+            return self.doc_vecs.read_row(self._index[user_id])
         return self.doc_vecs[self._index[user_id]]
 
     def tweet_vec(self, tweet) -> np.ndarray:
@@ -334,24 +416,61 @@ class FeatureStore:
             self._dist_cache[key] = cached
         return cached
 
+    def distance_array(self, source: int, cutoff: int = 4) -> np.ndarray:
+        """Cached (n,) int16 BFS distances per CSR row (frozen networks).
+
+        ``cutoff + 1`` marks unreached rows — value-identical to
+        ``distances(source, cutoff).get(uid, cutoff + 1)`` for every user,
+        at ~2 bytes/user instead of a Python dict entry.
+        """
+        key = (source, cutoff)
+        cached = self._dist_arr_cache.get(key)
+        if cached is None:
+            cached = self.world.network.distances_array_from(source, cutoff)
+            while len(self._dist_arr_cache) >= self._dist_arr_cache_cap:
+                self._dist_arr_cache.pop(next(iter(self._dist_arr_cache)))
+            self._dist_arr_cache[key] = cached
+        return cached
+
     def peer_block(self, root_user: int, user_ids, cutoff: int = 4) -> np.ndarray:
         """(n, 2) peer block [shortest path, prior retweets] for a user list.
 
         One BFS from the root covers every candidate; the seed path ran one
-        BFS per (root, candidate) pair.
+        BFS per (root, candidate) pair.  Frozen networks use the vectorised
+        array BFS and a row gather; unfrozen ones the per-root dict — the
+        two produce identical values.
         """
-        dist = self.distances(root_user, cutoff)
         far = cutoff + 1
-        spl = np.fromiter(
-            (dist.get(u, far) for u in user_ids), dtype=np.float64, count=len(user_ids)
-        )
+        network = self.world.network
+        if getattr(network, "is_frozen", False):
+            arr = self.distance_array(root_user, cutoff)
+            rows = network.row_index(user_ids)
+            spl = np.where(rows >= 0, arr[np.maximum(rows, 0)], far).astype(np.float64)
+        else:
+            dist = self.distances(root_user, cutoff)
+            spl = np.fromiter(
+                (dist.get(u, far) for u in user_ids),
+                dtype=np.float64,
+                count=len(user_ids),
+            )
         return np.stack([spl, self.prior_counts(root_user, user_ids)], axis=1)
 
     # ------------------------------------------------------------ lifecycle
     def invalidate(self) -> None:
         """Drop every lazily built block and BFS result (for benchmarks)."""
         self._built[:] = False
-        self.history[:] = 0.0
-        self.doc_vecs[:] = 0.0
+        if self.storage == "paged":
+            self.history.clear()
+            self.doc_vecs.clear()
+        else:
+            self.history[:] = 0.0
+            self.doc_vecs[:] = 0.0
         self._dist_cache.clear()
+        self._dist_arr_cache.clear()
         self._tweet_vec_cache.clear()
+
+    def close(self) -> None:
+        """Release paged backing files (no-op for dense storage)."""
+        if self.storage == "paged":
+            self.history.close()
+            self.doc_vecs.close()

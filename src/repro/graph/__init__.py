@@ -1,6 +1,26 @@
-"""Information-network substrate (the paper's follower graph G = {U, E})."""
+"""Information-network substrate (the paper's follower graph G = {U, E}).
 
+:class:`InformationNetwork` is mutable during construction and compiles
+to a frozen CSR (compressed sparse row) adjacency via :meth:`freeze`;
+:mod:`repro.graph.csr` holds the raw kernels (CSR build, frontier BFS)
+and :mod:`repro.graph.generators` both the resident generator and the
+chunked :class:`FollowerEdgeStream` used for world-scale builds.
+"""
+
+from repro.graph.csr import bfs_distances, bfs_hops_to, build_csr
 from repro.graph.network import InformationNetwork
-from repro.graph.generators import community_follower_graph
+from repro.graph.generators import (
+    FollowerEdgeStream,
+    community_follower_graph,
+    dedupe_edges,
+)
 
-__all__ = ["InformationNetwork", "community_follower_graph"]
+__all__ = [
+    "InformationNetwork",
+    "FollowerEdgeStream",
+    "community_follower_graph",
+    "dedupe_edges",
+    "build_csr",
+    "bfs_distances",
+    "bfs_hops_to",
+]

@@ -31,7 +31,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.runrecord import git_sha, run_record
+from repro.obs.runrecord import git_sha, max_rss_kb, run_record
 from repro.obs.trace import (
     STORE,
     Span,
@@ -71,5 +71,6 @@ __all__ = [
     "current_trace_id",
     "new_trace_id",
     "git_sha",
+    "max_rss_kb",
     "run_record",
 ]

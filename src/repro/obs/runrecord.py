@@ -22,7 +22,27 @@ from repro.obs import config
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import STORE
 
-__all__ = ["git_sha", "run_record"]
+__all__ = ["git_sha", "max_rss_kb", "run_record"]
+
+
+def max_rss_kb(children: bool = False) -> int | None:
+    """Peak resident set size in KiB, or None where unsupported.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalised
+    here so archived ``BENCH_*.json`` records compare across hosts.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    who = resource.RUSAGE_CHILDREN if children else resource.RUSAGE_SELF
+    try:
+        rss = resource.getrusage(who).ru_maxrss
+    except (ValueError, OSError):  # pragma: no cover
+        return None
+    if sys.platform == "darwin":  # pragma: no cover - bytes there
+        rss //= 1024
+    return int(rss)
 
 
 def git_sha() -> str | None:
@@ -60,6 +80,8 @@ def run_record(*, max_spans: int = 5) -> dict:
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "pid": os.getpid(),
+        "max_rss_kb": max_rss_kb(),
+        "max_rss_children_kb": max_rss_kb(children=True),
         "obs": config.snapshot(),
         "metrics": counters,
         "slowest_spans": STORE.slowest_spans(max_spans),

@@ -11,14 +11,14 @@ Turns trained pipelines into persistent, low-latency prediction services:
 - :mod:`repro.serving.routes` — the front-end-agnostic route core (one
   handler table, error shaping, legacy deprecation shim) shared by both
   HTTP front ends;
-- :mod:`repro.serving.aio` — the default front end: a single-event-loop
+- :mod:`repro.serving.aio` — the HTTP front end: a single-event-loop
   ``asyncio`` HTTP/1.1 server (keep-alive, pipelining, future bridging
-  into the micro-batcher);
-- :mod:`repro.serving.server` — the classic ``ThreadingHTTPServer``
-  front end (``--frontend threaded``), same JSON API
-  (``/v1/predict/{kind}``, ``/v1/batch/{kind}``, ``/v1/models*``,
-  ``/v1/healthz``, ``/v1/metrics``; legacy unversioned routes kept via a
-  deprecation shim);
+  into the micro-batcher) answering ``/v1/predict/{kind}``,
+  ``/v1/batch/{kind}``, ``/v1/models*``, ``/v1/healthz``,
+  ``/v1/metrics`` (legacy unversioned routes kept via a deprecation
+  shim).  The classic ``ThreadingHTTPServer`` front end was retired
+  after its deprecation window; ``PredictionServer``/``serve_forever``
+  remain as aliases of the asyncio implementations;
 - :mod:`repro.serving.admission` — bounded accept queue, per-route and
   per-tenant token buckets, and watermark-hysteresis load shedding
   (429 + ``Retry-After``) driven by the engine's live queue signals.
@@ -49,8 +49,12 @@ from repro.serving.registry import (
     RetinaBundle,
 )
 from repro.serving.routes import RouteCore
-from repro.serving.server import PredictionServer, serve_forever
 from repro.serving import schemas
+
+# Compatibility aliases from the retired threaded front end: the asyncio
+# server is a drop-in (same constructor and lifecycle surface).
+PredictionServer = AsyncPredictionServer
+serve_forever = serve_forever_async
 
 __all__ = [
     "AdmissionConfig",

@@ -25,9 +25,9 @@ envelope) or refused immediately with ``429`` + ``Retry-After``:
 
 Every knob has a ``REPRO_ADMIT_*`` environment variable (see
 :meth:`AdmissionConfig.from_env`); rates of ``0`` disable that quota.
-All decisions are cheap (one lock, a few float ops) and thread-safe, so
-the same controller serves the threaded front end (many handler threads)
-and the asyncio front end (one event-loop thread).
+All decisions are cheap (one lock, a few float ops) and thread-safe:
+the asyncio front end calls in from its event-loop thread while metrics
+readers snapshot from others.
 """
 
 from __future__ import annotations

@@ -1,10 +1,9 @@
 """Asyncio HTTP/1.1 front-end for the inference engine — API v1.
 
-Same contract as the threaded front end (:mod:`repro.serving.server`) —
-both drive the shared :class:`~repro.serving.routes.RouteCore`, so every
-``/v1/*`` route answers byte-identically — but the transport is a single
-event loop on :func:`asyncio.start_server` instead of a thread per
-connection:
+The server drives the front-end-agnostic
+:class:`~repro.serving.routes.RouteCore` (which owns every ``/v1/*``
+route, error shape, and the legacy deprecation shim); the transport is a
+single event loop on :func:`asyncio.start_server`:
 
 - hand-rolled HTTP/1.1 parsing (request line + headers via
   ``readline``), keep-alive by default, and pipelined requests served
@@ -20,10 +19,12 @@ connection:
 - the only executor hop is ``asyncio.to_thread`` around model reloads,
   which genuinely block (bundle deserialisation).
 
-The event loop runs in a daemon thread so the synchronous callers that
-drive :class:`~repro.serving.server.PredictionServer` (tests, the
-benchmark, the CLI) use this class the same way: ``start()``/``stop()``,
-``with`` support, ``port=0`` for an ephemeral port.
+The event loop runs in a daemon thread so synchronous callers (tests,
+the benchmark, the CLI) use this class like any blocking server:
+``start()``/``stop()``, ``with`` support, ``port=0`` for an ephemeral
+port.  (The historical ``ThreadingHTTPServer`` front end was retired
+after its one-release deprecation window; ``PredictionServer`` is now an
+alias of this class.)
 """
 
 from __future__ import annotations
@@ -47,9 +48,19 @@ from repro.serving.routes import (
     RouteCore,
     route_label,
 )
-from repro.serving.server import _build_admission
 
 __all__ = ["AsyncPredictionServer", "serve_forever_async"]
+
+
+def _build_admission(admission, engine) -> AdmissionController | None:
+    """Normalise the ``admission=`` argument the server accepts."""
+    if admission is None:
+        return None
+    if isinstance(admission, AdmissionConfig):
+        admission = AdmissionController(admission)
+    if admission._depth_fn is None:
+        admission.bind_engine(engine)
+    return admission
 
 _log = obs_log.get_logger("repro.serving.aio")
 
@@ -71,10 +82,10 @@ class _BadRequest(Exception):
 class AsyncPredictionServer:
     """Owns the asyncio HTTP server + engine lifecycle.
 
-    Drop-in for :class:`~repro.serving.server.PredictionServer`: same
-    constructor shape, same ``start``/``stop``/``address``/``url``
-    surface, same route behaviour (both delegate to
-    :class:`~repro.serving.routes.RouteCore`).
+    Exported as ``repro.serving.PredictionServer`` as well (the alias the
+    retired threaded front end left behind): same constructor shape,
+    ``start``/``stop``/``address``/``url`` surface, and route behaviour
+    (all routing delegates to :class:`~repro.serving.routes.RouteCore`).
     """
 
     def __init__(
@@ -354,7 +365,8 @@ class AsyncPredictionServer:
         headers: dict,
         query: dict,
     ) -> Reply:
-        # Body size policing before the read, mirroring the threaded path.
+        # Body size policing before the read: answer 413 off the headers
+        # alone so an oversized body is never buffered.
         try:
             length = int(headers.get("content-length") or 0)
         except ValueError:

@@ -1,9 +1,9 @@
-"""Front-end-agnostic route core shared by both HTTP serving front ends.
+"""Front-end-agnostic route core behind the HTTP serving front end.
 
-The threaded (:mod:`repro.serving.server`) and asyncio
-(:mod:`repro.serving.aio`) front ends speak the same API v1 contract
-byte-for-byte because neither owns any route logic — both drive this
-module:
+The asyncio front end (:mod:`repro.serving.aio`) owns no route logic —
+any transport driving this module speaks the same API v1 contract
+byte-for-byte (which is how the retired threaded front end stayed
+byte-identical during its deprecation window):
 
 1. :meth:`RouteCore.resolve` maps ``(method, path)`` to a
    :class:`Resolved` route *before any body bytes are read*, so unknown
@@ -274,7 +274,7 @@ class RouteCore:
 
     # ----------------------------------------------------------- dispatch
     def dispatch(self, r: Resolved, query: dict, payload: dict) -> Reply:
-        """Blocking dispatch (the threaded front end's whole handler)."""
+        """Blocking dispatch: resolve -> engine -> shaped reply, in one call."""
         if r.op == "predict":
             result = self.engine.predict(
                 r.kind, payload, timeout=self.request_timeout

@@ -64,10 +64,12 @@ class TestPeerBlock:
 
     def test_bfs_cached_across_cascades_of_one_root(self, fitted_extractor):
         store = fitted_extractor.store_
-        store._dist_cache.clear()
+        store._dist_arr_cache.clear()
         store.peer_block(0, [1, 2, 3], cutoff=4)
         store.peer_block(0, [4, 5], cutoff=4)
-        assert list(store._dist_cache) == [(0, 4)]
+        # Worlds freeze their network, so peer_block runs the vectorised
+        # array BFS: one cached distance array per (root, cutoff).
+        assert list(store._dist_arr_cache) == [(0, 4)]
 
 
 class TestTweetVecCache:

@@ -1,13 +1,23 @@
-"""Asyncio front-end tests: route parity with the threaded server,
-keep-alive + pipelining, connection hygiene on 404/413/429, and the
-overload integration — offered load above capacity must shed with
-429 + ``Retry-After`` and never drop a request without a response."""
+"""Asyncio front-end tests: routes, keep-alive + pipelining, connection
+hygiene on 404/413/429, and the overload integration — offered load above
+capacity must shed with 429 + ``Retry-After`` and never drop a request
+without a response.
+
+Also hosts the suite folded in from the retired threaded front end
+(``tests/serving/test_server.py``): the end-to-end acceptance path over
+the legacy unversioned routes, driven through the ``PredictionServer``
+compatibility alias.
+"""
 
 import http.client
 import json
 import socket
 import threading
 import time
+import urllib.error
+import urllib.request
+
+import numpy as np
 
 import pytest
 
@@ -16,7 +26,10 @@ from repro.serving import (
     AdmissionConfig,
     AdmissionController,
     AsyncPredictionServer,
+    HateGenPredictor,
+    InferenceEngine,
     PredictionServer,
+    RetweeterPredictor,
     engine_from_store,
 )
 
@@ -75,28 +88,33 @@ class TestRoutes:
         batch = aio_client.predict_many("hategen", reqs)
         assert batch.n_ok == 4 and batch.n_errors == 0
 
-    def test_predict_bytes_match_threaded_front_end(
+    def test_predict_bytes_deterministic_across_instances(
         self, registry, trained_hategen
     ):
-        """The tentpole parity claim: same request, same bytes out."""
+        """Same request against two independent servers: same bytes out.
+
+        This was the byte-identity gate between the threaded and asyncio
+        front ends; with the threaded server retired it pins response
+        determinism across server lifecycles instead.
+        """
         _, test_tweets = trained_hategen
         t = test_tweets[0]
         payload = {"user_id": t.user_id, "hashtag": t.hashtag,
                    "timestamp": t.timestamp}
-        bodies = {}
-        for label, cls in (("threaded", PredictionServer),
-                           ("aio", AsyncPredictionServer)):
+        bodies = []
+        for _ in range(2):
             engine = engine_from_store(registry, max_batch_size=8, max_wait_ms=1.0)
-            with cls(engine, port=0, registry=registry) as srv:
+            with AsyncPredictionServer(engine, port=0, registry=registry) as srv:
                 host, port = srv.address
                 conn = http.client.HTTPConnection(host, port, timeout=30)
                 conn.request("POST", "/v1/predict/hategen",
                              json.dumps(payload).encode(),
                              {"Content-Type": "application/json"})
                 resp = conn.getresponse()
-                bodies[label] = (resp.status, resp.read())
+                bodies.append((resp.status, resp.read()))
                 conn.close()
-        assert bodies["threaded"] == bodies["aio"]
+        assert bodies[0] == bodies[1]
+        assert bodies[0][0] == 200
 
     def test_legacy_shim_deprecation_headers(self, aio_server, trained_hategen):
         _, test_tweets = trained_hategen
@@ -268,8 +286,15 @@ class TestOverload:
                 assert elapsed >= 0.5
 
 
-class TestThreadedFrontEndAdmission:
-    def test_threaded_429_matches_async_contract(self, registry, trained_hategen):
+class TestCompatAlias:
+    """The retired threaded front end's public names must keep working."""
+
+    def test_prediction_server_is_async_server(self):
+        assert PredictionServer is AsyncPredictionServer
+
+    def test_alias_serves_the_429_contract(self, registry, trained_hategen):
+        # Construct through the alias exactly as pre-retirement callers do
+        # and verify the admission contract is served unchanged.
         _, test_tweets = trained_hategen
         t = test_tweets[0]
         engine = engine_from_store(registry, max_batch_size=8, max_wait_ms=1.0)
@@ -289,3 +314,149 @@ class TestThreadedFrontEndAdmission:
         assert int(headers["Retry-After"]) >= 1
         assert headers.get("Connection") == "close"
         assert body["error"]["code"] == "shed_route_quota"
+
+
+# ---------------------------------------------------------------------------
+# Folded from the retired threaded front end's suite
+# (tests/serving/test_server.py): the end-to-end serving acceptance path —
+# train -> save bundle -> load (world regenerated) -> serve -> POST ->
+# scores identical to in-process ``trainer.predict_static_scores`` — plus
+# error handling, all over the legacy unversioned routes.
+# ---------------------------------------------------------------------------
+
+
+def _post(url: str, payload: dict):
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return resp.status, json.load(resp)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=60) as resp:
+        return resp.status, json.load(resp)
+
+
+@pytest.fixture(scope="module")
+def legacy_server(registry):
+    """A live server over bundles loaded from disk with regenerated worlds.
+
+    The retina bundle regenerates its world from the manifest; the hategen
+    bundle shares it — exactly what ``repro serve`` does.
+    """
+    retina = registry.load_bundle("retina")
+    hategen = registry.load_bundle("hategen", world=retina.extractor.world)
+    engine = InferenceEngine(
+        {
+            "retweeters": RetweeterPredictor(retina),
+            "hategen": HateGenPredictor(hategen),
+        },
+        max_batch_size=32,
+        max_wait_ms=1.0,
+    )
+    with PredictionServer(engine, port=0) as srv:
+        yield srv
+
+
+class TestLegacyEndToEnd:
+    def test_retweeter_scores_identical_to_in_process(
+        self, legacy_server, trained_retina
+    ):
+        trainer, _, test_samples = trained_retina
+        for sample in test_samples[:3]:
+            expected = trainer.predict_static_scores(sample)
+            status, result = _post(
+                legacy_server.url + "/predict/retweeters",
+                {
+                    "cascade_id": sample.candidate_set.cascade.root.tweet_id,
+                    "user_ids": sample.candidate_set.users,
+                },
+            )
+            assert status == 200
+            got = np.array(
+                [result["scores"][str(u)] for u in sample.candidate_set.users]
+            )
+            np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_hategen_endpoint(self, legacy_server, trained_hategen):
+        _, test_tweets = trained_hategen
+        t = test_tweets[0]
+        status, result = _post(
+            legacy_server.url + "/predict/hategen",
+            {"user_id": t.user_id, "hashtag": t.hashtag, "timestamp": t.timestamp},
+        )
+        assert status == 200
+        assert 0.0 <= result["score"] <= 1.0
+        assert result["label"] in (0, 1)
+
+    def test_healthz(self, legacy_server):
+        status, body = _get(legacy_server.url + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["models"]["retweeters"]["mode"] == "static"
+        assert body["models"]["hategen"]["model_key"] == "logreg"
+
+    def test_metrics_after_traffic(self, legacy_server, trained_retina):
+        _, _, test_samples = trained_retina
+        cid = test_samples[0].candidate_set.cascade.root.tweet_id
+        _post(legacy_server.url + "/predict/retweeters",
+              {"cascade_id": cid, "top_k": 3})
+        status, body = _get(legacy_server.url + "/metrics")
+        assert status == 200
+        snap = body["retweeters"]
+        assert snap["requests"] >= 1
+        assert "p50_ms" in snap and "p95_ms" in snap
+        assert "features" in snap["caches"]
+
+
+class TestLegacyErrorHandling:
+    def _post_error(self, url, payload):
+        try:
+            _post(url, payload)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.load(exc)
+        raise AssertionError("expected an HTTP error")
+
+    def test_unknown_route_404(self, legacy_server):
+        code, body = self._post_error(
+            legacy_server.url + "/predict/nothing", {"a": 1}
+        )
+        assert code == 404
+
+    def test_unknown_cascade_404(self, legacy_server):
+        code, body = self._post_error(
+            legacy_server.url + "/predict/retweeters", {"cascade_id": 10**9}
+        )
+        assert code == 404
+        assert "unknown cascade" in body["error"]
+
+    def test_missing_field_400(self, legacy_server):
+        code, body = self._post_error(
+            legacy_server.url + "/predict/retweeters", {}
+        )
+        assert code == 400
+        assert "cascade_id" in body["error"]
+
+    def test_invalid_json_400(self, legacy_server):
+        req = urllib.request.Request(
+            legacy_server.url + "/predict/retweeters",
+            data=b"not json{",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            urllib.request.urlopen(req, timeout=60)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+        else:
+            raise AssertionError("expected 400")
+
+    def test_get_unknown_route_404(self, legacy_server):
+        try:
+            _get(legacy_server.url + "/nope")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+        else:
+            raise AssertionError("expected 404")
