@@ -1,0 +1,434 @@
+"""Chaos soak: seeded fault injection against the live serving stack.
+
+Trains a small RETINA bundle once, then walks it through one leg per
+failure domain, each under a deterministic :mod:`repro.chaos` schedule:
+
+- **serving** — a 2-worker engine behind the asyncio front end takes
+  closed-loop SDK load while ``pool.worker_crash`` / ``pool.worker_slow``
+  kill and stall dispatch workers and ``client.reset`` drops pooled
+  keep-alive sockets mid-conversation.  Every request must come back as
+  a 200 or a *typed* error (``worker_crashed``, ``connection_reset``,
+  ...) — no hangs, no silent drops, no untyped tracebacks.  After the
+  schedule is switched off the pool must respawn back to full width.
+- **raw sockets** — hand-rolled peers disconnect mid-body and slow-loris
+  the request head (the ``aio.disconnect`` / ``aio.slowloris`` points
+  are driven from this harness, not from server code).  The server must
+  count each abort and keep answering afterwards.
+- **paged I/O** — a PagedMatrix absorbs transient EIO on block
+  read/write; once the injected disk heals, every byte written under
+  chaos must read back bit-identically (no dirty block silently lost).
+- **registry** — a bundle save truncated by ``registry.save`` must fail
+  checksum verification with a typed ``RegistryCorruptError`` on load,
+  and a clean re-save must serve.
+- **bit-identical replay** — with chaos off, a fresh server must return
+  exactly the scores recorded before any fault ran.
+
+``--check`` turns each gate into a non-zero exit (the CI chaos-smoke
+job).  The schedule is fully determined by ``--seed``.
+
+Runnable standalone: ``PYTHONPATH=src python benchmarks/bench_chaos_soak.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+import threading
+import time
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # executed as a script: make `benchmarks` importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+# The soak's crash schedule is continuous by design; the crash-loop breaker
+# (unit-tested in tests/serving) would otherwise trip mid-leg and turn the
+# full-width-recovery gate into a breaker test.
+os.environ.setdefault("REPRO_SERVE_CRASH_LIMIT", "1000")
+
+from benchmarks.common import add_json_out, emit_report
+from repro import chaos
+from repro.chaos import ChaosPlan, ChaosRule
+from repro.client import ServingClient, ServingError
+from repro.core.retina import RETINA, RetinaFeatureExtractor, RetinaTrainer
+from repro.data import HateDiffusionDataset, SyntheticWorldConfig
+from repro.features.paged import PagedIOError, PagedMatrix
+from repro.obs import config as obs_config
+from repro.obs import metrics as obs_metrics
+from repro.serving import (
+    AsyncPredictionServer,
+    InferenceEngine,
+    ModelRegistry,
+    RegistryCorruptError,
+    RetinaBundle,
+    RetweeterPredictor,
+)
+
+REPLAY_N = 24          # deterministic request set for the bit-identical gate
+DISCONNECTS = 5        # aio.disconnect leg: peers dropped mid-body
+SLOWLORIS = 3          # aio.slowloris leg: stalled request heads
+RECOVERY_TIMEOUT_S = 30.0
+
+
+@lru_cache(maxsize=1)
+def _serving_fixture():
+    """(bundle, world, payloads) — trained once per process."""
+    cfg = SyntheticWorldConfig(
+        scale=0.01, n_hashtags=5, n_users=150, n_news=300, seed=13
+    )
+    ds = HateDiffusionDataset.generate(cfg)
+    train, _ = ds.cascade_split(random_state=0)
+    extractor = RetinaFeatureExtractor(ds.world, random_state=0).fit(train)
+    edges = RetinaTrainer.default_interval_edges()
+    tr = extractor.build_samples(train[:30], interval_edges_hours=edges, random_state=0)
+    model = RETINA(
+        user_dim=extractor.user_feature_dim,
+        tweet_dim=extractor.news_doc2vec_dim,
+        news_dim=extractor.news_doc2vec_dim,
+        mode="static",
+        random_state=0,
+    )
+    RetinaTrainer(model, epochs=1, random_state=0).fit(tr)
+    bundle = RetinaBundle(model=model, extractor=extractor, world_config=cfg)
+    cascade_ids = [c.root.tweet_id for c in ds.world.cascades[:40]]
+    user_pool = sorted(ds.world.users)
+    rng = np.random.default_rng(0)
+    payloads = [
+        {
+            "cascade_id": int(rng.choice(cascade_ids)),
+            "user_ids": [
+                int(u) for u in rng.choice(user_pool, size=8, replace=False)
+            ],
+        }
+        for _ in range(256)
+    ]
+    return bundle, ds.world, payloads
+
+
+def _serve(workers: int, **server_kwargs):
+    bundle, _, _ = _serving_fixture()
+    engine = InferenceEngine(
+        {"retweeters": RetweeterPredictor(bundle)},
+        max_batch_size=8,
+        max_wait_ms=1.0,
+        workers=workers,
+    )
+    return engine, AsyncPredictionServer(engine, port=0, **server_kwargs)
+
+
+def _replay_scores(host: str, port: int, payloads: list[dict]) -> list[dict]:
+    """Scores for the fixed replay set, in order (the bit-identical probe)."""
+    out = []
+    with ServingClient(host=host, port=port, timeout=60, retries=0) as client:
+        for p in payloads[:REPLAY_N]:
+            resp = client.predict_retweeters(p["cascade_id"], user_ids=p["user_ids"])
+            out.append({str(k): float(v) for k, v in resp.scores.items()})
+    return out
+
+
+# --------------------------------------------------------------- serving leg
+def _serving_leg(seed: int, requests_per_thread: int, concurrency: int) -> dict:
+    plan = ChaosPlan(
+        seed=seed,
+        rules={
+            "pool.worker_crash": ChaosRule(rate=0.02),
+            "pool.worker_slow": ChaosRule(rate=0.05, delay_s=0.01),
+            "client.reset": ChaosRule(rate=0.02),
+        },
+    )
+    # Enabled *before* the engine forks its dispatch workers, so every
+    # worker inherits the schedule (respawned workers fork the parent's
+    # then-current state — after disable() they come back chaos-free).
+    chaos.enable(plan)
+    engine, server = _serve(workers=2)
+    ok = [0] * concurrency
+    typed: list[dict] = [dict() for _ in range(concurrency)]
+    untyped: list[list[str]] = [[] for _ in range(concurrency)]
+    _, _, payloads = _serving_fixture()
+    try:
+        with server:
+            host, port = server.address
+
+            def client_loop(slot: int):
+                with ServingClient(
+                    host=host, port=port, timeout=60, retries=0, pool_size=1
+                ) as client:
+                    for i in range(requests_per_thread):
+                        p = payloads[(slot * requests_per_thread + i) % len(payloads)]
+                        try:
+                            client.predict_retweeters(
+                                p["cascade_id"], user_ids=p["user_ids"]
+                            )
+                            ok[slot] += 1
+                        except ServingError as exc:
+                            code = exc.code or "unknown"
+                            typed[slot][code] = typed[slot].get(code, 0) + 1
+                        except Exception as exc:  # noqa: BLE001 - the gate itself
+                            untyped[slot].append(repr(exc))
+
+            threads = [
+                threading.Thread(target=client_loop, args=(s,))
+                for s in range(concurrency)
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300.0)
+            hung = sum(t.is_alive() for t in threads)
+            elapsed = time.perf_counter() - t0
+
+            # Heal the world, then wait for the pool to respawn to width.
+            chaos.disable()
+            recovered = False
+            recovery_started = time.perf_counter()
+            while time.perf_counter() - recovery_started < RECOVERY_TIMEOUT_S:
+                health = engine.dispatch_health()
+                if (
+                    health["mode"] == "workers"
+                    and health["live_workers"] == health["configured_workers"]
+                ):
+                    recovered = True
+                    break
+                time.sleep(0.25)
+            recovery_s = time.perf_counter() - recovery_started
+            health = engine.dispatch_health()
+    finally:
+        chaos.disable()
+
+    typed_total: dict[str, int] = {}
+    for per in typed:
+        for code, n in per.items():
+            typed_total[code] = typed_total.get(code, 0) + n
+    attempted = requests_per_thread * concurrency
+    answered = sum(ok) + sum(typed_total.values())
+    return {
+        "attempted": attempted,
+        "ok": sum(ok),
+        "typed_errors": typed_total,
+        "untyped_errors": [e for per in untyped for e in per][:5],
+        "n_untyped": sum(len(per) for per in untyped),
+        "answered": answered,
+        "hung_clients": hung,
+        "elapsed_s": round(elapsed, 2),
+        "chaos_stats": chaos.stats() or plan.stats(),
+        "dispatch_health": health,
+        "recovered_full_width": recovered,
+        "recovery_s": round(recovery_s, 2),
+    }
+
+
+# ------------------------------------------------------------ raw-socket leg
+def _raw_socket_leg() -> dict:
+    """Mid-body disconnects + slow-loris heads against a live server."""
+    aborted = obs_metrics.REGISTRY.counter(
+        "repro_aio_aborted_requests_total", labels=("stage",)
+    )
+    head_before = aborted.value(stage="head")
+    body_before = aborted.value(stage="body")
+    engine, server = _serve(workers=1, header_timeout=0.5)
+    _, _, payloads = _serving_fixture()
+    with server:
+        host, port = server.address
+        for _ in range(DISCONNECTS):  # aio.disconnect: vanish mid-body
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(
+                    b"POST /v1/predict/retweeters HTTP/1.1\r\n"
+                    b"Host: soak\r\nContent-Type: application/json\r\n"
+                    b"Content-Length: 1000\r\n\r\n"
+                    b'{"cascade_id"'
+                )
+                # close with 987 body bytes still owed
+        for _ in range(SLOWLORIS):  # aio.slowloris: stall the request head
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(
+                    b"POST /v1/predict/retweeters HTTP/1.1\r\n" b"Host: so"
+                )
+                sock.settimeout(5.0)
+                try:
+                    while sock.recv(4096):  # drain until the server gives up
+                        pass
+                except (TimeoutError, OSError):
+                    pass
+        # The server must still answer real traffic after the abuse.
+        with ServingClient(host=host, port=port, timeout=60, retries=0) as client:
+            health_ok = client.health().status == "ok"
+            p = payloads[0]
+            predict_ok = bool(
+                client.predict_retweeters(p["cascade_id"], user_ids=p["user_ids"]).scores
+            )
+    head_aborts = aborted.value(stage="head") - head_before
+    body_aborts = aborted.value(stage="body") - body_before
+    return {
+        "disconnects_sent": DISCONNECTS,
+        "slowloris_sent": SLOWLORIS,
+        "head_aborts": int(head_aborts),
+        "body_aborts": int(body_aborts),
+        "aborts_counted": head_aborts >= SLOWLORIS and body_aborts >= DISCONNECTS,
+        "server_alive_after": health_ok and predict_ok,
+    }
+
+
+# ----------------------------------------------------------------- paged leg
+def _paged_leg(seed: int) -> dict:
+    rng = np.random.default_rng(seed)
+    ref = rng.standard_normal((256, 8))
+    pm = PagedMatrix(256, 8, page_rows=16, max_pages=4)
+    io_errors_seen = 0
+    try:
+        chaos.enable(
+            ChaosPlan(
+                seed=seed,
+                rules={
+                    "paged.write": ChaosRule(rate=0.2),
+                    "paged.read": ChaosRule(rate=0.1),
+                },
+            )
+        )
+        for lo in range(0, 256, 16):
+            try:
+                pm.write_rows(np.arange(lo, lo + 16), ref[lo : lo + 16])
+            except PagedIOError:
+                io_errors_seen += 1  # persistent streak: typed, then retried
+                pm.write_rows(np.arange(lo, lo + 16), ref[lo : lo + 16])
+        degraded_under_chaos = pm.stats["degraded_blocks"]
+        chaos.disable()
+        pm.flush()  # disk healed: every deferred writeback must land
+        intact = bool(np.array_equal(pm.read_rows(np.arange(256)), ref))
+        stats = dict(pm.stats)
+    finally:
+        chaos.disable()
+        pm.close()
+    return {
+        "io_retries": stats["io_retries"],
+        "io_errors": stats["io_errors"],
+        "typed_errors_surfaced": io_errors_seen,
+        "degraded_blocks_under_chaos": degraded_under_chaos,
+        "degraded_blocks_after_heal": stats["degraded_blocks"],
+        "bit_identical_after_heal": intact,
+        "no_silent_loss": intact and stats["degraded_blocks"] == 0,
+    }
+
+
+# -------------------------------------------------------------- registry leg
+def _registry_leg(seed: int, tmp_root: str) -> dict:
+    bundle, world, _ = _serving_fixture()
+    reg = ModelRegistry(tmp_root)
+    chaos.enable(
+        ChaosPlan(seed=seed, rules={"registry.save": ChaosRule(rate=1.0, limit=1)})
+    )
+    try:
+        reg.save_bundle("retina", bundle)  # v1: one artifact truncated
+    finally:
+        chaos.disable()
+    try:
+        reg.load_bundle("retina", 1, world=world)
+        corruption_typed = False
+    except RegistryCorruptError:
+        corruption_typed = True
+    reg.save_bundle("retina", bundle)  # v2: clean
+    clean_loads = reg.load_bundle("retina", 2, world=world) is not None
+    return {
+        "corruption_detected_typed": corruption_typed,
+        "clean_resave_loads": clean_loads,
+    }
+
+
+# --------------------------------------------------------------------- main
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=1,
+                        help="chaos schedule seed (default 1)")
+    parser.add_argument("--requests-per-thread", type=int, default=120,
+                        help="serving-leg requests per client thread")
+    parser.add_argument("--concurrency", type=int, default=4,
+                        help="serving-leg client threads")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when any soak gate fails")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short CI preset (implies --check)")
+    add_json_out(parser)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.requests_per_thread = min(args.requests_per_thread, 50)
+        args.check = True
+    return args
+
+
+def _run(args) -> dict:
+    import tempfile
+
+    obs_config.configure(enabled=True, sample_rate=0.0)
+    chaos.disable()  # a REPRO_CHAOS env leak must not skew the baseline
+
+    # Baseline scores before any fault runs (the bit-identical reference).
+    engine, server = _serve(workers=1)
+    _, _, payloads = _serving_fixture()
+    with server:
+        host, port = server.address
+        baseline = _replay_scores(host, port, payloads)
+
+    serving = _serving_leg(args.seed, args.requests_per_thread, args.concurrency)
+    raw = _raw_socket_leg()
+    paged = _paged_leg(args.seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = _registry_leg(args.seed, tmp)
+
+    # Chaos off, fresh server: the exact same scores must come back.
+    engine, server = _serve(workers=1)
+    with server:
+        host, port = server.address
+        replay = _replay_scores(host, port, payloads)
+    bit_identical = replay == baseline
+
+    gates = {
+        "serving_all_answered": (
+            serving["answered"] == serving["attempted"]
+            and serving["n_untyped"] == 0
+        ),
+        "serving_no_hangs": serving["hung_clients"] == 0,
+        "serving_chaos_exercised": (
+            serving["chaos_stats"].get("client.reset", {}).get("fires", 0) > 0
+            or serving["dispatch_health"].get("crashes", 0) > 0
+        ),
+        "pool_recovered_full_width": serving["recovered_full_width"],
+        "raw_socket_aborts_counted": raw["aborts_counted"],
+        "server_alive_after_abuse": raw["server_alive_after"],
+        "paged_no_silent_loss": paged["no_silent_loss"],
+        "registry_corruption_typed": registry["corruption_detected_typed"],
+        "registry_clean_resave_loads": registry["clean_resave_loads"],
+        "bit_identical_chaos_off": bit_identical,
+    }
+    return {
+        "seed": args.seed,
+        "serving": serving,
+        "raw_socket": raw,
+        "paged": paged,
+        "registry": registry,
+        "bit_identical": {"requests": REPLAY_N, "ok": bit_identical},
+        "gates": gates,
+        "all_gates_ok": all(gates.values()),
+    }
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    results = _run(args)
+    report = {"benchmark": "chaos_soak", "results": results}
+    emit_report(report, args.json_out)
+    if args.check:
+        failed = [name for name, ok in results["gates"].items() if not ok]
+        if failed:
+            print(f"FAIL: chaos soak gate(s) failed: {', '.join(failed)}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

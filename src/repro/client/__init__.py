@@ -26,6 +26,7 @@ import threading
 import time
 from urllib.parse import urlsplit
 
+from repro import chaos
 from repro.serving.schemas import (
     BatchPredictResponse,
     BatchRequest,
@@ -55,6 +56,16 @@ _RETRYABLE_STATUS = frozenset({429, 503})
 #: (or hostile) server shouldn't park a client for minutes.
 _RETRY_AFTER_CAP_S = 5.0
 
+#: Exceptions that mean a pooled keep-alive socket went stale: the server
+#: (or a middlebox) closed it between requests.  On an idempotent GET these
+#: earn one *free* immediate retry on a fresh connection; on a POST they
+#: fail fast — the request may already have been processed.
+_STALE_RESET_EXCS = (
+    ConnectionResetError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+)
+
 
 class _ConnectionPool:
     """A small checkout/checkin pool of keep-alive HTTP connections.
@@ -72,11 +83,18 @@ class _ConnectionPool:
         self._idle: list[http.client.HTTPConnection] = []
         self._lock = threading.Lock()
 
-    def acquire(self) -> http.client.HTTPConnection:
+    def acquire(self) -> tuple[http.client.HTTPConnection, bool]:
+        """A connection plus whether it is a *reused* keep-alive socket.
+
+        The flag drives the stale-reset policy in ``_request``: only a
+        reused socket can be stale, so only a reused socket's reset earns
+        the free GET retry (a fresh connection's reset is a real failure).
+        """
         with self._lock:
             if self._idle:
-                return self._idle.pop()
-        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+                return self._idle.pop(), True
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        return conn, False
 
     def release(self, conn: http.client.HTTPConnection) -> None:
         with self._lock:
@@ -111,7 +129,11 @@ class ServingClient:
         Extra attempts on 503 (engine overloaded), 429 (shed by the
         admission controller), and transport errors; every endpoint here
         is safe to retry (predictions are pure reads and reloading an
-        already-serving version is a no-op swap).
+        already-serving version is a no-op swap).  One exception: when a
+        *pooled* keep-alive socket is reset (the server closed it between
+        requests), a GET gets one free immediate retry on a fresh
+        connection, while a POST fails fast with a typed
+        ``connection_reset`` error — it may already have been processed.
     backoff:
         First retry delay in seconds; doubles per attempt.  A 429/503
         response carrying ``Retry-After`` overrides the backoff with the
@@ -172,14 +194,24 @@ class ServingClient:
             headers["X-Trace-Id"] = trace_id
         last_exc: Exception | None = None
         delay = 0.0
-        for attempt in range(self.retries + 1):
+        attempt = 0
+        stale_retry_left = True
+        while attempt <= self.retries:
             if delay:
                 time.sleep(delay)
             # Default exponential backoff for the *next* attempt; a 429/503
             # with a Retry-After header overrides it below.
             delay = self.backoff * (2 ** attempt)
-            conn = self._pool.acquire()
+            conn, reused = self._pool.acquire()
             try:
+                if reused and chaos.should_fire("client.reset"):
+                    # Simulate the server having closed the pooled socket
+                    # between requests — exercised through the same except
+                    # clause a real stale keep-alive reset takes.
+                    conn.close()
+                    raise ConnectionResetError(
+                        "chaos: injected stale keep-alive reset"
+                    )
                 conn.request(method, path, body, headers)
                 resp = conn.getresponse()
                 raw = resp.read()
@@ -191,7 +223,28 @@ class ServingClient:
                 # Stale keep-alive connections surface here; drop the
                 # socket and retry on a fresh one.
                 self._pool.discard(conn)
+                if reused and isinstance(exc, _STALE_RESET_EXCS):
+                    if method == "GET" and stale_retry_left:
+                        # The socket idled past the server's keep-alive
+                        # window; the request never ran.  One immediate
+                        # retry on a fresh connection, not counted against
+                        # the retry budget.
+                        stale_retry_left = False
+                        delay = 0.0
+                        continue
+                    if method != "GET":
+                        # A non-idempotent request may already have been
+                        # processed before the reset: fail fast, typed.
+                        raise ServingError(
+                            f"pooled keep-alive connection to "
+                            f"{self.host}:{self.port} was reset mid-"
+                            f"{method}; not retried (the request may "
+                            f"already have been processed)",
+                            status=503,
+                            code="connection_reset",
+                        ) from exc
                 last_exc = exc
+                attempt += 1
                 continue
             if keep:
                 self._pool.release(conn)
@@ -203,6 +256,7 @@ class ServingClient:
                         delay = min(float(retry_after), _RETRY_AFTER_CAP_S)
                     except ValueError:
                         pass  # non-numeric hint: keep the backoff default
+                attempt += 1
                 continue
             try:
                 parsed = json.loads(raw) if raw else {}

@@ -7,6 +7,8 @@ for dynamic mode (batch 32, lambda 2.5).
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import numpy as np
@@ -53,6 +55,7 @@ class RetinaTrainer:
         random_state=None,
         workers: int | None = None,
         shard_size: int = 8,
+        checkpoint_dir: str | None = None,
     ):
         self.model = model
         dynamic = model.mode == "dynamic"
@@ -79,10 +82,106 @@ class RetinaTrainer:
         #: reproduces the seed schedule exactly).
         self.workers = workers
         self.shard_size = shard_size
+        #: When set, an atomic ``checkpoint.npz`` (weights + optimiser state
+        #: + RNG state + completed epoch) is written after every epoch and
+        #: auto-resumed by the next :meth:`fit` with the same configuration
+        #: — resumed weights are bit-identical to an uninterrupted run, so a
+        #: SIGKILL mid-fit loses at most one epoch.
+        self.checkpoint_dir = checkpoint_dir
         if shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
         if self.optimizer_name not in ("adam", "sgd"):
             raise ValueError(f"optimizer must be 'adam' or 'sgd', got {optimizer!r}")
+
+    # ---------------------------------------------------------- checkpoints
+    def _fingerprint(self, n_samples: int) -> str:
+        """The training configuration a checkpoint is only valid for.
+
+        Worker *count* is deliberately absent: the sharded schedule is
+        bit-identical across worker counts, so a run checkpointed at
+        ``workers=1`` may resume at ``workers=2`` (and vice versa).
+        """
+        schedule = "serial" if self.workers is None else "sharded"
+        return json.dumps(
+            {
+                "mode": self.model.mode,
+                "optimizer": self.optimizer_name,
+                "lam": self.lam,
+                "lr": self.lr,
+                "batch_size": self.batch_size,
+                "epochs": self.epochs,
+                "n_samples": n_samples,
+                "schedule": schedule,
+                "shard_size": self.shard_size if schedule == "sharded" else 1,
+            },
+            sort_keys=True,
+        )
+
+    def _checkpoint_path(self) -> str:
+        return os.path.join(self.checkpoint_dir, "checkpoint.npz")
+
+    def _save_checkpoint(self, opt, rng, order, epoch: int, fingerprint: str) -> None:
+        """Atomically persist everything needed to continue after ``epoch``.
+
+        Temp file + fsync + ``os.replace`` + directory fsync: a SIGKILL at
+        any instant leaves either the previous checkpoint or the new one,
+        never a torn file.  RNG state rides along as JSON so the resumed
+        epoch draws the exact shuffles/subsamples the uninterrupted run
+        would have drawn.
+        """
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        payload = {f"model/{k}": v for k, v in self.model.state_dict().items()}
+        for k, v in opt.state_dict().items():
+            payload[f"opt/{k}"] = np.asarray(v)
+        payload["rng_state"] = np.array(json.dumps(rng.bit_generator.state))
+        # The epoch shuffle is cumulative (each epoch permutes the previous
+        # order), so the current permutation is training state too.
+        payload["order"] = np.asarray(order, dtype=np.int64)
+        payload["epoch"] = np.array(epoch, dtype=np.int64)
+        payload["fingerprint"] = np.array(fingerprint)
+        path = self._checkpoint_path()
+        tmp = f"{path}.tmp-{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        dfd = os.open(self.checkpoint_dir, os.O_RDONLY)
+        try:
+            os.fsync(dfd)
+        finally:
+            os.close(dfd)
+        _log.info("train.checkpoint", epoch=epoch, path=path)
+
+    def _resume(self, opt, rng, order, fingerprint: str) -> int:
+        """Restore a checkpoint when present; returns the epoch to start at."""
+        path = self._checkpoint_path()
+        if not os.path.exists(path):
+            return 0
+        with np.load(path) as data:
+            saved_fp = str(data["fingerprint"])
+            if saved_fp != fingerprint:
+                raise ValueError(
+                    f"checkpoint at {path!r} was written by a different "
+                    f"training configuration ({saved_fp}) than the one "
+                    f"resuming ({fingerprint})"
+                )
+            model_state = {
+                k[len("model/"):]: data[k]
+                for k in data.files
+                if k.startswith("model/")
+            }
+            opt_state = {
+                k[len("opt/"):]: data[k] for k in data.files if k.startswith("opt/")
+            }
+            rng_json = str(data["rng_state"])
+            order[...] = data["order"]
+            epoch = int(data["epoch"])
+        self.model.load_state_dict(model_state)
+        opt.load_state_dict(opt_state)
+        rng.bit_generator.state = json.loads(rng_json)
+        _log.info("train.resume", completed_epoch=epoch, path=path)
+        return epoch + 1
 
     def _pos_weight(self, samples: list[RetinaSample]) -> float:
         n_total = sum(len(s.labels) for s in samples)
@@ -144,8 +243,16 @@ class RetinaTrainer:
                 targets = targets_all[idx]
             prepared.append((sample, tweet, news, targets_all, idx, None, X, targets))
         order = np.arange(len(samples))
+        fingerprint = ""
+        start_epoch = 0
+        if self.checkpoint_dir is not None:
+            fingerprint = self._fingerprint(len(samples))
+            start_epoch = self._resume(opt, rng, order, fingerprint)
         if self.workers is not None:
-            return self._fit_sharded(prepared, order, rng, opt, w)
+            return self._fit_sharded(
+                prepared, order, rng, opt, w,
+                start_epoch=start_epoch, fingerprint=fingerprint,
+            )
         # Telemetry only *reads* training state (loss scalars, gradient
         # norms): no RNG draw, no weight write — trained weights stay
         # bit-identical with logging on or off.
@@ -160,7 +267,7 @@ class RetinaTrainer:
                 layout={"workers": 1, "shard_size": 1},
             )
         fit_t0 = time.perf_counter()
-        for epoch in range(self.epochs):
+        for epoch in range(start_epoch, self.epochs):
             epoch_t0 = time.perf_counter()
             loss_sum, steps = 0.0, 0
             rng.shuffle(order)
@@ -198,6 +305,8 @@ class RetinaTrainer:
                     step_ms=round(epoch_s / max(steps, 1) * 1e3, 3),
                     epoch_s=round(epoch_s, 3),
                 )
+            if self.checkpoint_dir is not None:
+                self._save_checkpoint(opt, rng, order, epoch, fingerprint)
         if track:
             _log.info(
                 "fit.end",
@@ -207,7 +316,9 @@ class RetinaTrainer:
         return self
 
     # ------------------------------------------------------ sharded training
-    def _fit_sharded(self, prepared, order, rng, opt, w) -> "RetinaTrainer":
+    def _fit_sharded(self, prepared, order, rng, opt, w, *,
+                     start_epoch: int = 0,
+                     fingerprint: str = "") -> "RetinaTrainer":
         """Data-parallel fit: shards of cascades per optimiser step.
 
         Each step takes the next ``shard_size`` cascades of the shuffled
@@ -294,7 +405,7 @@ class RetinaTrainer:
             if n_workers > 1:
                 pool = WorkerPool(n_workers, {"grad": _cascade_grad},
                                   name="repro-train")
-            for epoch in range(self.epochs):
+            for epoch in range(start_epoch, self.epochs):
                 epoch_t0 = time.perf_counter()
                 loss_sum, n_cascades, steps, last_norm = 0.0, 0, 0, 0.0
                 rng.shuffle(order)
@@ -355,6 +466,8 @@ class RetinaTrainer:
                         epoch_s=round(epoch_s, 3),
                         layout={"workers": n_workers, "shard_size": shard},
                     )
+                if self.checkpoint_dir is not None:
+                    self._save_checkpoint(opt, rng, order, epoch, fingerprint)
             if track:
                 _log.info(
                     "fit.end",

@@ -24,11 +24,40 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["PagedMatrix", "ValidityBitmap"]
+from repro import chaos
+from repro.obs import log as obs_log
+
+__all__ = ["PagedMatrix", "PagedIOError", "ValidityBitmap"]
+
+_log = obs_log.get_logger("repro.features.paged")
+
+#: I/O attempts per block operation (1 initial + retries with tiny backoff).
+_IO_ATTEMPTS = 3
+_IO_BACKOFF_S = 0.002
+
+
+class PagedIOError(OSError):
+    """Block I/O against the backing file failed after retries.
+
+    Carries the failing ``path``/``bid``/``op`` so the feature store can
+    decide to recompute the rows through its builder path instead of
+    failing the request.
+    """
+
+    def __init__(self, op: str, bid: int, path: str, cause: OSError):
+        super().__init__(
+            cause.errno or 0,
+            f"paged {op} of block {bid} failed after {_IO_ATTEMPTS} attempts: {cause}",
+        )
+        self.op = op
+        self.bid = bid
+        self.filename = path
+        self.__cause__ = cause
 
 
 class ValidityBitmap:
@@ -119,7 +148,16 @@ class PagedMatrix:
         # block id -> ndarray copy of the block's rows; insertion order = LRU.
         self._pages: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._dirty: set[int] = set()
-        self.stats = {"hits": 0, "misses": 0, "evictions": 0, "writebacks": 0}
+        self._degraded: set[int] = set()
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "writebacks": 0,
+            "io_retries": 0,
+            "io_errors": 0,
+            "degraded_blocks": 0,
+        }
         self._closed = False
 
     # ------------------------------------------------------------ block I/O
@@ -138,12 +176,54 @@ class PagedMatrix:
             shape=(hi - lo, self.shape[1]),
         )
 
+    def _with_retries(self, op: str, bid: int, attempt_fn):
+        """Run one block I/O op, retrying transient ``OSError`` with backoff."""
+        last: OSError | None = None
+        for attempt in range(_IO_ATTEMPTS):
+            try:
+                if chaos.should_fire(f"paged.{op}"):
+                    raise chaos.io_error(f"paged.{op}", self.path)
+                return attempt_fn()
+            except OSError as exc:
+                last = exc
+                if attempt + 1 < _IO_ATTEMPTS:
+                    self.stats["io_retries"] += 1
+                    time.sleep(_IO_BACKOFF_S * 2**attempt)
+        self.stats["io_errors"] += 1
+        _log.error("paged.io_failed", op=op, bid=bid, path=self.path, error=str(last))
+        raise PagedIOError(op, bid, self.path, last)
+
+    def _mark_degraded(self, bid: int) -> None:
+        self._degraded.add(bid)
+        self.stats["degraded_blocks"] = len(self._degraded)
+
+    @property
+    def degraded_blocks(self) -> frozenset:
+        """Blocks that hit persistent I/O errors (read failed, or dirty
+        data is being held in memory because writeback failed)."""
+        return frozenset(self._degraded)
+
     def _writeback(self, bid: int, block: np.ndarray) -> None:
-        mm = self._block_view(bid, "r+")
-        mm[:] = block
-        mm.flush()
-        del mm
+        def _do():
+            mm = self._block_view(bid, "r+")
+            mm[:] = block
+            mm.flush()
+            del mm
+
+        self._with_retries("write", bid, _do)
         self.stats["writebacks"] += 1
+        if bid in self._degraded:
+            self._degraded.discard(bid)
+            self.stats["degraded_blocks"] = len(self._degraded)
+
+    def _read_block(self, bid: int) -> np.ndarray:
+        def _do():
+            mm = self._block_view(bid, "r")
+            block = np.array(mm)  # resident copy; the mapping itself is dropped
+            del mm
+            return block
+
+        return self._with_retries("read", bid, _do)
 
     def _get_block(self, bid: int) -> np.ndarray:
         block = self._pages.get(bid)
@@ -156,11 +236,25 @@ class PagedMatrix:
             old_bid, old_block = self._pages.popitem(last=False)
             self.stats["evictions"] += 1
             if old_bid in self._dirty:
-                self._dirty.discard(old_bid)
-                self._writeback(old_bid, old_block)
-        mm = self._block_view(bid, "r")
-        block = np.array(mm)  # resident copy; the mapping itself is dropped
-        del mm
+                try:
+                    self._writeback(old_bid, old_block)
+                    self._dirty.discard(old_bid)
+                except PagedIOError:
+                    # Never drop dirty data: pin the block back at MRU (still
+                    # dirty, now degraded) and run one page over budget until
+                    # a later writeback succeeds.
+                    self._pages[old_bid] = old_block
+                    self._pages.move_to_end(old_bid)
+                    self._mark_degraded(old_bid)
+                    _log.warning(
+                        "paged.writeback_deferred", bid=old_bid, path=self.path
+                    )
+                    break
+        try:
+            block = self._read_block(bid)
+        except PagedIOError:
+            self._mark_degraded(bid)
+            raise
         self._pages[bid] = block
         return block
 
@@ -207,15 +301,31 @@ class PagedMatrix:
 
     # ------------------------------------------------------------ lifecycle
     def flush(self) -> None:
-        """Write every dirty resident block back to the file."""
+        """Write every dirty resident block back to the file.
+
+        A block whose writeback keeps failing stays dirty (and degraded);
+        the first persistent failure is re-raised after every block has
+        been attempted, so one bad block can't block the rest.
+        """
+        first_err: PagedIOError | None = None
         for bid in sorted(self._dirty):
-            self._writeback(bid, self._pages[bid])
-        self._dirty.clear()
+            try:
+                self._writeback(bid, self._pages[bid])
+            except PagedIOError as exc:
+                self._mark_degraded(bid)
+                if first_err is None:
+                    first_err = exc
+                continue
+            self._dirty.discard(bid)
+        if first_err is not None:
+            raise first_err
 
     def clear(self) -> None:
         """Drop resident pages and re-sparse the backing file (all zeros)."""
         self._pages.clear()
         self._dirty.clear()
+        self._degraded.clear()
+        self.stats["degraded_blocks"] = 0
         os.ftruncate(self._fd, 0)
         os.ftruncate(self._fd, max(self._nbytes, 1))
 

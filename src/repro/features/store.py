@@ -29,10 +29,20 @@ import os
 
 import numpy as np
 
-from repro.features.paged import PagedMatrix, ValidityBitmap
+from repro.features.paged import PagedIOError, PagedMatrix, ValidityBitmap
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
 from repro.parallel import ShmArena, WorkerPool, resolve_workers
 
 __all__ = ["FeatureStore"]
+
+_log = obs_log.get_logger("repro.features.store")
+
+_DEGRADED_READS = obs_metrics.REGISTRY.counter(
+    "repro_store_degraded_reads_total",
+    "Paged feature reads served by recomputing rows after block I/O failure.",
+    labels=("matrix",),
+)
 
 #: Scalars appended to each user's history block, in seed order: hate ratio,
 #: retweet-count ratio, retweeted-tweet ratio, follower count, account age
@@ -192,6 +202,8 @@ class FeatureStore:
         # deterministic at random_state=0 and depends only on the text, so
         # rebuilds and serving share it and edited copies can never alias).
         self._tweet_vec_cache: dict[str, np.ndarray] = {}
+        #: Reads served by recomputation after persistent paged I/O failure.
+        self.degraded_reads = 0
 
     # ---------------------------------------------------------------- sizes
     @property
@@ -320,14 +332,45 @@ class FeatureStore:
             self.doc_vecs[idx] = docv
         self._built[idx] = True
 
+    def _rebuild_rows(self, idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Recompute (history, doc-vec) rows for store indices ``idx``.
+
+        ``_user_blocks`` is a pure function of one user's world state, so
+        the recomputed rows are bit-identical to what the paged file held —
+        this is the degraded-read path when block I/O fails persistently.
+        """
+        uids = [int(self._uids[i]) for i in idx]
+        return self._user_blocks(uids)
+
+    def _degraded_read(self, matrix, which: str, idx: np.ndarray) -> np.ndarray:
+        """Serve a failed paged read by rebuilding the rows from the world."""
+        _DEGRADED_READS.inc(matrix=which)
+        self.degraded_reads += 1
+        _log.warning("store.degraded_read", matrix=which, n_rows=int(len(idx)))
+        hist, docv = self._rebuild_rows(idx)
+        values = hist if which == "history" else docv
+        try:  # heal the backing store when the fault was transient
+            matrix.write_rows(idx, values)
+        except PagedIOError:
+            pass
+        return values
+
     def history_rows(self, user_ids) -> np.ndarray:
-        """(n, d_hist) history blocks for a user list (built on demand)."""
+        """(n, d_hist) history blocks for a user list (built on demand).
+
+        Paged storage: a block read that fails after retries is served by
+        recomputing the rows through the builder path (bit-identical) —
+        the request degrades to slower, never to an error.
+        """
         self.ensure(user_ids)
         idx = np.fromiter(
             (self._index[u] for u in user_ids), dtype=np.int64, count=len(user_ids)
         )
         if self.storage == "paged":
-            return self.history.read_rows(idx)
+            try:
+                return self.history.read_rows(idx)
+            except PagedIOError:
+                return self._degraded_read(self.history, "history", idx)
         return self.history[idx]
 
     def user_block(self, user_id: int) -> dict:
@@ -335,17 +378,28 @@ class FeatureStore:
         self.ensure([user_id])
         i = self._index[user_id]
         if self.storage == "paged":
-            return {
-                "history": self.history.read_row(i),
-                "doc_vec": self.doc_vecs.read_row(i),
-            }
+            idx = np.array([i], dtype=np.int64)
+            try:
+                history = self.history.read_row(i)
+            except PagedIOError:
+                history = self._degraded_read(self.history, "history", idx)[0]
+            try:
+                doc_vec = self.doc_vecs.read_row(i)
+            except PagedIOError:
+                doc_vec = self._degraded_read(self.doc_vecs, "doc_vecs", idx)[0]
+            return {"history": history, "doc_vec": doc_vec}
         return {"history": self.history[i], "doc_vec": self.doc_vecs[i]}
 
     def doc_vec(self, user_id: int) -> np.ndarray:
         """Mean Doc2Vec vector of one user's recent history."""
         self.ensure([user_id])
         if self.storage == "paged":
-            return self.doc_vecs.read_row(self._index[user_id])
+            i = self._index[user_id]
+            try:
+                return self.doc_vecs.read_row(i)
+            except PagedIOError:
+                idx = np.array([i], dtype=np.int64)
+                return self._degraded_read(self.doc_vecs, "doc_vecs", idx)[0]
         return self.doc_vecs[self._index[user_id]]
 
     def tweet_vec(self, tweet) -> np.ndarray:

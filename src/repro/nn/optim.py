@@ -86,6 +86,19 @@ class SGD(_Optimizer):
         self.clip_norm = clip_norm
         self._velocity = np.zeros(self._total)
 
+    def state_dict(self) -> dict:
+        """Mutable optimiser state (for checkpoints); arrays are copies."""
+        return {"velocity": self._velocity.copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        velocity = np.asarray(state["velocity"], dtype=np.float64)
+        if velocity.shape != self._velocity.shape:
+            raise ValueError(
+                f"velocity shape {velocity.shape} does not match optimiser "
+                f"state {self._velocity.shape}"
+            )
+        self._velocity = velocity.copy()
+
     def step(self) -> None:
         # SGD does so few passes per parameter that packing gradients into
         # a flat buffer costs more than it saves; the per-parameter loop on
@@ -126,6 +139,22 @@ class Adam(_Optimizer):
         self._m = np.zeros(self._total)
         self._v = np.zeros(self._total)
         self._t = 0
+
+    def state_dict(self) -> dict:
+        """Mutable optimiser state (for checkpoints); arrays are copies."""
+        return {"m": self._m.copy(), "v": self._v.copy(), "t": self._t}
+
+    def load_state_dict(self, state: dict) -> None:
+        m = np.asarray(state["m"], dtype=np.float64)
+        v = np.asarray(state["v"], dtype=np.float64)
+        if m.shape != self._m.shape or v.shape != self._v.shape:
+            raise ValueError(
+                f"moment shapes {m.shape}/{v.shape} do not match optimiser "
+                f"state {self._m.shape}"
+            )
+        self._m = m.copy()
+        self._v = v.copy()
+        self._t = int(state["t"])
 
     def _update_segment(self, m, v, g):
         """Seed Adam update for one per-parameter state segment."""

@@ -1,4 +1,4 @@
-"""Fork-start worker pool with targetable queues and crash detection.
+"""Fork-start worker pool with targetable queues, crash detection, respawn.
 
 The pool is deliberately lower-level than ``concurrent.futures``: tasks and
 handlers cross into workers through the fork itself (no pickling of
@@ -8,24 +8,56 @@ serving engine uses this to collect per-worker cache stats), and the parent
 detects dead workers instead of blocking forever on a result that will
 never come — the property the shared-memory lifecycle tests lean on.
 
+Failure contract (two modes):
+
+* ``respawn=False`` (default, training/feature builds): a dead worker with
+  tasks in flight raises :class:`WorkerCrashed` from :meth:`result` /
+  :meth:`map` — batch jobs restart from the top, they don't limp along.
+* ``respawn=True`` (serving dispatch): tasks that were on the dead worker
+  fail individually (``ok=False`` with a :class:`WorkerCrashed` instance as
+  the value — each lost task fails exactly once, never silently dropped),
+  and the slot is re-forked after a capped exponential backoff.  Crash and
+  respawn counts are exported through ``repro.obs`` so a circuit breaker
+  upstream can degrade to inline dispatch on a crash loop.
+
 Results still travel through one multiprocessing queue (they are small:
 masks, acks, per-request dicts); bulk ndarray results go through a
 :class:`~repro.parallel.shm.ShmArena` the caller allocated before the fork.
+
+Chaos: workers consult ``repro.chaos`` between dequeue and handler —
+``pool.worker_crash`` hard-exits the process, ``pool.worker_hang`` /
+``pool.worker_slow`` sleep the rule's ``delay_s`` — so the recovery path
+above is exercised deterministically in tests and the soak harness.
 """
 
 from __future__ import annotations
 
+import collections
 import multiprocessing
+import os
 import queue as _queue
 import signal
 import time
 import traceback
 
+from repro import chaos
 from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["WorkerPool", "WorkerCrashed", "WorkerTaskError", "in_worker"]
 
 _log = obs_log.get_logger("repro.parallel.pool")
+
+_CRASHES = obs_metrics.REGISTRY.counter(
+    "repro_pool_worker_crashes_total",
+    "Worker processes that died with tasks in flight.",
+    labels=("pool",),
+)
+_RESPAWNS = obs_metrics.REGISTRY.counter(
+    "repro_pool_worker_respawns_total",
+    "Crashed worker slots re-forked by the pool.",
+    labels=("pool",),
+)
 
 _IN_WORKER = False
 
@@ -57,6 +89,10 @@ def _worker_main(idx, task_q, result_q, handlers, initializer) -> None:
         if task is None:
             break
         tid, kind, payload = task
+        if chaos.should_fire("pool.worker_crash"):
+            os._exit(23)
+        chaos.maybe_sleep("pool.worker_hang")
+        chaos.maybe_sleep("pool.worker_slow")
         try:
             result_q.put((tid, True, handlers[kind](payload)))
         except BaseException as exc:  # a task must never kill the worker loop
@@ -82,31 +118,58 @@ class WorkerPool:
         task loop (e.g. rebasing model weights onto a shared arena).
     name:
         Process-name prefix for debugging.
+    respawn:
+        When True, a crashed worker fails only its own in-flight tasks
+        (each surfaces once as ``ok=False`` with a :class:`WorkerCrashed`
+        value) and the slot is re-forked after a capped exponential
+        backoff.  When False (default), :meth:`result` raises
+        :class:`WorkerCrashed` as before.
+    respawn_backoff_s / respawn_backoff_cap_s:
+        Base and cap of the re-fork backoff.  The backoff doubles per
+        consecutive crash and resets once a worker survives 60 s.
     """
 
     def __init__(self, n_workers: int, handlers: dict, *, initializer=None,
-                 name: str = "repro-pool"):
+                 name: str = "repro-pool", respawn: bool = False,
+                 respawn_backoff_s: float = 0.05,
+                 respawn_backoff_cap_s: float = 2.0):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         ctx = multiprocessing.get_context("fork")
+        self._ctx = ctx
+        self._name = name
+        self._handlers = dict(handlers)
+        self._initializer = initializer
         self.n_workers = int(n_workers)
+        self._respawn = bool(respawn)
+        self._respawn_backoff_s = float(respawn_backoff_s)
+        self._respawn_backoff_cap_s = float(respawn_backoff_cap_s)
         self._task_qs = [ctx.SimpleQueue() for _ in range(self.n_workers)]
         self._result_q = ctx.Queue()
-        self._procs = [
-            ctx.Process(
-                target=_worker_main,
-                args=(i, self._task_qs[i], self._result_q, dict(handlers), initializer),
-                name=f"{name}-{i}",
-                daemon=True,
-            )
-            for i in range(self.n_workers)
-        ]
+        self._procs = [self._spawn(i) for i in range(self.n_workers)]
         for p in self._procs:
             p.start()
         self._next_worker = 0
         self._next_tid = 0
         self._inflight: dict[int, int] = {}  # tid -> worker idx
         self._closed = False
+        # Respawn bookkeeping (one slot per worker).
+        self._respawn_at: list[float | None] = [None] * self.n_workers
+        self._crash_streak = [0] * self.n_workers
+        self._last_crash = [0.0] * self.n_workers
+        self._pending_failures: collections.deque = collections.deque()
+        self.crashes = 0
+        self.respawns = 0
+        self._crash_times: collections.deque = collections.deque(maxlen=256)
+
+    def _spawn(self, i: int):
+        return self._ctx.Process(
+            target=_worker_main,
+            args=(i, self._task_qs[i], self._result_q, self._handlers,
+                  self._initializer),
+            name=f"{self._name}-{i}",
+            daemon=True,
+        )
 
     # -------------------------------------------------------------- submit
     def submit(self, kind: str, payload, *, worker: int | None = None) -> int:
@@ -122,15 +185,92 @@ class WorkerPool:
         self._task_qs[worker].put((tid, kind, payload))
         return tid
 
+    # --------------------------------------------------------------- crash
+    def _reap(self, i: int) -> None:
+        """Fail worker *i*'s in-flight tasks and schedule its re-fork."""
+        exitcode = self._procs[i].exitcode
+        lost = sorted(tid for tid, w in self._inflight.items() if w == i)
+        err = WorkerCrashed(
+            f"worker {self._name}-{i} died (exit code {exitcode}) with "
+            f"{len(lost)} task(s) in flight"
+        )
+        for tid in lost:
+            del self._inflight[tid]
+            self._pending_failures.append((tid, False, err))
+        # Tasks queued but not yet dequeued died with the process; a fresh
+        # queue guarantees the respawned worker never sees half-read bytes.
+        self._task_qs[i] = self._ctx.SimpleQueue()
+        now = time.monotonic()
+        if now - self._last_crash[i] > 60.0:
+            self._crash_streak[i] = 0
+        self._crash_streak[i] += 1
+        self._last_crash[i] = now
+        delay = min(
+            self._respawn_backoff_cap_s,
+            self._respawn_backoff_s * 2 ** (self._crash_streak[i] - 1),
+        )
+        self._respawn_at[i] = now + delay
+        self.crashes += 1
+        self._crash_times.append(now)
+        _CRASHES.inc(pool=self._name)
+        _log.error(
+            "pool.worker_crashed",
+            pool=self._name,
+            worker=i,
+            exit_code=exitcode,
+            n_lost=len(lost),
+            respawn_in_s=round(delay, 4),
+            streak=self._crash_streak[i],
+        )
+
+    def _respawn_due(self) -> None:
+        """Re-fork any crashed slot whose backoff has elapsed."""
+        if self._closed:
+            return
+        now = time.monotonic()
+        for i, due in enumerate(self._respawn_at):
+            if due is not None and now >= due:
+                self._procs[i] = self._spawn(i)
+                self._procs[i].start()
+                self._respawn_at[i] = None
+                self.respawns += 1
+                _RESPAWNS.inc(pool=self._name)
+                _log.warning("pool.worker_respawned", pool=self._name, worker=i)
+
+    def crashes_in_window(self, window_s: float) -> int:
+        """Crashes observed in the trailing ``window_s`` seconds."""
+        cutoff = time.monotonic() - window_s
+        return sum(1 for t in self._crash_times if t >= cutoff)
+
+    def width(self) -> int:
+        """Number of currently live worker processes."""
+        if self._closed:
+            return 0
+        if self._respawn:
+            self._respawn_due()  # so pollers see recovery without traffic
+        return sum(
+            1
+            for i, p in enumerate(self._procs)
+            if self._respawn_at[i] is None and p.is_alive()
+        )
+
     def result(self, timeout: float | None = None):
         """Next completed task as ``(tid, ok, value)``.
 
-        Returns ``None`` when ``timeout`` elapses with workers healthy;
-        raises :class:`WorkerCrashed` when a worker died with tasks in
-        flight (lost results would otherwise block the caller forever).
+        Returns ``None`` when ``timeout`` elapses with workers healthy.
+        On worker death: with ``respawn=False`` raises
+        :class:`WorkerCrashed` (lost results would otherwise block the
+        caller forever); with ``respawn=True`` each lost task is returned
+        as ``(tid, False, WorkerCrashed(...))`` — the exception *instance*
+        as the value distinguishes a crash from a handler error string —
+        and the slot re-forks after backoff.
         """
         deadline = None if timeout is None else time.perf_counter() + timeout
         while True:
+            if self._pending_failures:
+                return self._pending_failures.popleft()
+            if self._respawn:
+                self._respawn_due()
             step = 0.2
             if deadline is not None:
                 remaining = deadline - time.perf_counter()
@@ -140,26 +280,32 @@ class WorkerPool:
             try:
                 tid, ok, value = self._result_q.get(timeout=step)
             except _queue.Empty:
-                if self._inflight and any(not p.is_alive() for p in self._procs):
-                    # Drain what did arrive before declaring the rest lost.
-                    try:
-                        tid, ok, value = self._result_q.get(timeout=0.05)
-                    except _queue.Empty:
-                        dead = [p.name for p in self._procs if not p.is_alive()]
-                        _log.error(
-                            "pool.worker_crashed",
-                            dead_workers=dead,
-                            exit_codes=[
-                                p.exitcode for p in self._procs if not p.is_alive()
-                            ],
-                            n_inflight=len(self._inflight),
-                        )
-                        raise WorkerCrashed(
-                            f"worker(s) {dead} died with "
-                            f"{len(self._inflight)} task(s) in flight"
-                        ) from None
-                else:
+                dead = [
+                    i
+                    for i, p in enumerate(self._procs)
+                    if self._respawn_at[i] is None and not p.is_alive()
+                ]
+                if not dead or not (self._respawn or self._inflight):
                     continue
+                # Drain what did arrive before declaring the rest lost.
+                try:
+                    tid, ok, value = self._result_q.get(timeout=0.05)
+                except _queue.Empty:
+                    if self._respawn:
+                        for i in dead:
+                            self._reap(i)
+                        continue
+                    names = [self._procs[i].name for i in dead]
+                    _log.error(
+                        "pool.worker_crashed",
+                        dead_workers=names,
+                        exit_codes=[self._procs[i].exitcode for i in dead],
+                        n_inflight=len(self._inflight),
+                    )
+                    raise WorkerCrashed(
+                        f"worker(s) {names} died with "
+                        f"{len(self._inflight)} task(s) in flight"
+                    ) from None
             self._inflight.pop(tid, None)
             return tid, ok, value
 
@@ -184,6 +330,8 @@ class WorkerPool:
             if tid not in order:
                 continue  # stale result from an earlier, abandoned call
             if not ok:
+                if isinstance(value, BaseException):
+                    raise value
                 raise WorkerTaskError(value)
             out[order[tid]] = value
             pending.discard(tid)
@@ -205,6 +353,8 @@ class WorkerPool:
             if tid not in order:
                 continue
             if not ok:
+                if isinstance(value, BaseException):
+                    raise value
                 raise WorkerTaskError(value)
             out[order[tid]] = value
             pending.discard(tid)
@@ -213,7 +363,7 @@ class WorkerPool:
     # ----------------------------------------------------------- lifecycle
     def alive(self) -> bool:
         """Whether every worker process is still running."""
-        return not self._closed and all(p.is_alive() for p in self._procs)
+        return not self._closed and self.width() == self.n_workers
 
     def close(self, *, timeout: float = 5.0) -> None:
         """Stop workers and release queues.  Safe to call repeatedly."""
@@ -232,6 +382,7 @@ class WorkerPool:
                 p.terminate()
                 p.join(timeout=1.0)
         self._inflight.clear()
+        self._pending_failures.clear()
         self._result_q.cancel_join_thread()
         self._result_q.close()
         for q in self._task_qs:

@@ -45,6 +45,7 @@ from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import (
     HateGenBundle,
     ModelRegistry,
+    RegistryCorruptError,
     RegistryError,
     RetinaBundle,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "LRUCache",
     "ServingMetrics",
     "ModelRegistry",
+    "RegistryCorruptError",
     "RegistryError",
     "RetinaBundle",
     "HateGenBundle",

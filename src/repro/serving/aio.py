@@ -34,6 +34,7 @@ import socket
 import threading
 
 from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.serving.admission import AdmissionConfig, AdmissionController
 from repro.serving.engine import InferenceEngine, ServingError
@@ -68,6 +69,15 @@ _log = obs_log.get_logger("repro.serving.aio")
 _MAX_LINE = 16 * 1024
 _MAX_HEADERS = 100
 
+#: Requests that died before a reply could be computed: the peer vanished
+#: or stalled while we were still reading its head or body.  Labelled by
+#: where in the request the abort happened.
+_ABORTED = obs_metrics.REGISTRY.counter(
+    "repro_aio_aborted_requests_total",
+    "Requests aborted mid-read (client disconnect or stall)",
+    labels=("stage",),
+)
+
 _STATUS_PHRASES = {
     200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
     409: "Conflict", 413: "Content Too Large", 429: "Too Many Requests",
@@ -99,6 +109,7 @@ class AsyncPredictionServer:
         request_timeout: float = 60.0,
         admission: AdmissionController | AdmissionConfig | None = None,
         keepalive_timeout: float = 75.0,
+        header_timeout: float = 10.0,
     ):
         self.engine = engine
         if registry is not None and not isinstance(registry, ModelRegistry):
@@ -114,6 +125,11 @@ class AsyncPredictionServer:
         self.verbose = verbose
         self.request_timeout = request_timeout
         self.keepalive_timeout = keepalive_timeout
+        #: Budget for each *subsequent* line of a request head.  A slow-loris
+        #: peer that trickles one header byte at a time can hold the first
+        #: line open for the keep-alive window, but after that every line
+        #: must arrive within this budget or the connection is dropped.
+        self.header_timeout = header_timeout
         self._host = host
         self._port = port
         self._bound: tuple[str, int] | None = None
@@ -205,7 +221,8 @@ class AsyncPredictionServer:
                 keep_alive = await self._serve_one(reader, writer)
                 if not keep_alive:
                     break
-        except (asyncio.CancelledError, ConnectionError, asyncio.IncompleteReadError):
+        except (asyncio.CancelledError, ConnectionError,
+                asyncio.IncompleteReadError, asyncio.TimeoutError):
             pass
         except _BadRequest as exc:
             try:
@@ -255,8 +272,19 @@ class AsyncPredictionServer:
         method, target, version = parts
         headers: dict[str, str] = {}
         for _ in range(_MAX_HEADERS):
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=self.header_timeout
+                )
+            except asyncio.TimeoutError:
+                # Slow-loris: the head started but a header line stalled.
+                _ABORTED.inc(stage="head")
+                raise _BadRequest("header read timed out") from None
+            if line == b"":
+                # Peer vanished mid-head: abort quietly, nothing to answer.
+                _ABORTED.inc(stage="head")
+                return None
+            if line in (b"\r\n", b"\n"):
                 break
             if len(line) > _MAX_LINE:
                 raise _BadRequest("header line too long")
@@ -375,9 +403,16 @@ class AsyncPredictionServer:
             return core.error_reply(core.body_too_large(length), resolved, close=True)
         raw = b""
         if length > 0:
-            raw = await asyncio.wait_for(
-                reader.readexactly(length), timeout=self.request_timeout
-            )
+            try:
+                raw = await asyncio.wait_for(
+                    reader.readexactly(length), timeout=self.request_timeout
+                )
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+                    ConnectionError):
+                # The peer disconnected (or stalled) mid-body: nothing was
+                # dispatched, nobody to answer — count and hang up.
+                _ABORTED.inc(stage="body")
+                raise
         try:
             payload = core.parse_body(raw, optional=(resolved.op == "reload"))
         except ServingError as exc:

@@ -94,6 +94,16 @@ _TIMEOUTS = obs_metrics.REGISTRY.counter(
     "Requests whose waiter gave up before the engine answered, by kind.",
     ("kind",),
 )
+_DISPATCH_DEGRADED = obs_metrics.REGISTRY.counter(
+    "repro_engine_dispatch_degraded_total",
+    "Dispatch generations abandoned for inline execution, by reason.",
+    ("reason",),
+)
+
+#: Crash-loop circuit breaker: this many worker crashes inside the window
+#: degrades the engine to inline dispatch instead of respawning forever.
+_CRASH_LIMIT = int(os.environ.get("REPRO_SERVE_CRASH_LIMIT", "5"))
+_CRASH_WINDOW_S = float(os.environ.get("REPRO_SERVE_CRASH_WINDOW_S", "30"))
 
 
 # ------------------------------------------------------------- retweeters
@@ -489,11 +499,15 @@ class _PoolDispatch:
             for p, v in zip(params, views):
                 p.data = v
 
+        # Serving dispatch respawns crashed workers (capped backoff) so one
+        # bad request can't permanently halve capacity; the circuit breaker
+        # below still degrades to inline on a crash *loop*.
         self.pool = WorkerPool(
             n_workers,
             {"batch": engine._worker_batch, "stats": engine._worker_cache_stats},
             initializer=_rebase,
             name="repro-serve",
+            respawn=True,
         )
         self.lock = threading.Lock()
         self.pending: dict[int, tuple[str, object]] = {}
@@ -543,8 +557,9 @@ class _PoolDispatch:
             time.sleep(0.005)
         return False
 
-    def fail(self) -> None:
-        """Fail all in-flight work (worker crash / queues closed under us)."""
+    def fail(self, *, reason: str = "pool_broken",
+             code: str = "worker_crashed") -> None:
+        """Fail all in-flight work (crash loop / queues closed under us)."""
         with self.lock:
             if self.failed.is_set():
                 return
@@ -553,16 +568,23 @@ class _PoolDispatch:
             pending = list(self.pending.values())
             self.pending.clear()
         _log.error(
-            "dispatch.failed",
+            "dispatch.degraded",
+            reason=reason,
             n_workers=self.n_workers,
             n_pending_batches=len(pending),
-            detail="worker pool died; in-flight requests failed, engine "
+            crashes=self.pool.crashes,
+            detail="dispatch abandoned; in-flight requests failed, engine "
                    "falls back to inline execution",
         )
+        _DISPATCH_DEGRADED.inc(reason=reason)
         for tag, group in pending:
-            exc = RuntimeError("serving worker crashed; request failed")
+            exc: BaseException = ServingError(
+                "serving worker crashed; request failed",
+                status=503,
+                code=code,
+            )
             if tag == "__stats__":
-                group.set_exception(exc)
+                group.set_exception(RuntimeError("serving worker pool died"))
                 continue
             predictor = self.engine.predictors.get(tag)
             if predictor is not None:
@@ -575,6 +597,17 @@ class _PoolDispatch:
             self.arena.release()
             self.arena = None
         self.engine._dispatch_failed(self)
+
+    # --------------------------------------------------------------- health
+    def health(self) -> dict:
+        """Live dispatch state for the v1 metrics body."""
+        return {
+            "configured_workers": self.n_workers,
+            "live_workers": self.pool.width(),
+            "crashes": self.pool.crashes,
+            "respawns": self.pool.respawns,
+            "degraded": self.failed.is_set(),
+        }
 
     def close(self) -> None:
         """Stop the collector and tear down pool + arena (idempotent)."""
@@ -618,12 +651,44 @@ class _PoolDispatch:
             if tag == "__stats__":
                 if ok:
                     group.set_result(value)
+                elif isinstance(value, BaseException):
+                    group.set_exception(value)
                 else:
                     group.set_exception(RuntimeError(value))
                 continue
             predictor = self.engine.predictors[tag]
             if not ok:
                 predictor.metrics.record_error()
+                if isinstance(value, WorkerCrashed):
+                    # The worker died mid-batch: its requests fail once with
+                    # a typed 503, the pool respawns the slot, and a crash
+                    # *loop* trips the breaker into inline dispatch.
+                    _log.error(
+                        "worker.crashed_in_batch",
+                        kind=tag,
+                        n_requests=len(group),
+                        error=str(value)[:400],
+                    )
+                    exc: BaseException = ServingError(
+                        "serving worker crashed; request failed",
+                        status=503,
+                        code="worker_crashed",
+                    )
+                    for r in group:
+                        if r.future.set_running_or_notify_cancel():
+                            r.future.set_exception(exc)
+                    if self.pool.crashes_in_window(_CRASH_WINDOW_S) >= _CRASH_LIMIT:
+                        _log.error(
+                            "dispatch.crash_loop",
+                            crashes_in_window=self.pool.crashes_in_window(
+                                _CRASH_WINDOW_S
+                            ),
+                            window_s=_CRASH_WINDOW_S,
+                            limit=_CRASH_LIMIT,
+                        )
+                        self.fail(reason="crash_loop")
+                        return
+                    continue
                 _log.error(
                     "worker.batch_failed",
                     kind=tag,
@@ -698,6 +763,12 @@ class InferenceEngine:
         #: atomic), backing the queue depth/age saturation gauges.
         self._queued_arrivals: collections.deque[float] = collections.deque()
         self._depth_fn = None
+        #: Set at the top of :meth:`stop`: new submissions are refused with
+        #: a typed 503 and the gather loop fails whatever is still queued.
+        self._stopping = threading.Event()
+        #: Dispatch generations that degraded to inline over this engine's
+        #: lifetime (survives the _PoolDispatch objects themselves).
+        self._dispatch_degraded_total = 0
 
     def _queue_age_s(self) -> float:
         try:
@@ -709,6 +780,7 @@ class InferenceEngine:
     def start(self) -> "InferenceEngine":
         if self._worker is not None and self._worker.is_alive():
             return self
+        self._stopping.clear()
         n = resolve_workers(self.workers)
         if n > 1 and fork_available() and self._dispatch is None:
             self._dispatch = _PoolDispatch(self, n)
@@ -730,6 +802,7 @@ class InferenceEngine:
         Safe to call repeatedly (and from ``__exit__`` after a crash): every
         step is guarded, so a second call is a no-op.
         """
+        self._stopping.set()
         if self._worker is not None:
             self._queue.put(_SHUTDOWN)
             self._worker.join(timeout=10.0)
@@ -739,11 +812,21 @@ class InferenceEngine:
                 # claimed the gauges since this one started.
                 _QUEUE_DEPTH.set_fn(None)
                 _QUEUE_AGE.set_fn(None)
+        # The gather loop is gone (or never ran): anything still queued —
+        # a submit that raced past the _stopping gate, or one made before
+        # start() — would leave its waiter to hit the generic timeout.
+        # Fail it with a typed shutdown error instead.
+        self._fail_queued()
         with self._swap_lock:
             dispatch, self._dispatch = self._dispatch, None
         if dispatch is not None:
             dispatch.retire()
-            dispatch.drain(timeout=10.0)
+            if not dispatch.drain(timeout=10.0):
+                # Batches stuck in dead/hung workers: resolve their waiters
+                # with a typed shutdown error rather than a silent timeout.
+                dispatch.fail(reason="shutdown", code="engine_shutdown")
+                dispatch.close()
+                return
             try:
                 # Last look at the worker-side caches so /metrics stays
                 # meaningful after shutdown (benchmarks read it there).
@@ -821,6 +904,12 @@ class InferenceEngine:
         Requests submitted before :meth:`start` are buffered and served in
         the first micro-batch once the worker runs.
         """
+        if self._stopping.is_set():
+            raise ServingError(
+                "engine is shutting down; request refused",
+                status=503,
+                code="engine_shutdown",
+            )
         predictor = self.predictors.get(kind)
         if predictor is None:
             raise ServingError(
@@ -944,7 +1033,26 @@ class InferenceEngine:
                 _BATCHES.inc(kind=kind, site="inline")
                 self._execute_inline(kind, group)
             if shutdown:
+                self._fail_queued()
                 return
+
+    def _fail_queued(self) -> None:
+        """Fail every request still in the queue with a typed shutdown error."""
+        exc = ServingError(
+            "engine shut down before the request was served",
+            status=503,
+            code="engine_shutdown",
+        )
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _SHUTDOWN:
+                continue
+            self._dequeue(item)
+            if item.future.set_running_or_notify_cancel():
+                item.future.set_exception(exc)
 
     def _execute_inline(self, kind: str, group: list[_Request]) -> None:
         predictor = self.predictors[kind]
@@ -1004,8 +1112,27 @@ class InferenceEngine:
 
     def _dispatch_failed(self, dispatch: _PoolDispatch) -> None:
         """A dispatch generation died; fall back to inline execution."""
+        self._dispatch_degraded_total += 1
         if self._dispatch is dispatch:
             self._dispatch = None
+
+    def dispatch_health(self) -> dict:
+        """Worker-dispatch recovery state for the v1 metrics body.
+
+        ``mode`` is ``"workers"`` while a live dispatch generation serves
+        batches, ``"inline"`` otherwise (single-worker engines, post-breaker
+        degradation, or mid-swap).
+        """
+        dispatch = self._dispatch
+        out = {
+            "mode": "workers" if dispatch is not None else "inline",
+            "degraded_generations": self._dispatch_degraded_total,
+            "crash_limit": _CRASH_LIMIT,
+            "crash_window_s": _CRASH_WINDOW_S,
+        }
+        if dispatch is not None:
+            out.update(dispatch.health())
+        return out
 
     # ------------------------------------------------------------- health
     def metrics(self) -> dict:

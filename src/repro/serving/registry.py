@@ -37,23 +37,32 @@ message instead of opaque 500s.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import pickle
 import re
 import shutil
 import time
+import zipfile
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import chaos
 from repro.core.hategen.features import HateGenFeatureExtractor
 from repro.core.retina.features import RetinaFeatureExtractor
 from repro.core.retina.model import RETINA
 from repro.data.synthetic import SyntheticWorld, SyntheticWorldConfig
 from repro.obs import log as obs_log
 
-__all__ = ["RetinaBundle", "HateGenBundle", "ModelRegistry", "RegistryError"]
+__all__ = [
+    "RetinaBundle",
+    "HateGenBundle",
+    "ModelRegistry",
+    "RegistryError",
+    "RegistryCorruptError",
+]
 
 _log = obs_log.get_logger("repro.serving.registry")
 
@@ -84,6 +93,40 @@ class RegistryError(FileNotFoundError):
         self.root = root
         self.name = name
         self.version = version
+
+
+class RegistryCorruptError(RegistryError):
+    """A committed bundle exists but failed integrity checks at load.
+
+    Raised on checksum mismatch, truncated/undecodable artifacts, or a
+    torn manifest.  Distinct from :class:`RegistryError` so the serving
+    API can answer 409 ("the version you named is damaged") instead of
+    404 ("no such version") — and keep the old predictor serving.
+    """
+
+
+def _sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _fsync_file(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 # ----------------------------------------------------------- state <-> disk
@@ -257,8 +300,17 @@ class ModelRegistry:
                 name=name,
                 version=version,
             )
-        with open(path) as fh:
-            return json.load(fh)
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RegistryCorruptError(
+                f"manifest for model {name!r} v{version:04d} in registry "
+                f"{self.root!r} is not valid JSON: {exc}",
+                root=self.root,
+                name=name,
+                version=version,
+            ) from exc
 
     # ------------------------------------------------------------- aliases
     def _aliases_path(self) -> str:
@@ -280,7 +332,10 @@ class ModelRegistry:
         tmp = os.path.join(self.root, f".{ALIASES_FILE}.tmp-{os.getpid()}")
         with open(tmp, "w") as fh:
             json.dump(aliases, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self._aliases_path())
+        _fsync_dir(self.root)
 
     def set_alias(self, alias: str, name: str, version: int | None = None) -> dict:
         """Point ``alias`` at ``name``/``version`` (latest pinned at call time).
@@ -358,6 +413,21 @@ class ModelRegistry:
                         fh,
                     )
             save_state(tmp_dir, "extractor", bundle.extractor.to_state())
+            # Per-file SHA-256 over every artifact: a truncated or bit-rotted
+            # file is detected at load instead of surfacing as an unpickling
+            # traceback mid-reload.
+            manifest["files"] = {
+                entry: _sha256(os.path.join(tmp_dir, entry))
+                for entry in sorted(os.listdir(tmp_dir))
+            }
+            if chaos.should_fire("registry.save"):
+                # Torn-write injection: truncate the first artifact *after*
+                # checksumming, so the damage is exactly what load must catch.
+                victim = os.path.join(tmp_dir, sorted(manifest["files"])[0])
+                size = os.path.getsize(victim)
+                with open(victim, "rb+") as fh:
+                    fh.truncate(max(size // 2, 1))
+                _log.warning("registry.chaos_truncated", name=name, file=victim)
             # Claim a version by renaming into place; a concurrent saver that
             # wins the same number makes the rename fail, so recompute and
             # retry rather than discarding a fully trained bundle.
@@ -368,8 +438,16 @@ class ModelRegistry:
                 # Manifest last: its presence marks the version as committed.
                 with open(os.path.join(tmp_dir, "manifest.json"), "w") as fh:
                     json.dump(manifest, fh, indent=2, sort_keys=True)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                # Durability before visibility: every artifact and the temp
+                # directory itself hit disk before the rename publishes them.
+                for entry in os.listdir(tmp_dir):
+                    _fsync_file(os.path.join(tmp_dir, entry))
+                _fsync_dir(tmp_dir)
                 try:
                     os.rename(tmp_dir, self._version_dir(name, version))
+                    _fsync_dir(model_dir)
                     break
                 except OSError:
                     if not os.path.exists(self._version_dir(name, version)):
@@ -394,6 +472,39 @@ class ModelRegistry:
         return manifest
 
     # ------------------------------------------------------------- loading
+    def _verify_files(self, manifest: dict, directory: str) -> None:
+        """Check recorded per-file SHA-256 digests (pre-checksum bundles skip)."""
+        files = manifest.get("files")
+        if not files:
+            return
+        for fname, digest in sorted(files.items()):
+            path = os.path.join(directory, fname)
+            try:
+                actual = _sha256(path)
+            except OSError as exc:
+                raise RegistryCorruptError(
+                    f"bundle {manifest['name']!r} v{manifest['version']:04d} "
+                    f"is missing artifact {fname!r}: {exc}",
+                    root=self.root,
+                    name=manifest["name"],
+                    version=manifest["version"],
+                ) from exc
+            if actual != digest:
+                _log.error(
+                    "registry.checksum_mismatch",
+                    name=manifest["name"],
+                    version=manifest["version"],
+                    file=fname,
+                )
+                raise RegistryCorruptError(
+                    f"bundle {manifest['name']!r} v{manifest['version']:04d} "
+                    f"artifact {fname!r} failed its SHA-256 check "
+                    f"(expected {digest[:12]}…, got {actual[:12]}…)",
+                    root=self.root,
+                    name=manifest["name"],
+                    version=manifest["version"],
+                )
+
     def load_bundle(
         self, name: str, version: int | None = None, *, world: SyntheticWorld | None = None
     ):
@@ -405,6 +516,7 @@ class ModelRegistry:
         """
         manifest = self.manifest(name, version)
         directory = self._version_dir(manifest["name"], manifest["version"])
+        self._verify_files(manifest, directory)
         world_config = SyntheticWorldConfig(**manifest["world_config"])
         if world is None:
             world = SyntheticWorld.generate(world_config)
@@ -413,22 +525,43 @@ class ModelRegistry:
                 f"supplied world config {world.config} does not match the "
                 f"bundle's recorded config {world_config}"
             )
-        state = load_state(directory, "extractor")
-        if manifest["kind"] == "retina":
-            extractor = RetinaFeatureExtractor.from_state(world, state)
-            model = RETINA(**manifest["model"], random_state=0)
-            model.load(os.path.join(directory, "weights.npz"))
-            model.eval()
-            return RetinaBundle(
-                model=model,
-                extractor=extractor,
-                world_config=world_config,
-                train_config=manifest["train_config"],
-                metrics=manifest["metrics"],
-            )
-        extractor = HateGenFeatureExtractor.from_state(world, state)
-        with open(os.path.join(directory, "model.pkl"), "rb") as fh:
-            payload = pickle.load(fh)
+        try:
+            state = load_state(directory, "extractor")
+            if manifest["kind"] == "retina":
+                extractor = RetinaFeatureExtractor.from_state(world, state)
+                model = RETINA(**manifest["model"], random_state=0)
+                model.load(os.path.join(directory, "weights.npz"))
+                model.eval()
+                return RetinaBundle(
+                    model=model,
+                    extractor=extractor,
+                    world_config=world_config,
+                    train_config=manifest["train_config"],
+                    metrics=manifest["metrics"],
+                )
+            extractor = HateGenFeatureExtractor.from_state(world, state)
+            with open(os.path.join(directory, "model.pkl"), "rb") as fh:
+                payload = pickle.load(fh)
+        except RegistryError:
+            raise
+        except (
+            zipfile.BadZipFile,
+            pickle.UnpicklingError,
+            json.JSONDecodeError,
+            UnicodeDecodeError,
+            EOFError,
+            KeyError,
+            ValueError,
+            OSError,
+        ) as exc:
+            raise RegistryCorruptError(
+                f"bundle {manifest['name']!r} v{manifest['version']:04d} in "
+                f"registry {self.root!r} failed to decode: "
+                f"{type(exc).__name__}: {exc}",
+                root=self.root,
+                name=manifest["name"],
+                version=manifest["version"],
+            ) from exc
         return HateGenBundle(
             model=payload["model"],
             transforms=payload["transforms"],

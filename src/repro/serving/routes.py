@@ -33,7 +33,11 @@ from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.serving.engine import InferenceEngine, ServingError
-from repro.serving.registry import ModelRegistry, RegistryError
+from repro.serving.registry import (
+    ModelRegistry,
+    RegistryCorruptError,
+    RegistryError,
+)
 from repro.serving.schemas import (
     BatchRequest,
     ReloadRequest,
@@ -299,6 +303,7 @@ class RouteCore:
                 # New top-level blocks; the legacy /metrics body keeps its
                 # pre-v1 shape (per-predictor entries only).
                 body["http"] = {"responses": HTTP_REQUESTS.snapshot()}
+                body["dispatch"] = self.engine.dispatch_health()
                 if self.admission is not None:
                     body["admission"] = self.admission.snapshot()
             return Reply(200, body, headers=r.headers)
@@ -424,7 +429,11 @@ class RouteCore:
         headers = dict(r.headers) if r is not None else {}
         if extra_headers:
             headers.update(extra_headers)
-        if isinstance(exc, RegistryError):
+        if isinstance(exc, RegistryCorruptError):
+            # The version exists but failed integrity checks; reload aborts
+            # before any swap, so the old predictor keeps serving.
+            exc = ServingError(str(exc), status=409, code="model_corrupt")
+        elif isinstance(exc, RegistryError):
             exc = ServingError(str(exc), status=404, code="model_not_found")
         if isinstance(exc, ServingError):
             if legacy:

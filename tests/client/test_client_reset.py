@@ -1,0 +1,114 @@
+"""Stale keep-alive handling in ServingClient.
+
+A pooled connection the server closed between requests must cost an
+idempotent GET nothing (one free immediate retry on a fresh socket) and
+must never silently re-send a POST (typed fail-fast instead — the request
+may already have been processed).  The ``client.reset`` chaos point drives
+the same code path deterministically.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro import chaos
+from repro.chaos import ChaosPlan, ChaosRule
+from repro.client import ServingClient, ServingError
+
+HEALTH = {"status": "ok", "models": {}, "api": "v1"}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):
+        pass
+
+    def _serve(self):
+        with self.server.lock:
+            self.server.requests.append((self.command, self.path))
+        raw = json.dumps(HEALTH).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
+    do_GET = _serve
+    do_POST = _serve
+
+
+@pytest.fixture()
+def stub():
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _Handler)
+    httpd.daemon_threads = True
+    httpd.requests = []
+    httpd.lock = threading.Lock()
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos():
+    chaos.disable()
+    yield
+    chaos.disable()
+
+
+def _client(httpd, **kwargs):
+    host, port = httpd.server_address[:2]
+    return ServingClient(host=host, port=port, backoff=0.001, **kwargs)
+
+
+class TestStaleKeepAlive:
+    def test_get_survives_injected_reset_for_free(self, stub):
+        with _client(stub, retries=0) as client:
+            assert client.health().status == "ok"  # fresh socket, now pooled
+            chaos.enable(
+                ChaosPlan(seed=1, rules={"client.reset": ChaosRule(rate=1.0, limit=1)})
+            )
+            # retries=0: success proves the stale retry is free, not billed
+            # against the retry budget.
+            assert client.health().status == "ok"
+            assert chaos.stats()["client.reset"]["fires"] == 1
+        assert len(stub.requests) == 2  # the reset request never arrived
+
+    def test_post_fails_fast_and_typed_on_reset(self, stub):
+        with _client(stub, retries=2) as client:
+            client.health()  # park a keep-alive connection in the pool
+            chaos.enable(
+                ChaosPlan(seed=1, rules={"client.reset": ChaosRule(rate=1.0, limit=1)})
+            )
+            with pytest.raises(ServingError) as err:
+                client._call("POST", "/v1/models/retina/reload", {})
+            assert err.value.code == "connection_reset"
+            assert err.value.status == 503
+        # Fail-fast: the POST was never (re)sent after the reset.
+        assert [m for m, _ in stub.requests].count("POST") == 0
+
+    def test_fresh_connection_reset_still_uses_retry_budget(self, stub):
+        """A reset on a *fresh* socket is a real failure: normal retries."""
+        with _client(stub, retries=0) as client:
+            client.health()
+            client.health()  # reused path, no chaos: normal keep-alive reuse
+        assert len(stub.requests) == 2
+
+    def test_retry_happens_on_a_fresh_connection(self, stub):
+        """The free retry dials fresh: it can't hit the chaos point again."""
+        with _client(stub, retries=0) as client:
+            client.health()
+            chaos.enable(
+                ChaosPlan(seed=1, rules={"client.reset": ChaosRule(rate=1.0)})
+            )
+            # Unlimited reset rule, yet the request succeeds: the retry
+            # socket is new, so the reused-only injection never fires on it.
+            assert client.health().status == "ok"
+            assert chaos.stats()["client.reset"]["fires"] == 1

@@ -1,0 +1,147 @@
+"""Paged I/O under injected faults: retries, deferred writebacks, fallback.
+
+Satellite coverage for the fault-injection PR: a transient EIO on a block
+write/read is absorbed by retries; a *persistent* writeback failure during
+LRU eviction must never silently drop a dirty block (the block stays
+resident, dirty, and marked degraded until a later writeback succeeds);
+and a :class:`FeatureStore` read that loses a block to disk I/O falls back
+to rebuilding the rows from the world — bit-identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro import chaos
+from repro.chaos import ChaosPlan, ChaosRule
+from repro.features.paged import PagedIOError, PagedMatrix
+from repro.features.store import FeatureStore
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos():
+    chaos.disable()
+    yield
+    chaos.disable()
+
+
+def _filled_matrix(rows=64, cols=5, page_rows=8, max_pages=3, seed=0):
+    rng = np.random.default_rng(seed)
+    ref = rng.standard_normal((rows, cols))
+    pm = PagedMatrix(rows, cols, page_rows=page_rows, max_pages=max_pages)
+    return pm, ref
+
+
+class TestRetries:
+    def test_transient_write_failure_is_retried(self):
+        # One injected EIO out of three attempts: the write still lands.
+        chaos.enable(
+            ChaosPlan(seed=1, rules={"paged.write": ChaosRule(at=(0,), limit=1)})
+        )
+        pm, ref = _filled_matrix()
+        try:
+            for lo in range(0, 64, 8):
+                pm.write_rows(np.arange(lo, lo + 8), ref[lo : lo + 8])
+            pm.flush()
+            chaos.disable()
+            np.testing.assert_array_equal(pm.read_rows(np.arange(64)), ref)
+            assert pm.stats["io_retries"] >= 1
+            assert pm.stats["io_errors"] == 0
+            assert pm.stats["degraded_blocks"] == 0
+        finally:
+            pm.close()
+
+    def test_persistent_read_failure_raises_paged_io_error(self):
+        pm, ref = _filled_matrix()
+        try:
+            for lo in range(0, 64, 8):
+                pm.write_rows(np.arange(lo, lo + 8), ref[lo : lo + 8])
+            pm.flush()
+            # Evict everything so the next read must hit the (now failing)
+            # backing file.
+            chaos.enable(
+                ChaosPlan(seed=1, rules={"paged.read": ChaosRule(rate=1.0)})
+            )
+            with pytest.raises(PagedIOError) as err:
+                pm.read_rows(np.arange(64))
+            assert err.value.op == "read"
+            assert pm.stats["io_errors"] >= 1
+        finally:
+            chaos.disable()
+            pm.close()
+
+
+class TestEvictionUnderWritebackFailure:
+    def test_dirty_block_never_silently_dropped(self):
+        """Failed eviction writeback re-pins the block, still dirty."""
+        pm, ref = _filled_matrix(rows=64, page_rows=8, max_pages=2)
+        try:
+            chaos.enable(
+                ChaosPlan(seed=1, rules={"paged.write": ChaosRule(rate=1.0)})
+            )
+            # Touch more blocks than the page budget: evictions must write
+            # dirty blocks back, and every writeback fails.
+            for lo in range(0, 64, 8):
+                pm.write_rows(np.arange(lo, lo + 8), ref[lo : lo + 8])
+            assert pm.stats["degraded_blocks"] > 0
+            assert len(pm.degraded_blocks) == pm.stats["degraded_blocks"]
+            # Over budget rather than lossy: the dirty blocks stayed pinned.
+            assert pm.resident_pages >= pm.max_pages
+            # Heal the disk: every byte written under chaos is recoverable.
+            chaos.disable()
+            pm.flush()
+            assert pm.stats["degraded_blocks"] == 0
+            np.testing.assert_array_equal(pm.read_rows(np.arange(64)), ref)
+        finally:
+            pm.close()
+
+    def test_flush_surfaces_first_error_but_tries_all(self):
+        pm, ref = _filled_matrix(rows=32, page_rows=8, max_pages=8)
+        try:
+            for lo in range(0, 32, 8):
+                pm.write_rows(np.arange(lo, lo + 8), ref[lo : lo + 8])
+            chaos.enable(
+                ChaosPlan(seed=1, rules={"paged.write": ChaosRule(rate=1.0)})
+            )
+            with pytest.raises(PagedIOError):
+                pm.flush()
+            chaos.disable()
+            pm.flush()  # all four dirty blocks still present, now persisted
+            np.testing.assert_array_equal(pm.read_rows(np.arange(32)), ref)
+        finally:
+            pm.close()
+
+
+class TestStoreDegradedFallback:
+    @pytest.fixture()
+    def paged_store(self, fitted_extractor, features_world, monkeypatch):
+        dense = fitted_extractor.store_
+        monkeypatch.setenv("REPRO_FEATURE_PAGE_ROWS", "16")
+        monkeypatch.setenv("REPRO_FEATURE_MAX_PAGES", "4")
+        store = FeatureStore(
+            features_world.world,
+            text_vectorizer=dense.text_vectorizer,
+            lexicon=dense.lexicon,
+            doc2vec=dense.doc2vec,
+            history_size=dense.history_size,
+            doc2vec_dim=dense.doc2vec_dim,
+            storage="paged",
+        )
+        store.set_prior_retweets(fitted_extractor._retweeted_before)
+        yield dense, store
+        store.close()
+
+    def test_history_read_falls_back_bit_identically(
+        self, paged_store, features_world
+    ):
+        dense, paged = paged_store
+        uids = sorted(features_world.world.users)
+        expected = dense.history_rows(uids)
+        paged.history_rows(uids)  # fill, page, write back
+        # Every disk read now fails: reads must come from the builder path.
+        chaos.enable(
+            ChaosPlan(seed=2, rules={"paged.read": ChaosRule(rate=1.0)})
+        )
+        got = paged.history_rows(uids)
+        chaos.disable()
+        np.testing.assert_array_equal(got, expected)
+        assert paged.degraded_reads >= 1

@@ -1,0 +1,150 @@
+"""Trainer checkpoint/resume: interrupted fits converge bit-identically.
+
+The recovery contract of ``RetinaTrainer(checkpoint_dir=...)``: a fit
+interrupted after any completed epoch and resumed with the same
+configuration produces weights *bit-identical* to an uninterrupted run —
+the checkpoint carries model weights, optimiser state, RNG state, and the
+cumulative epoch shuffle.  Worker count is deliberately outside the
+fingerprint (the sharded schedule is worker-count invariant), so a run
+checkpointed at ``workers=1`` may resume at ``workers=2`` and vice versa
+— pinned here at workers in {1, 2}.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.retina import RETINA, RetinaTrainer
+
+
+class _Interrupt(Exception):
+    """Stands in for SIGKILL right after a checkpoint lands on disk."""
+
+
+def _interrupt_after(trainer, epoch_stop):
+    orig = trainer._save_checkpoint
+
+    def save_then_die(opt, rng, order, epoch, fingerprint):
+        orig(opt, rng, order, epoch, fingerprint)
+        if epoch == epoch_stop:
+            raise _Interrupt
+
+    trainer._save_checkpoint = save_then_die
+
+
+def _fresh_model(extractor, mode="static"):
+    return RETINA(
+        user_dim=extractor.user_feature_dim,
+        tweet_dim=extractor.news_doc2vec_dim,
+        news_dim=extractor.news_doc2vec_dim,
+        mode=mode,
+        random_state=0,
+    )
+
+
+def _states_equal(a, b):
+    sa, sb = a.state_dict(), b.state_dict()
+    return set(sa) == set(sb) and all(np.array_equal(sa[k], sb[k]) for k in sa)
+
+
+class TestSerialResume:
+    @pytest.mark.parametrize("mode", ["static", "dynamic"])
+    def test_interrupted_resume_bit_identical(
+        self, parallel_extractor, parallel_samples, mode, tmp_path
+    ):
+        baseline = _fresh_model(parallel_extractor, mode)
+        RetinaTrainer(baseline, epochs=3, random_state=0).fit(parallel_samples)
+
+        interrupted = _fresh_model(parallel_extractor, mode)
+        trainer = RetinaTrainer(
+            interrupted, epochs=3, random_state=0, checkpoint_dir=str(tmp_path)
+        )
+        _interrupt_after(trainer, 0)
+        with pytest.raises(_Interrupt):
+            trainer.fit(parallel_samples)
+
+        resumed = _fresh_model(parallel_extractor, mode)
+        RetinaTrainer(
+            resumed, epochs=3, random_state=0, checkpoint_dir=str(tmp_path)
+        ).fit(parallel_samples)
+        assert _states_equal(baseline, resumed)
+
+    def test_checkpointing_does_not_change_weights(
+        self, parallel_extractor, parallel_samples, tmp_path
+    ):
+        """Chaos off, checkpoints on: same bytes as no checkpoints at all."""
+        plain = _fresh_model(parallel_extractor)
+        RetinaTrainer(plain, epochs=2, random_state=0).fit(parallel_samples)
+        ckpt = _fresh_model(parallel_extractor)
+        RetinaTrainer(
+            ckpt, epochs=2, random_state=0, checkpoint_dir=str(tmp_path)
+        ).fit(parallel_samples)
+        assert _states_equal(plain, ckpt)
+        assert os.path.exists(tmp_path / "checkpoint.npz")
+
+    def test_completed_run_resumes_as_noop(
+        self, parallel_extractor, parallel_samples, tmp_path
+    ):
+        model = _fresh_model(parallel_extractor)
+        trainer = RetinaTrainer(
+            model, epochs=2, random_state=0, checkpoint_dir=str(tmp_path)
+        )
+        trainer.fit(parallel_samples)
+        frozen = {k: v.copy() for k, v in model.state_dict().items()}
+        trainer.fit(parallel_samples)  # every epoch already checkpointed
+        current = model.state_dict()
+        assert all(np.array_equal(frozen[k], current[k]) for k in frozen)
+
+    def test_fingerprint_mismatch_is_loud(
+        self, parallel_extractor, parallel_samples, tmp_path
+    ):
+        model = _fresh_model(parallel_extractor)
+        RetinaTrainer(
+            model, epochs=2, random_state=0, checkpoint_dir=str(tmp_path)
+        ).fit(parallel_samples)
+        other = _fresh_model(parallel_extractor)
+        with pytest.raises(ValueError, match="different training configuration"):
+            RetinaTrainer(
+                other, epochs=3, random_state=0, checkpoint_dir=str(tmp_path)
+            ).fit(parallel_samples)
+
+
+class TestShardedCrossWorkerResume:
+    @pytest.mark.parametrize("kill_workers,resume_workers", [(1, 2), (2, 1)])
+    def test_resume_across_worker_counts_bit_identical(
+        self,
+        parallel_extractor,
+        parallel_samples,
+        tmp_path,
+        kill_workers,
+        resume_workers,
+    ):
+        baseline = _fresh_model(parallel_extractor)
+        RetinaTrainer(
+            baseline, epochs=3, random_state=0, workers=2, shard_size=4
+        ).fit(parallel_samples)
+
+        interrupted = _fresh_model(parallel_extractor)
+        trainer = RetinaTrainer(
+            interrupted,
+            epochs=3,
+            random_state=0,
+            workers=kill_workers,
+            shard_size=4,
+            checkpoint_dir=str(tmp_path),
+        )
+        _interrupt_after(trainer, 1)
+        with pytest.raises(_Interrupt):
+            trainer.fit(parallel_samples)
+
+        resumed = _fresh_model(parallel_extractor)
+        RetinaTrainer(
+            resumed,
+            epochs=3,
+            random_state=0,
+            workers=resume_workers,
+            shard_size=4,
+            checkpoint_dir=str(tmp_path),
+        ).fit(parallel_samples)
+        assert _states_equal(baseline, resumed)

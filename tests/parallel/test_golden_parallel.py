@@ -8,6 +8,8 @@ host's cores — parity is about bytes, not speed).  They also pin the
 shared-memory lifecycle around the serving engine.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -172,10 +174,11 @@ class TestServedScoreParity:
         engine.stop()  # teardown is idempotent
         assert live_segments() == []
 
-    def test_engine_fails_over_when_worker_dies(self):
+    def test_engine_respawns_when_worker_dies(self):
         import os
 
         from repro.serving.metrics import ServingMetrics
+        from repro.serving.schemas import ServingError
 
         class Flaky:
             kind = "flaky"
@@ -190,8 +193,55 @@ class TestServedScoreParity:
 
         engine = InferenceEngine({"flaky": Flaky()}, workers=2, max_wait_ms=0.0)
         with engine:
-            with pytest.raises(RuntimeError, match="worker crashed"):
+            # The crashed request fails once, with a typed 503.
+            with pytest.raises(ServingError, match="worker crashed") as err:
                 engine.predict("flaky", {"die": True}, timeout=30.0)
-            # Engine falls back to inline execution and keeps serving.
+            assert err.value.code == "worker_crashed"
+            assert err.value.status == 503
+            # The slot respawns and the engine keeps serving via workers.
             assert engine.predict("flaky", {}, timeout=30.0) == {"ok": True}
+            assert engine._dispatch is not None
+            deadline = time.perf_counter() + 10.0
+            while time.perf_counter() < deadline:
+                if engine._dispatch.pool.width() == 2:
+                    break
+                time.sleep(0.01)
+            assert engine._dispatch.pool.width() == 2  # back to full width
+            assert engine._dispatch.pool.crashes == 1
+            assert engine._dispatch.pool.respawns >= 1
+        assert live_segments() == []
+
+    def test_engine_breaker_degrades_to_inline_on_crash_loop(self, monkeypatch):
+        import os
+
+        import repro.serving.engine as engine_mod
+        from repro.serving.metrics import ServingMetrics
+        from repro.serving.schemas import ServingError
+
+        monkeypatch.setattr(engine_mod, "_CRASH_LIMIT", 1)
+
+        class Flaky:
+            kind = "flaky"
+
+            def __init__(self):
+                self.metrics = ServingMetrics()
+
+            def predict_batch(self, payloads):
+                if any(p.get("die") for p in payloads):
+                    os._exit(7)
+                return [{"ok": True} for _ in payloads]
+
+        engine = InferenceEngine({"flaky": Flaky()}, workers=2, max_wait_ms=0.0)
+        with engine:
+            with pytest.raises(ServingError, match="worker crashed"):
+                engine.predict("flaky", {"die": True}, timeout=30.0)
+            # Breaker tripped at the first crash: inline from here on.
+            deadline = time.perf_counter() + 10.0
+            while time.perf_counter() < deadline and engine._dispatch is not None:
+                time.sleep(0.01)
+            assert engine._dispatch is None
+            assert engine.predict("flaky", {}, timeout=30.0) == {"ok": True}
+            health = engine.dispatch_health()
+            assert health["mode"] == "inline"
+            assert health["degraded_generations"] == 1
         assert live_segments() == []

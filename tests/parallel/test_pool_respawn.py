@@ -1,0 +1,101 @@
+"""WorkerPool respawn mode: crashed slots come back, with backoff and caps.
+
+``respawn=False`` (the default, pinned in test_pool.py) keeps the historic
+raise-on-crash contract for training/feature pools.  ``respawn=True`` is
+the serving contract: a crash fails only the tasks that were in flight on
+the dead worker (as a :class:`WorkerCrashed` value), the slot re-forks
+after a capped exponential backoff, and the pool keeps serving throughout.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import chaos
+from repro.chaos import ChaosPlan, ChaosRule
+from repro.parallel import WorkerCrashed, WorkerPool
+
+
+def _wait_for_width(pool, n, timeout=10.0):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if pool.width() == n:  # width() polls the respawn schedule
+            return True
+        time.sleep(0.01)
+    return pool.width() == n
+
+
+def _die_on_flag(x):
+    if x == "die":
+        os._exit(9)
+    return x
+
+
+class TestRespawn:
+    def test_crash_fails_only_inflight_tasks(self):
+        with WorkerPool(
+            2, {"t": _die_on_flag}, respawn=True, respawn_backoff_s=0.01
+        ) as pool:
+            with pytest.raises(WorkerCrashed):
+                pool.map("t", ["die", "die"], timeout=30)
+            # The pool still works: surviving + respawned workers serve.
+            assert pool.map("t", ["a", "b", "c"], timeout=30) == ["a", "b", "c"]
+            assert pool.crashes >= 1
+
+    def test_slot_respawns_to_full_width(self):
+        with WorkerPool(
+            2, {"t": _die_on_flag}, respawn=True, respawn_backoff_s=0.01
+        ) as pool:
+            with pytest.raises(WorkerCrashed):
+                pool.map("t", ["die"], timeout=30)
+            assert _wait_for_width(pool, 2), "pool never recovered full width"
+            assert pool.respawns >= 1
+            assert pool.map("t", [1, 2, 3, 4], timeout=30) == [1, 2, 3, 4]
+
+    def test_repeated_crashes_keep_recovering(self):
+        with WorkerPool(
+            1, {"t": _die_on_flag}, respawn=True, respawn_backoff_s=0.01
+        ) as pool:
+            for _ in range(3):
+                with pytest.raises(WorkerCrashed):
+                    pool.map("t", ["die"], timeout=30)
+                assert _wait_for_width(pool, 1)
+            assert pool.crashes == 3
+            assert pool.respawns >= 3
+            assert pool.map("t", ["ok"], timeout=30) == ["ok"]
+
+    def test_crashes_in_window_counts_recent_only(self):
+        with WorkerPool(
+            1, {"t": _die_on_flag}, respawn=True, respawn_backoff_s=0.01
+        ) as pool:
+            with pytest.raises(WorkerCrashed):
+                pool.map("t", ["die"], timeout=30)
+            assert pool.crashes_in_window(60.0) == 1
+            assert pool.crashes_in_window(0.0) == 0
+
+    def test_default_mode_still_raises_permanently(self):
+        # The historic contract: no respawn, map raises, pool is dead.
+        with WorkerPool(1, {"t": _die_on_flag}) as pool:
+            with pytest.raises(WorkerCrashed):
+                pool.map("t", ["die"], timeout=30)
+            assert pool.width() == 0
+
+
+class TestChaosCrashPoint:
+    def test_injected_worker_crash_is_recovered(self):
+        plan = ChaosPlan(
+            seed=5, rules={"pool.worker_crash": ChaosRule(at=(1,), limit=1)}
+        )
+        chaos.enable(plan)
+        try:
+            with WorkerPool(
+                1, {"t": lambda x: x}, respawn=True, respawn_backoff_s=0.01
+            ) as pool:
+                with pytest.raises(WorkerCrashed):
+                    # 2nd dequeued task hits the injected os._exit.
+                    pool.map("t", [0, 1, 2], timeout=30)
+                assert _wait_for_width(pool, 1)
+                assert pool.map("t", [7], timeout=30) == [7]
+        finally:
+            chaos.disable()

@@ -10,6 +10,7 @@ with the batch result).
 
 import json
 import os
+import time
 import urllib.error
 import urllib.request
 
@@ -149,9 +150,13 @@ def test_unknown_trace_404(registry):
 
 
 @needs_fork
-def test_trace_survives_inline_failover():
-    """After a worker crash the engine serves inline — still fully traced."""
+def test_trace_survives_inline_failover(monkeypatch):
+    """After the crash breaker trips, the engine serves inline — still traced."""
+    import repro.serving.engine as engine_mod
     from repro.serving.metrics import ServingMetrics
+    from repro.serving.schemas import ServingError
+
+    monkeypatch.setattr(engine_mod, "_CRASH_LIMIT", 1)
 
     class Flaky:
         kind = "flaky"
@@ -167,8 +172,12 @@ def test_trace_survives_inline_failover():
 
     engine = InferenceEngine({"flaky": Flaky()}, workers=2, max_wait_ms=0.0)
     with engine:
-        with pytest.raises(RuntimeError, match="worker crashed"):
+        with pytest.raises(ServingError, match="worker crashed"):
             engine.predict("flaky", {"die": True}, timeout=30.0)
+        deadline = time.perf_counter() + 10.0
+        while time.perf_counter() < deadline and engine._dispatch is not None:
+            time.sleep(0.01)
+        assert engine._dispatch is None  # breaker tripped -> inline
         with obs_trace.start_trace("test.request", trace_id="failover1", sampled=True):
             assert engine.predict("flaky", {}, timeout=30.0) == {"ok": True}
     spans = obs_trace.STORE.spans("failover1")
