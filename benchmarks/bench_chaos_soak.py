@@ -20,6 +20,12 @@ failure domain, each under a deterministic :mod:`repro.chaos` schedule:
 - **registry** — a bundle save truncated by ``registry.save`` must fail
   checksum verification with a typed ``RegistryCorruptError`` on load,
   and a clean re-save must serve.
+- **event store** — a child process appends to an ``EventLog``,
+  durably recording every acked sequence number, and is SIGKILLed
+  mid-stream.  Reopening the log must recover every acked event
+  bit-for-bit (a torn tail may be truncated, an acked record may not),
+  and the ``store.append`` / ``store.fsync`` chaos points must surface
+  as typed ``StoreIOError`` with the failed append fully rolled back.
 - **bit-identical replay** — with chaos off, a fresh server must return
   exactly the scores recorded before any fault ran.
 
@@ -34,7 +40,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import socket
+import subprocess
 import sys
 import threading
 import time
@@ -68,11 +76,13 @@ from repro.serving import (
     RetinaBundle,
     RetweeterPredictor,
 )
+from repro.store import EventLog, RetweetEvent, StoreIOError
 
 REPLAY_N = 24          # deterministic request set for the bit-identical gate
 DISCONNECTS = 5        # aio.disconnect leg: peers dropped mid-body
 SLOWLORIS = 3          # aio.slowloris leg: stalled request heads
 RECOVERY_TIMEOUT_S = 30.0
+STORE_KILL_ACKS = 40   # SIGKILL the appender once this many acks are durable
 
 
 @lru_cache(maxsize=1)
@@ -339,6 +349,122 @@ def _registry_leg(seed: int, tmp_root: str) -> dict:
     }
 
 
+# ----------------------------------------------------------------- store leg
+def _store_child(root: str) -> int:
+    """Child mode: append unique events until killed, acking each durably.
+
+    Each ack line is written *after* ``append`` returns and fsynced
+    before the next append starts, so every line in ``acked.jsonl``
+    names an event the log promised to keep.  Small segments force
+    rollover under fire.
+    """
+    log = EventLog(os.path.join(root, "events"), segment_max_bytes=4096)
+    fd = os.open(os.path.join(root, "acked.jsonl"),
+                 os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    i = log.last_seq
+    while True:
+        seq, digest, _ = log.append(
+            RetweetEvent(tweet_id=i, user_id=i + 1, timestamp=float(i))
+        )
+        os.write(fd, (json.dumps({"seq": seq, "hash": digest}) + "\n").encode())
+        os.fsync(fd)
+        i += 1
+
+
+def _store_leg(seed: int, tmp_root: str) -> dict:
+    """SIGKILL an appender mid-stream, then prove no acked event was lost."""
+    root = Path(tmp_root) / "store"
+    root.mkdir()
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    ack_path = root / "acked.jsonl"
+    child = subprocess.Popen(
+        [sys.executable, __file__, "--store-child", str(root)], env=env
+    )
+    deadline = time.monotonic() + 120
+    killed_mid_stream = False
+    while time.monotonic() < deadline:
+        try:
+            acks = ack_path.read_bytes().count(b"\n")
+        except OSError:
+            acks = 0
+        if acks >= STORE_KILL_ACKS:
+            os.kill(child.pid, signal.SIGKILL)
+            killed_mid_stream = True
+            break
+        if child.poll() is not None:
+            break
+        time.sleep(0.005)
+    child.wait(timeout=60)
+
+    acked: list[dict] = []
+    for line in ack_path.read_text().splitlines():
+        try:
+            acked.append(json.loads(line))
+        except json.JSONDecodeError:
+            break  # only the very last line can be torn (fsynced per line)
+    log = EventLog(str(root / "events"), segment_max_bytes=4096)
+    lost = []
+    for rec in acked:
+        try:
+            stored = log.get(rec["seq"])
+        except KeyError:
+            lost.append(rec["seq"])
+            continue
+        if stored.hash != rec["hash"]:
+            lost.append(rec["seq"])
+    seqs = [s.seq for s in log.events(0)]
+    contiguous = seqs == list(range(1, len(seqs) + 1))
+    stats = log.stats()
+    log.close()
+
+    # Typed-failure sub-leg: both chaos points must fail cleanly and the
+    # rolled-back log must keep accepting appends with contiguous seqs.
+    chaos.enable(ChaosPlan(seed=seed, rules={
+        "store.append": ChaosRule(at=(0,)),
+        "store.fsync": ChaosRule(at=(0,)),
+    }))
+    typed = {"store.append": False, "store.fsync": False}
+    try:
+        clog = EventLog(str(root / "chaos-events"))
+        try:  # call 0 of store.append fires before any bytes are written
+            clog.append(RetweetEvent(tweet_id=1, user_id=2, timestamp=1.0))
+        except StoreIOError:
+            typed["store.append"] = True
+        try:  # call 0 of store.fsync fires after the write; must roll back
+            clog.append(RetweetEvent(tweet_id=1, user_id=2, timestamp=1.0))
+        except StoreIOError:
+            typed["store.fsync"] = True
+        seq, _, deduped = clog.append(
+            RetweetEvent(tweet_id=1, user_id=2, timestamp=1.0)
+        )
+        clog.close()
+    finally:
+        chaos.disable()
+    reopened = EventLog(str(root / "chaos-events"))
+    rolled_back_clean = (
+        seq == 1 and not deduped
+        and reopened.last_seq == 1
+        and reopened.stats()["truncated_tail_bytes"] == 0
+    )
+    reopened.close()
+    return {
+        "killed_mid_stream": killed_mid_stream,
+        "acked": len(acked),
+        "recovered": stats["events"],
+        "lost_acked": lost[:10],
+        "n_lost_acked": len(lost),
+        "truncated_tail_bytes": stats["truncated_tail_bytes"],
+        "segments": stats["segments"],
+        "contiguous_after_reopen": contiguous,
+        "typed_errors": typed,
+        "rolled_back_clean": rolled_back_clean,
+    }
+
+
 # --------------------------------------------------------------------- main
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -352,6 +478,8 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="exit non-zero when any soak gate fails")
     parser.add_argument("--smoke", action="store_true",
                         help="short CI preset (implies --check)")
+    parser.add_argument("--store-child", metavar="DIR", default=None,
+                        help=argparse.SUPPRESS)  # internal: the killed appender
     add_json_out(parser)
     args = parser.parse_args(argv)
     if args.smoke:
@@ -378,6 +506,8 @@ def _run(args) -> dict:
     paged = _paged_leg(args.seed)
     with tempfile.TemporaryDirectory() as tmp:
         registry = _registry_leg(args.seed, tmp)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = _store_leg(args.seed, tmp)
 
     # Chaos off, fresh server: the exact same scores must come back.
     engine, server = _serve(workers=1)
@@ -402,6 +532,14 @@ def _run(args) -> dict:
         "paged_no_silent_loss": paged["no_silent_loss"],
         "registry_corruption_typed": registry["corruption_detected_typed"],
         "registry_clean_resave_loads": registry["clean_resave_loads"],
+        "store_no_acked_loss": (
+            store["killed_mid_stream"]
+            and store["n_lost_acked"] == 0
+            and store["contiguous_after_reopen"]
+        ),
+        "store_chaos_typed": (
+            all(store["typed_errors"].values()) and store["rolled_back_clean"]
+        ),
         "bit_identical_chaos_off": bit_identical,
     }
     return {
@@ -410,6 +548,7 @@ def _run(args) -> dict:
         "raw_socket": raw,
         "paged": paged,
         "registry": registry,
+        "store": store,
         "bit_identical": {"requests": REPLAY_N, "ok": bit_identical},
         "gates": gates,
         "all_gates_ok": all(gates.values()),
@@ -418,6 +557,8 @@ def _run(args) -> dict:
 
 def main(argv=None) -> int:
     args = parse_args(argv)
+    if args.store_child:
+        return _store_child(args.store_child)
     results = _run(args)
     report = {"benchmark": "chaos_soak", "results": results}
     emit_report(report, args.json_out)

@@ -9,6 +9,8 @@ process/disk/network seams::
     paged.read          PagedMatrix block read raises EIO
     paged.write         PagedMatrix block writeback raises EIO
     registry.save       a bundle artifact is truncated after checksumming
+    store.append        EventLog append fails before any bytes are written
+    store.fsync         EventLog fsync raises EIO (the partial write is rolled back)
     client.reset        a pooled keep-alive socket raises ConnectionResetError
     aio.disconnect      (soak harness) client drops mid-body
     aio.slowloris       (soak harness) client trickles the request head

@@ -19,6 +19,9 @@ Commands
     One-shot prediction — in-process from a registry bundle
     (``--store``), or against a running server via the
     :class:`repro.client.ServingClient` SDK (``--url``).
+``ingest``
+    Stream JSONL events (file or stdin) into a running server's durable
+    event log via ``POST /v1/ingest``.
 
 All world-building commands accept ``--seed``, ``--scale``, ``--users``,
 ``--hashtags`` to control the world.
@@ -99,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable admission control (quotas + load shedding; "
                         "tunable via REPRO_ADMIT_* env vars)")
     s.add_argument("--quiet", action="store_true", help="suppress request logs")
+
+    i = sub.add_parser("ingest", help="stream JSONL events into a running server")
+    i.add_argument("--url", required=True, metavar="URL",
+                   help="base URL of a running server")
+    i.add_argument("events", metavar="FILE",
+                   help="JSONL file of events, one object per line ('-' = stdin)")
+    i.add_argument("--batch-size", type=int, default=256,
+                   help="events per POST /v1/ingest call")
+    i.add_argument("--quiet", action="store_true",
+                   help="print only the final summary line")
 
     p = sub.add_parser("predict", help="one-shot prediction from a registry bundle")
     p.add_argument("--store", default=None, help="model-registry directory (in-process)")
@@ -383,6 +396,64 @@ def _cmd_predict(args) -> int:
     return 0 if "error" not in result else 1
 
 
+def _cmd_ingest(args) -> int:
+    from repro.client import ServingClient, ServingError
+    from repro.serving.schemas import MAX_INGEST_EVENTS
+
+    batch_size = max(1, min(int(args.batch_size), MAX_INGEST_EVENTS))
+    fh = sys.stdin if args.events == "-" else open(args.events)
+    accepted = deduped = errors = sent = 0
+    last_seq = 0
+    try:
+        with ServingClient(args.url) as client:
+            batch: list[dict] = []
+
+            def flush() -> None:
+                nonlocal accepted, deduped, errors, last_seq, sent
+                if not batch:
+                    return
+                resp = client.ingest(batch)
+                sent += len(batch)
+                accepted += resp.accepted
+                deduped += resp.deduped
+                errors += resp.n_errors
+                last_seq = resp.last_seq
+                if not args.quiet:
+                    for item, result in zip(batch, resp.results):
+                        if "error" in result:
+                            err = result["error"]
+                            print(f"REJECT {json.dumps(item)}: "
+                                  f"{err.get('code')}: {err.get('message')}",
+                                  file=sys.stderr)
+                batch.clear()
+
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    print(f"line {lineno}: invalid JSON: {exc}", file=sys.stderr)
+                    errors += 1
+                    continue
+                batch.append(event)
+                if len(batch) >= batch_size:
+                    flush()
+            flush()
+    except ServingError as exc:
+        print(json.dumps(exc.as_result(), indent=2), file=sys.stderr)
+        return 1
+    finally:
+        if fh is not sys.stdin:
+            fh.close()
+    print(json.dumps({
+        "sent": sent, "accepted": accepted, "deduped": deduped,
+        "errors": errors, "last_seq": last_seq,
+    }))
+    return 0 if errors == 0 else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
@@ -390,6 +461,7 @@ _COMMANDS = {
     "train-hategen": _cmd_train_hategen,
     "serve": _cmd_serve,
     "predict": _cmd_predict,
+    "ingest": _cmd_ingest,
 }
 
 

@@ -34,6 +34,8 @@ from repro.serving.schemas import (
     HateGenRequest,
     HateGenResponse,
     HealthResponse,
+    IngestRequest,
+    IngestResponse,
     ModelsResponse,
     ReloadRequest,
     ReloadResponse,
@@ -44,6 +46,7 @@ from repro.serving.schemas import (
     VersionsResponse,
     request_schema_for,
     response_schema_for,
+    validate_event_payload,
 )
 
 __all__ = ["ServingClient", "ServingError", "parse_response"]
@@ -134,6 +137,8 @@ class ServingClient:
         requests), a GET gets one free immediate retry on a fresh
         connection, while a POST fails fast with a typed
         ``connection_reset`` error — it may already have been processed.
+        :meth:`ingest` is exempt: content-hash dedup makes it idempotent,
+        so it takes the free retry too.
     backoff:
         First retry delay in seconds; doubles per attempt.  A 429/503
         response carrying ``Retry-After`` overrides the backoff with the
@@ -181,7 +186,7 @@ class ServingClient:
 
     # ------------------------------------------------------------ plumbing
     def _request(self, method: str, path: str, payload: dict | None = None,
-                 trace_id: str | None = None):
+                 trace_id: str | None = None, *, idempotent: bool = False):
         """One HTTP round trip with pooling + retries; returns (status, body)."""
         body = None
         headers = {}
@@ -224,15 +229,16 @@ class ServingClient:
                 # socket and retry on a fresh one.
                 self._pool.discard(conn)
                 if reused and isinstance(exc, _STALE_RESET_EXCS):
-                    if method == "GET" and stale_retry_left:
+                    if (method == "GET" or idempotent) and stale_retry_left:
                         # The socket idled past the server's keep-alive
                         # window; the request never ran.  One immediate
                         # retry on a fresh connection, not counted against
-                        # the retry budget.
+                        # the retry budget.  ``idempotent`` POSTs (ingest:
+                        # content-hash dedup) take the same free retry.
                         stale_retry_left = False
                         delay = 0.0
                         continue
-                    if method != "GET":
+                    if method != "GET" and not idempotent:
                         # A non-idempotent request may already have been
                         # processed before the reset: fail fast, typed.
                         raise ServingError(
@@ -275,9 +281,11 @@ class ServingClient:
         )
 
     def _call(self, method: str, path: str, payload: dict | None = None,
-              trace_id: str | None = None) -> dict:
+              trace_id: str | None = None, *, idempotent: bool = False) -> dict:
         """Request + raise a typed ServingError on any error payload."""
-        status, body = self._request(method, path, payload, trace_id=trace_id)
+        status, body = self._request(
+            method, path, payload, trace_id=trace_id, idempotent=idempotent
+        )
         if status >= 400 or (isinstance(body, dict) and "error" in body):
             err = ErrorResponse.from_body(body, status=status)
             raise ServingError(
@@ -342,6 +350,34 @@ class ServingClient:
         payload = BatchRequest.validate({"requests": wire}).to_dict()
         body = self._call("POST", f"/v1/batch/{kind}", payload)
         return BatchPredictResponse.from_dict(kind, body, strict=self.strict)
+
+    # ------------------------------------------------------------- ingest
+    def ingest(self, events: list, *, trace_id: str | None = None) -> IngestResponse:
+        """Durably append a batch of events to the server's event log.
+
+        ``events`` entries may be wire dicts (``{"kind": "retweet",
+        "tweet_id": 17, "user_id": 3, "timestamp": 40.0}``) or
+        :mod:`repro.store` event objects; each is validated client-side
+        by the same schema layer the server runs.  Item-level failures
+        come back inside :class:`IngestResponse` — only transport or
+        whole-batch problems raise.
+
+        Unlike the other POSTs, this one *is* retried after a stale
+        keep-alive reset (and on 429/503 like everything else): every
+        event is content-hashed server-side, so a replayed batch
+        deduplicates and acks with the original sequence numbers instead
+        of double-applying.
+        """
+        wire = []
+        for item in events:
+            if hasattr(item, "to_wire"):
+                item = item.to_wire()
+            wire.append(validate_event_payload(item))
+        payload = IngestRequest.validate({"events": wire}).to_dict()
+        body = self._call(
+            "POST", "/v1/ingest", payload, trace_id=trace_id, idempotent=True
+        )
+        return IngestResponse.from_dict(body)
 
     # ------------------------------------------------------------- models
     def models(self) -> ModelsResponse:

@@ -90,11 +90,17 @@ class HateGenFeatureExtractor:
         self.store_: FeatureStore | None = None
         self._group_slices: dict[str, slice] | None = None
         self._endogen_cache: dict[int, np.ndarray] = {}
+        #: Catalog tags pinned at fit time.  Hashtag events ingested later
+        #: grow ``world.catalog`` but must not grow the endogenous block of
+        #: an already-fitted model, so the tag index is built from this
+        #: snapshot (``None`` until fit/from_state).
+        self._catalog_tags: list[str] | None = None
 
     # ------------------------------------------------------------------ fit
     def fit(self, train_tweets: list[Tweet]) -> "HateGenFeatureExtractor":
         """Fit vectorisers and Doc2Vec on training-side text."""
         world = self.world
+        self._catalog_tags = [spec.tag for spec in world.catalog]
         history_docs = [
             " ".join(t.text for t in world.user_history_before(uid, 0.0, self.history_size))
             for uid in world.users
@@ -149,11 +155,35 @@ class HateGenFeatureExtractor:
         days: dict[int, list[tuple[str, int]]] = {}
         for (day, tag), c in counts.items():
             days.setdefault(day, []).append((tag, c))
-        self._tag_index = {spec.tag: i for i, spec in enumerate(self.world.catalog)}
+        tags = (
+            self._catalog_tags
+            if self._catalog_tags is not None
+            else [spec.tag for spec in self.world.catalog]
+        )
+        self._tag_index = {tag: i for i, tag in enumerate(tags)}
+        # Retained for live ingest: a tweet event bumps its (day, tag)
+        # count and re-derives that day's trending set from here.
+        self._trend_counts = counts
+        self._trend_seq = int(getattr(self.world, "_store_watermark", 0))
         self._trending: dict[int, set[str]] = {}
         for day, items in days.items():
             items.sort(key=lambda kv: -kv[1])
             self._trending[day] = {tag for tag, _ in items[: self.trending_top_k]}
+
+    def _trending_for_day(self, day: int) -> set[str]:
+        """Recompute one day's trending set from the live counts.
+
+        New ``(day, tag)`` keys append at the end of the counts dict in
+        event order — exactly where a cold walk over ``world.tweets``
+        (base corpus first, then applied events in sequence order) would
+        insert them — so the stable top-k sort ties break identically to
+        a from-scratch :meth:`_precompute_trending`.
+        """
+        items = [
+            (tag, c) for (d, tag), c in self._trend_counts.items() if d == day
+        ]
+        items.sort(key=lambda kv: -kv[1])
+        return {tag for tag, _ in items[: self.trending_top_k]}
 
     # -------------------------------------------------------------- blocks
     def _user_block(self, user_id: int) -> dict:
@@ -274,6 +304,37 @@ class HateGenFeatureExtractor:
         sl = self.group_slices[group]
         return np.delete(X, np.r_[sl], axis=1)
 
+    # ----------------------------------------------------------- live ingest
+    def apply_events(self, stored_events) -> dict[str, int]:
+        """Fold already-world-applied events into this extractor's caches.
+
+        Delegates store-level invalidation to
+        :meth:`FeatureStore.apply_events`, then updates the trending
+        counts and drops the endogenous-vector cache for affected days.
+        Watermark-guarded, so overlapping batches are no-ops.
+        """
+        check_fitted(self, "text_vectorizer_")
+        counts = self.store_.apply_events(stored_events)
+        events = [s for s in stored_events if s.seq > self._trend_seq]
+        dirty_days: set[int] = set()
+        for s in events:
+            if s.event.kind == "tweet":
+                day = int(s.event.timestamp // DAY_HOURS)
+                key = (day, s.event.hashtag)
+                self._trend_counts[key] = self._trend_counts.get(key, 0) + 1
+                dirty_days.add(day)
+        for day in dirty_days:
+            self._trending[day] = self._trending_for_day(day)
+            self._endogen_cache.pop(day, None)
+        if events:
+            self._trend_seq = events[-1].seq
+        counts["endogen_day"] = len(dirty_days)
+        if dirty_days:
+            from repro.features.store import _INVALIDATIONS
+
+            _INVALIDATIONS.inc(len(dirty_days), structure="endogen_day")
+        return counts
+
     # -------------------------------------------------------- serialization
     def to_state(self) -> dict:
         """Fitted state as a plain dict, independent of the world object.
@@ -295,6 +356,11 @@ class HateGenFeatureExtractor:
                 "doc2vec_epochs": self.doc2vec_epochs,
             },
             "lexicon_terms": list(self.lexicon.terms),
+            "catalog_tags": list(
+                self._catalog_tags
+                if self._catalog_tags is not None
+                else [spec.tag for spec in self.world.catalog]
+            ),
             "text_vectorizer": self.text_vectorizer_.to_state(),
             "news_vectorizer": self.news_vectorizer_.to_state(),
             "doc2vec": self.doc2vec_.to_state(),
@@ -311,6 +377,9 @@ class HateGenFeatureExtractor:
             random_state=0,
             **state["params"],
         )
+        tags = state.get("catalog_tags")
+        if tags is not None:  # absent in pre-ingest bundles: use the world's
+            extractor._catalog_tags = [str(t) for t in tags]
         extractor.text_vectorizer_ = TfidfVectorizer.from_state(state["text_vectorizer"])
         extractor.news_vectorizer_ = TfidfVectorizer.from_state(state["news_vectorizer"])
         extractor.doc2vec_ = Doc2Vec.from_state(state["doc2vec"])

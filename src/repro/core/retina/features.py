@@ -99,6 +99,7 @@ class RetinaFeatureExtractor:
         self.tweet_vectorizer_: TfidfVectorizer | None = None
         self._news_vec_cache: np.ndarray | None = None
         self._retweeted_before: dict[tuple[int, int], int] | None = None
+        self._prior_seq = 0
 
     def fit(self, train_cascades: list[Cascade]) -> "RetinaFeatureExtractor":
         """Fit text models on the training side of the corpus."""
@@ -133,6 +134,7 @@ class RetinaFeatureExtractor:
                 counts[key] = counts.get(key, 0) + 1
         self._retweeted_before = counts
         self.base_.store_.set_prior_retweets(counts)
+        self._prior_seq = int(getattr(self.world, "_store_watermark", 0))
         return self
 
     # -------------------------------------------------------------- pieces
@@ -306,9 +308,46 @@ class RetinaFeatureExtractor:
         """Dimensionality of the per-candidate feature vector."""
         check_fitted(self, "base_")
         hist = self.store_.history_dim
-        endo = len(self.world.catalog)
+        # The endogenous width is the *pinned* tag index, not the live
+        # catalog — hashtag events ingested after fit must not change the
+        # dimensionality an already-trained model expects.
+        endo = len(self.base_._tag_index)
         tweet = len(self.tweet_vectorizer_.vocabulary_) + len(self.base_.lexicon)
         return 2 + hist + endo + tweet
+
+    # ----------------------------------------------------------- live ingest
+    def apply_events(self, stored_events) -> dict[str, int]:
+        """Fold already-world-applied events into this extractor's caches.
+
+        Beyond the base extractor's store/trending invalidation, a live
+        retweet increments the (root user, retweeter) prior-retweet count
+        — the peer feature the paper derives from past interactions — and
+        re-seeds the store's CSR view of it.  Watermark-guarded.
+        """
+        check_fitted(self, "base_")
+        counts = self.base_.apply_events(stored_events)
+        events = [s for s in stored_events if s.seq > self._prior_seq]
+        cascade_index = getattr(self.world, "_store_cascade_index", None) or {}
+        changed = 0
+        for s in events:
+            if s.event.kind != "retweet":
+                continue
+            cascade = cascade_index.get(s.event.tweet_id)
+            if cascade is None:
+                continue
+            key = (cascade.root.user_id, s.event.user_id)
+            self._retweeted_before[key] = self._retweeted_before.get(key, 0) + 1
+            changed += 1
+        if changed:
+            self.base_.store_.set_prior_retweets(self._retweeted_before)
+        if events:
+            self._prior_seq = events[-1].seq
+        counts["prior_csr"] = changed
+        if changed:
+            from repro.features.store import _INVALIDATIONS
+
+            _INVALIDATIONS.inc(changed, structure="prior_csr")
+        return counts
 
     # -------------------------------------------------------- serialization
     def to_state(self) -> dict:
@@ -336,6 +375,7 @@ class RetinaFeatureExtractor:
             "tweet_vectorizer": self.tweet_vectorizer_.to_state(),
             "news_vec_cache": self._news_vec_cache.copy(),
             "retweeted_before": retweeted,
+            "prior_seq": int(self._prior_seq),
         }
 
     @classmethod
@@ -352,4 +392,9 @@ class RetinaFeatureExtractor:
             (int(ru), int(cu)): int(n) for ru, cu, n in retweeted
         }
         extractor.base_.store_.set_prior_retweets(extractor._retweeted_before)
+        # The restored counts reflect every logged retweet up to the seq
+        # recorded at fit time ("prior_seq"); replay resumes past it so a
+        # bundle fitted after ingest never double-counts.  Pre-ingest
+        # bundles lack the key and replay from the beginning.
+        extractor._prior_seq = int(state.get("prior_seq", 0))
         return extractor

@@ -44,6 +44,12 @@ _DEGRADED_READS = obs_metrics.REGISTRY.counter(
     labels=("matrix",),
 )
 
+_INVALIDATIONS = obs_metrics.REGISTRY.counter(
+    "repro_store_invalidations_total",
+    "Feature-store structures surgically invalidated by ingested events.",
+    labels=("structure",),
+)
+
 #: Scalars appended to each user's history block, in seed order: hate ratio,
 #: retweet-count ratio, retweeted-tweet ratio, follower count, account age
 #: (years), number of distinct recent hashtags.
@@ -204,6 +210,10 @@ class FeatureStore:
         self._tweet_vec_cache: dict[str, np.ndarray] = {}
         #: Reads served by recomputation after persistent paged I/O failure.
         self.degraded_reads = 0
+        #: Highest event-log sequence number already reflected here.  A
+        #: store built over an already-replayed world starts at that
+        #: world's watermark — its init pass saw those events' effects.
+        self._applied_seq = int(getattr(world, "_store_watermark", 0))
 
     # ---------------------------------------------------------------- sizes
     @property
@@ -508,6 +518,124 @@ class FeatureStore:
                 count=len(user_ids),
             )
         return np.stack([spl, self.prior_counts(root_user, user_ids)], axis=1)
+
+    # ----------------------------------------------------------- live ingest
+    def _invalidate_distances(self, followee: int, follower: int) -> int:
+        """Drop cached BFS results a new ``followee -> follower`` edge stales.
+
+        A cached distance map/array from source ``s`` changes only when the
+        new edge shortens the follower's distance: ``d_s(followee) + 1 <
+        d_s(follower)`` (absent/unreached = ``cutoff + 1``).  Everything
+        else keeps serving — distances elsewhere cannot shrink through an
+        edge that doesn't improve its own endpoint.
+        """
+        dropped = 0
+        stale_keys = [
+            key
+            for key, dmap in self._dist_cache.items()
+            if dmap.get(followee, key[1] + 1) + 1 < dmap.get(follower, key[1] + 1)
+        ]
+        for key in stale_keys:
+            del self._dist_cache[key]
+        dropped += len(stale_keys)
+        if self._dist_arr_cache:
+            network = self.world.network
+            erow = network._row(followee) if getattr(network, "is_frozen", False) else -1
+            frow = network._row(follower) if erow >= 0 else -1
+            if erow < 0 or frow < 0:
+                dropped += len(self._dist_arr_cache)
+                self._dist_arr_cache.clear()
+            else:
+                stale = [
+                    key
+                    for key, arr in self._dist_arr_cache.items()
+                    if int(arr[erow]) + 1 < int(arr[frow])
+                ]
+                for key in stale:
+                    del self._dist_arr_cache[key]
+                dropped += len(stale)
+        return dropped
+
+    def apply_events(self, stored_events) -> dict[str, int]:
+        """Surgically fold already-world-applied events into the store.
+
+        Call *after* :func:`repro.store.apply_events_to_world` mutated this
+        store's world.  Guarded by a per-store watermark, so overlapping
+        batches (and stores sharing one world) are safe.  Rebuilding a
+        dirtied history row later reads the updated counters/world, so the
+        row is bit-identical to a cold build over the mutated world.
+
+        Returns per-structure invalidation counts (also exported on the
+        ``repro_store_invalidations_total`` counter).
+        """
+        counts = {
+            "history_row": 0,
+            "retweet_counts": 0,
+            "distance_cache": 0,
+            "in_window": 0,
+        }
+        events = [s for s in stored_events if s.seq > self._applied_seq]
+        if not events:
+            return counts
+        cascade_index = getattr(self.world, "_store_cascade_index", None) or {}
+        # Pre-scan so each retweet knows its cascade's size *before* it:
+        # by the time we run, the world already holds the whole batch.
+        batch_rts: dict[int, int] = {}
+        for s in events:
+            if s.event.kind == "retweet":
+                batch_rts[s.event.tweet_id] = batch_rts.get(s.event.tweet_id, 0) + 1
+        seen_rts: dict[int, int] = {}
+        dirty_rows: set[int] = set()
+        for s in events:
+            ev = s.event
+            if ev.kind == "tweet":
+                cascade = cascade_index.get(ev.tweet_id)
+                if cascade is not None:
+                    bucket = self._in_window.setdefault(ev.user_id, [])
+                    if all(t is not cascade.root for t in bucket):
+                        bucket.append(cascade.root)
+                        counts["in_window"] += 1
+                i = self._index.get(ev.user_id)
+                if i is not None:
+                    dirty_rows.add(int(i))
+            elif ev.kind == "retweet":
+                cascade = cascade_index.get(ev.tweet_id)
+                if cascade is None:
+                    continue
+                seen = seen_rts.get(ev.tweet_id, 0)
+                pre_size = cascade.size - batch_rts[ev.tweet_id] + seen
+                seen_rts[ev.tweet_id] = seen + 1
+                i = self._index.get(cascade.root.user_id)
+                if i is None:
+                    continue
+                if cascade.root.is_hate:
+                    self._rts_hate[i] += 1
+                    if pre_size == 0:
+                        self._n_rt_hate[i] += 1
+                else:
+                    self._rts_non[i] += 1
+                    if pre_size == 0:
+                        self._n_rt_non[i] += 1
+                counts["retweet_counts"] += 1
+                dirty_rows.add(int(i))
+            elif ev.kind == "follow":
+                # The followee's history row embeds their follower count.
+                i = self._index.get(ev.followee)
+                if i is not None:
+                    dirty_rows.add(int(i))
+                counts["distance_cache"] += self._invalidate_distances(
+                    ev.followee, ev.follower
+                )
+            # hashtag events touch no store structure: catalog membership
+            # is pinned at the extractor layer.
+        for i in dirty_rows:
+            self._built[i] = False
+        counts["history_row"] = len(dirty_rows)
+        self._applied_seq = events[-1].seq
+        for structure, n in counts.items():
+            if n:
+                _INVALIDATIONS.inc(n, structure=structure)
+        return counts
 
     # ------------------------------------------------------------ lifecycle
     def invalidate(self) -> None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["build_csr", "bfs_distances", "bfs_hops_to"]
+__all__ = ["build_csr", "bfs_distances", "bfs_distances_overlay", "bfs_hops_to"]
 
 
 def build_csr(
@@ -74,6 +74,45 @@ def bfs_distances(
     frontier = np.array([source], dtype=np.int32)
     for d in range(1, cutoff + 1):
         nbrs = _gather_neighbors(indptr, indices, frontier)
+        if len(nbrs) == 0:
+            break
+        fresh = nbrs[dist[nbrs] == far]
+        if len(fresh) == 0:
+            break
+        dist[fresh] = d
+        frontier = np.unique(fresh).astype(np.int32)
+    return dist
+
+
+def bfs_distances_overlay(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    extra: dict,
+    source: int,
+    cutoff: int,
+) -> np.ndarray:
+    """:func:`bfs_distances` over the CSR *plus* an adjacency overlay.
+
+    ``extra`` maps row -> sequence of extra neighbour rows (edges added
+    after the freeze, e.g. live follow ingest).  Each level's gather is
+    the base CSR gather with the frontier's overlay lists appended; BFS
+    hop counts are neighbour-order independent, so the result is
+    bit-identical to rebuilding the CSR with the combined edge set.
+    """
+    n = len(indptr) - 1
+    far = cutoff + 1
+    dist = np.full(n, far, dtype=np.int16)
+    if not 0 <= source < n:
+        return dist
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int32)
+    for d in range(1, cutoff + 1):
+        nbrs = _gather_neighbors(indptr, indices, frontier)
+        extras = [extra[r] for r in frontier.tolist() if r in extra]
+        if extras:
+            nbrs = np.concatenate(
+                [nbrs] + [np.asarray(e, dtype=indices.dtype) for e in extras]
+            )
         if len(nbrs) == 0:
             break
         fresh = nbrs[dist[nbrs] == far]

@@ -30,7 +30,12 @@ from collections import deque
 
 import numpy as np
 
-from repro.graph.csr import bfs_distances, bfs_hops_to, build_csr
+from repro.graph.csr import (
+    bfs_distances,
+    bfs_distances_overlay,
+    bfs_hops_to,
+    build_csr,
+)
 
 __all__ = ["InformationNetwork"]
 
@@ -59,27 +64,68 @@ class InformationNetwork:
         self._tindices: np.ndarray | None = None
         self._fol_cache: dict[int, tuple] = {}
         self._fee_cache: dict[int, tuple] = {}
+        # Frozen-path mutation overlay (row space): edges ingested after
+        # the freeze live here instead of forcing a CSR rebuild.  Every
+        # query merges base CSR + overlay; rows without overlay entries
+        # stay on the zero-copy path.
+        self._extra_succ: dict[int, list[int]] = {}
+        self._extra_pred: dict[int, list[int]] = {}
+        self._extra_edges: set[tuple[int, int]] = set()
 
     # --------------------------------------------------------- construction
     def add_user(self, user_id: int) -> None:
         self._check_mutable()
         self._nodes.setdefault(int(user_id))
 
-    def add_follow(self, followee: int, follower: int) -> None:
-        """Record that ``follower`` follows ``followee`` (edge followee -> follower)."""
+    def add_follow(self, followee: int, follower: int) -> bool:
+        """Record that ``follower`` follows ``followee`` (edge followee -> follower).
+
+        Returns True when a new edge was added, False for a duplicate.
+        On a *frozen* network the edge goes into the CSR overlay (both
+        users must already exist): queries and BFS merge it in, exactly
+        as if the CSR had been rebuilt with the combined edge set.
+        """
         if followee == follower:
             raise ValueError("a user cannot follow themselves")
-        self._check_mutable()
         followee, follower = int(followee), int(follower)
+        if self._frozen:
+            return self._add_follow_overlay(followee, follower)
         key = (followee, follower)
         if key in self._edges:
-            return
+            return False
         self._nodes.setdefault(followee)
         self._nodes.setdefault(follower)
         self._succ.setdefault(followee, []).append(follower)
         self._pred.setdefault(follower, []).append(followee)
         self._edges.add(key)
         self._n_edges += 1
+        return True
+
+    def _add_follow_overlay(self, followee: int, follower: int) -> bool:
+        erow, frow = self._row(followee), self._row(follower)
+        if erow < 0 or frow < 0:
+            raise ValueError(
+                "cannot add a follow edge between unknown users on a "
+                f"frozen network ({followee} -> {follower})"
+            )
+        key = (erow, frow)
+        if key in self._extra_edges or bool(
+            (self._succ_slice(erow) == frow).any()
+        ):
+            return False
+        self._extra_succ.setdefault(erow, []).append(frow)
+        self._extra_pred.setdefault(frow, []).append(erow)
+        self._extra_edges.add(key)
+        self._n_edges += 1
+        # The affected adjacency tuples are stale; rebuild lazily.
+        self._fol_cache.pop(followee, None)
+        self._fee_cache.pop(follower, None)
+        return True
+
+    @property
+    def n_overlay_edges(self) -> int:
+        """Edges added after the freeze (0 on the construction path)."""
+        return len(self._extra_edges)
 
     def _check_mutable(self) -> None:
         if self._frozen:
@@ -217,7 +263,7 @@ class InformationNetwork:
             row = self._row(user_id)
             if row < 0:
                 return ()
-            value = tuple(int(v) for v in self._ids[self._succ_slice(row)])
+            value = tuple(int(v) for v in self._ids[self.followers_rows(row)])
             if len(self._fol_cache) >= _NEIGHBOR_CACHE_CAP:
                 self._fol_cache.pop(next(iter(self._fol_cache)))
             self._fol_cache[user_id] = value
@@ -235,7 +281,11 @@ class InformationNetwork:
             row = self._row(user_id)
             if row < 0:
                 return ()
-            value = tuple(int(v) for v in self._ids[self._pred_slice(row)])
+            rows = self._pred_slice(row)
+            extra = self._extra_pred.get(row)
+            if extra:
+                rows = np.concatenate([rows, np.asarray(extra, dtype=rows.dtype)])
+            value = tuple(int(v) for v in self._ids[rows])
             if len(self._fee_cache) >= _NEIGHBOR_CACHE_CAP:
                 self._fee_cache.pop(next(iter(self._fee_cache)))
             self._fee_cache[user_id] = value
@@ -245,15 +295,25 @@ class InformationNetwork:
         return list(self._pred.get(int(user_id), ()))
 
     def followers_rows(self, row: int) -> np.ndarray:
-        """Zero-copy int32 follower rows of a CSR row (frozen hot path)."""
-        return self._succ_slice(row)
+        """Follower rows of a CSR row (frozen hot path).
+
+        Zero-copy base slice when the row has no overlay edges; a fresh
+        concatenation (base order, then ingest order) when it does.
+        """
+        base = self._succ_slice(row)
+        extra = self._extra_succ.get(int(row))
+        if not extra:
+            return base
+        return np.concatenate([base, np.asarray(extra, dtype=base.dtype)])
 
     def follower_count(self, user_id: int) -> int:
         if self._frozen:
             row = self._row(user_id)
             if row < 0:
                 return 0
-            return int(self._indptr[row + 1] - self._indptr[row])
+            count = int(self._indptr[row + 1] - self._indptr[row])
+            extra = self._extra_succ.get(row)
+            return count + (len(extra) if extra else 0)
         if int(user_id) not in self._nodes:
             return 0
         return len(self._succ.get(int(user_id), ()))
@@ -262,7 +322,12 @@ class InformationNetwork:
         """Out-degree of every row, straight off ``indptr`` (frozen path)."""
         if not self._frozen:
             raise RuntimeError("follower_counts requires a frozen network")
-        return np.diff(self._indptr)
+        counts = np.diff(self._indptr)
+        if self._extra_succ:
+            counts = counts.copy()
+            for row, extra in self._extra_succ.items():
+                counts[row] += len(extra)
+        return counts
 
     def follows(self, follower: int, followee: int) -> bool:
         """True when ``follower`` follows ``followee``."""
@@ -273,6 +338,8 @@ class InformationNetwork:
             frow = self._row(follower)
             if frow < 0:
                 return False
+            if (row, frow) in self._extra_edges:
+                return True
             return bool((self._succ_slice(row) == frow).any())
         return (int(followee), int(follower)) in self._edges
 
@@ -285,6 +352,11 @@ class InformationNetwork:
         the shortest path from the root user as a peer-influence feature).
         """
         if self._frozen:
+            if self._extra_succ:
+                trow = self._row(target)
+                if trow < 0:
+                    return cutoff + 1
+                return int(self.distances_array_from(source, cutoff)[trow])
             return bfs_hops_to(
                 self._indptr,
                 self._indices,
@@ -350,6 +422,11 @@ class InformationNetwork:
         """
         if not self._frozen:
             raise RuntimeError("distances_array_from requires a frozen network")
+        if self._extra_succ:
+            return bfs_distances_overlay(
+                self._indptr, self._indices, self._extra_succ,
+                self._row(source), cutoff,
+            )
         return bfs_distances(self._indptr, self._indices, self._row(source), cutoff)
 
     # ----------------------------------------------------------- set queries
@@ -367,7 +444,7 @@ class InformationNetwork:
             )
             exposed: set[int] = set()
             for row in rows:
-                exposed.update(int(v) for v in self._ids[self._succ_slice(row)])
+                exposed.update(int(v) for v in self._ids[self.followers_rows(int(row))])
             return exposed - participants
         exposed = set()
         for uid in participants:

@@ -66,6 +66,19 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def evict_if(self, predicate) -> int:
+        """Drop every entry whose key matches ``predicate``; returns count.
+
+        The surgical counterpart of :meth:`clear` for live ingest: an
+        event invalidates only the keys it touches (e.g. one cascade's
+        feature rows), and the rest of the cache keeps its heat.
+        """
+        with self._lock:
+            stale = [k for k in self._data if predicate(k)]
+            for k in stale:
+                del self._data[k]
+            return len(stale)
+
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when unused)."""

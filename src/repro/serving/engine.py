@@ -49,10 +49,24 @@ from repro.parallel import (
     fork_available,
     resolve_workers,
 )
+from repro.core.hategen.features import DAY_HOURS
 from repro.serving.cache import LRUCache
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import HateGenBundle, ModelRegistry, RetinaBundle
-from repro.serving.schemas import HateGenRequest, RetweeterRequest, ServingError
+from repro.serving.schemas import (
+    HateGenRequest,
+    RetweeterRequest,
+    ServingError,
+    validate_event_payload,
+)
+from repro.store import (
+    EventLog,
+    StoredEvent,
+    apply_events_to_world,
+    event_from_wire,
+    event_hash,
+    validate_event_for_world,
+)
 
 __all__ = [
     "ServingError",
@@ -137,6 +151,11 @@ class RetweeterPredictor:
         self.feature_cache = LRUCache(cache_size)
         self.context_cache = LRUCache(max(64, cache_size // 64))
         self.metrics = ServingMetrics()
+        #: Event-log watermark: highest store seq already folded into this
+        #: predictor's caches.  A predictor built over an already-replayed
+        #: world starts at the world's watermark (its ``_cascades`` map and
+        #: empty caches already reflect those events).
+        self._applied_seq = int(getattr(self.world, "_store_watermark", 0))
         #: ``{"name", "version"}`` of the registry bundle this predictor
         #: serves, set by :func:`engine_from_store` / reloads.
         self.source: dict | None = None
@@ -222,6 +241,68 @@ class RetweeterPredictor:
             random_state=0,
         )
         return list(cs.users)
+
+    # ---------------------------------------------------------- live ingest
+    def apply_events(self, stored_events: list[StoredEvent]) -> dict:
+        """Fold durable store events into the live serving state.
+
+        Applies the events to the world (watermark-guarded no-op when a
+        co-resident predictor sharing the world got there first) and the
+        extractor, registers new cascades for lookup, then surgically
+        evicts only the cache entries the events invalidate:
+
+        - candidate rows for users whose history row / prior-retweet count
+          changed (tweet author, retweet root author, retweeter, followee);
+        - per-cascade contexts whose day's trending set a new tweet moved;
+        - the whole candidate-row cache on a follow — rows embed
+          shortest-path lengths and the changed distances cannot be mapped
+          back to cached keys without a BFS per cached cascade.
+        """
+        events = [s for s in stored_events if s.seq > self._applied_seq]
+        if not events:
+            return {}
+        apply_events_to_world(self.world, events)
+        counts = self.extractor.apply_events(events)
+        index = getattr(self.world, "_store_cascade_index", None) or {}
+        dirty_users: set[int] = set()
+        dirty_days: set[int] = set()
+        clear_features = False
+        for s in events:
+            ev = s.event
+            if ev.kind == "tweet":
+                cascade = index.get(ev.tweet_id)
+                if cascade is not None:
+                    self._cascades[ev.tweet_id] = cascade
+                dirty_users.add(ev.user_id)
+                dirty_days.add(int(ev.timestamp // DAY_HOURS))
+            elif ev.kind == "retweet":
+                dirty_users.add(ev.user_id)
+                cascade = self._cascades.get(ev.tweet_id)
+                if cascade is not None:
+                    dirty_users.add(cascade.root.user_id)
+            elif ev.kind == "follow":
+                dirty_users.add(ev.followee)
+                clear_features = True
+        self._applied_seq = events[-1].seq
+        evicted = 0
+        if clear_features:
+            evicted += len(self.feature_cache)
+            self.feature_cache.clear()
+        elif dirty_users:
+            evicted += self.feature_cache.evict_if(lambda k: k[0] in dirty_users)
+        if dirty_days:
+            cascades = self._cascades
+
+            def _stale_context(cid) -> bool:
+                c = cascades.get(cid)
+                return (
+                    c is not None
+                    and int(c.root.timestamp // DAY_HOURS) in dirty_days
+                )
+
+            evicted += self.context_cache.evict_if(_stale_context)
+        counts["cache_evictions"] = evicted
+        return counts
 
     # ----------------------------------------------------------- prediction
     def _validate(self, payload: dict) -> dict:
@@ -358,6 +439,8 @@ class HateGenPredictor:
         self._hashtags = {spec.tag for spec in self.world.catalog}
         self.feature_cache = LRUCache(cache_size)
         self.metrics = ServingMetrics()
+        #: Event-log watermark (see :class:`RetweeterPredictor`).
+        self._applied_seq = int(getattr(self.world, "_store_watermark", 0))
         self.source: dict | None = None
 
     def describe(self) -> dict:
@@ -371,6 +454,49 @@ class HateGenPredictor:
         if self.source is not None:
             out["source"] = dict(self.source)
         return out
+
+    # ---------------------------------------------------------- live ingest
+    def apply_events(self, stored_events: list[StoredEvent]) -> dict:
+        """Fold durable store events into the live serving state.
+
+        World + extractor application are watermark-guarded (shared worlds
+        apply once).  Newly registered hashtags become queryable — scored
+        with a zero endogenous slot, since the fitted dimensionality is
+        pinned to the catalog at fit time.  Cached sample vectors are
+        evicted for users whose history row changed and for timestamps on
+        days whose trending set moved.
+        """
+        events = [s for s in stored_events if s.seq > self._applied_seq]
+        if not events:
+            return {}
+        apply_events_to_world(self.world, events)
+        counts = self.extractor.apply_events(events)
+        index = getattr(self.world, "_store_cascade_index", None) or {}
+        dirty_users: set[int] = set()
+        dirty_days: set[int] = set()
+        for s in events:
+            ev = s.event
+            if ev.kind == "tweet":
+                dirty_users.add(ev.user_id)
+                dirty_days.add(int(ev.timestamp // DAY_HOURS))
+            elif ev.kind == "retweet":
+                dirty_users.add(ev.user_id)
+                cascade = index.get(ev.tweet_id)
+                if cascade is not None:
+                    dirty_users.add(cascade.root.user_id)
+            elif ev.kind == "follow":
+                dirty_users.add(ev.followee)
+            elif ev.kind == "hashtag":
+                self._hashtags.add(ev.tag)
+        self._applied_seq = events[-1].seq
+        evicted = 0
+        if dirty_users or dirty_days:
+            evicted = self.feature_cache.evict_if(
+                lambda k: k[0] in dirty_users
+                or int(k[2] // DAY_HOURS) in dirty_days
+            )
+        counts["cache_evictions"] = evicted
+        return counts
 
     def _validate(self, payload: dict) -> dict:
         req = HateGenRequest.validate(payload)
@@ -504,7 +630,11 @@ class _PoolDispatch:
         # below still degrades to inline on a crash *loop*.
         self.pool = WorkerPool(
             n_workers,
-            {"batch": engine._worker_batch, "stats": engine._worker_cache_stats},
+            {
+                "batch": engine._worker_batch,
+                "stats": engine._worker_cache_stats,
+                "apply": engine._worker_apply,
+            },
             initializer=_rebase,
             name="repro-serve",
             respawn=True,
@@ -538,6 +668,26 @@ class _PoolDispatch:
                 self.pending[tid] = ("__stats__", future)
                 futures.append(future)
         return [f.result(timeout=timeout) for f in futures]
+
+    def apply(self, stored_events, timeout: float = 30.0) -> None:
+        """Broadcast store events to every worker and wait for the barrier.
+
+        Each forked worker holds its own copy-on-write predictor state, so
+        ingest must reach all of them; the per-predictor watermarks make a
+        delivery to a freshly respawned worker (forked from the already
+        updated parent) a no-op rather than a double-apply.
+        """
+        futures: list[Future] = []
+        with self.lock:
+            if self.retired:
+                raise _DispatchRetired
+            for i in range(self.pool.n_workers):
+                future: Future = Future()
+                tid = self.pool.submit("apply", stored_events, worker=i)
+                self.pending[tid] = ("__apply__", future)
+                futures.append(future)
+        for f in futures:
+            f.result(timeout=timeout)
 
     # ----------------------------------------------------------- lifecycle
     def retire(self) -> None:
@@ -583,7 +733,7 @@ class _PoolDispatch:
                 status=503,
                 code=code,
             )
-            if tag == "__stats__":
+            if tag in ("__stats__", "__apply__"):
                 group.set_exception(RuntimeError("serving worker pool died"))
                 continue
             predictor = self.engine.predictors.get(tag)
@@ -648,7 +798,7 @@ class _PoolDispatch:
             if entry is None:
                 continue
             tag, group = entry
-            if tag == "__stats__":
+            if tag in ("__stats__", "__apply__"):
                 if ok:
                     group.set_result(value)
                 elif isinstance(value, BaseException):
@@ -769,6 +919,13 @@ class InferenceEngine:
         #: Dispatch generations that degraded to inline over this engine's
         #: lifetime (survives the _PoolDispatch objects themselves).
         self._dispatch_degraded_total = 0
+        #: Durable event log (see :mod:`repro.store`) backing live ingest;
+        #: attached by :meth:`attach_store`, ``None`` = ingest disabled.
+        self.event_log: EventLog | None = None
+        #: Serialises ingest batches: append order defines the replayable
+        #: history, so two concurrent POSTs must not interleave validation
+        #: against a half-applied world.
+        self._ingest_lock = threading.Lock()
 
     def _queue_age_s(self) -> float:
         try:
@@ -888,6 +1045,12 @@ class InferenceEngine:
         bundle = registry.load_bundle(manifest["name"], manifest["version"], world=world)
         predictor = predictor_for_bundle(bundle)
         predictor.source = {"name": manifest["name"], "version": manifest["version"]}
+        if self.event_log is not None:
+            # Replay the durable log through the incoming predictor before
+            # it serves: ingested events survive a model swap, whether the
+            # new bundle shares the old (already-replayed) world or brings
+            # a fresh one.
+            predictor.apply_events(self.event_log.events(0))
         previous = self.swap_predictor(kind, predictor)
         prev_source = getattr(previous, "source", None) or {}
         return {
@@ -896,6 +1059,161 @@ class InferenceEngine:
             "kind": kind,
             "previous_version": prev_source.get("version"),
         }
+
+    # ------------------------------------------------------------- ingest
+    def attach_store(self, event_log: EventLog) -> int:
+        """Attach the durable event log and replay it into every predictor.
+
+        Replays the full log: each predictor resumes past its own
+        watermark (the bundle's recorded ``prior_seq`` / the shared
+        world's ``_store_watermark``), so events ingested before a restart
+        are reconstructed and events a bundle was fitted on are not
+        double-applied.  Call before :meth:`start` so dispatch workers
+        fork from the replayed state.  Returns the number of log events.
+        """
+        self.event_log = event_log
+        events = event_log.events(0)
+        if events:
+            for predictor in self.predictors.values():
+                predictor.apply_events(events)
+            _log.info(
+                "store.replayed",
+                events=len(events),
+                last_seq=event_log.last_seq,
+            )
+        return len(events)
+
+    def ingest(self, items: list[dict]) -> dict:
+        """Durably append a batch of events and fold them into serving state.
+
+        Per item: schema validation, then semantic validation against the
+        serving world(s), then a crash-safe append to the event log — the
+        item is acked (its assigned ``seq`` returned) only after fsync.
+        A content-hash duplicate skips validation and application and is
+        acked with its original seq, which is what makes the whole POST
+        idempotent and safe to retry.  Item failures don't fail the batch;
+        a :class:`~repro.store.StoreIOError` does (nothing past the last
+        acked item was accepted).
+
+        Inside one batch, earlier items take effect before later ones are
+        validated (a tweet can be retweeted by the next item).
+        """
+        if self.event_log is None:
+            raise ServingError(
+                "no event log attached to this engine; start the server "
+                "from a model store to enable ingest",
+                status=503,
+                code="store_unavailable",
+            )
+        if self._stopping.is_set():
+            raise ServingError(
+                "engine is shutting down; request refused",
+                status=503,
+                code="engine_shutdown",
+            )
+        worlds: dict[int, object] = {
+            id(p.world): p.world for p in self.predictors.values()
+        }
+        results: list[dict] = []
+        accepted = deduped = errors = 0
+        applied: list[StoredEvent] = []
+        with self._ingest_lock:
+            with obs_trace.span("ingest.append", events=len(items)):
+                for item in items:
+                    try:
+                        wire = validate_event_payload(item)
+                        event = event_from_wire(wire)
+                    except ServingError as exc:
+                        results.append(exc.as_result())
+                        errors += 1
+                        continue
+                    except ValueError as exc:
+                        results.append(
+                            ServingError(
+                                str(exc), code="invalid_event"
+                            ).as_result()
+                        )
+                        errors += 1
+                        continue
+                    # Duplicates skip semantic validation: the original is
+                    # already applied, so re-validating would reject it
+                    # ("already retweeted") instead of acking its seq.
+                    if self.event_log.seq_for_hash(event_hash(event)) is None:
+                        msg = None
+                        for world in worlds.values():
+                            msg = validate_event_for_world(world, event)
+                            if msg is not None:
+                                break
+                        if msg is not None:
+                            results.append(
+                                ServingError(
+                                    msg, status=409, code="invalid_event"
+                                ).as_result()
+                            )
+                            errors += 1
+                            continue
+                    seq, h, was_dup = self.event_log.append(event)
+                    if was_dup:
+                        deduped += 1
+                    else:
+                        stored = StoredEvent(seq=seq, hash=h, event=event)
+                        # Apply to the world(s) now so later items in this
+                        # batch validate against the updated state.
+                        for world in worlds.values():
+                            apply_events_to_world(world, [stored])
+                        applied.append(stored)
+                        accepted += 1
+                    results.append(
+                        {"seq": seq, "hash": h, "deduped": was_dup,
+                         "kind": event.kind}
+                    )
+            if applied:
+                with obs_trace.span("ingest.invalidate", events=len(applied)):
+                    for predictor in self.predictors.values():
+                        predictor.apply_events(applied)
+                    self._broadcast_apply(applied)
+        with obs_trace.span("ingest.reply"):
+            return {
+                "results": results,
+                "accepted": accepted,
+                "deduped": deduped,
+                "n_errors": errors,
+                "last_seq": self.event_log.last_seq,
+            }
+
+    def _broadcast_apply(self, applied: list[StoredEvent]) -> None:
+        """Push applied events into every dispatch worker (barrier).
+
+        A retired dispatch is fine — the replacement generation forks from
+        the already-updated parent.  A worker that *fails* to apply would
+        keep serving stale state, so that degrades the whole generation to
+        inline execution on the (correct) parent.
+        """
+        dispatch = self._dispatch
+        if dispatch is None:
+            return
+        try:
+            dispatch.apply(applied)
+        except _DispatchRetired:
+            pass
+        except Exception as exc:
+            _log.error(
+                "ingest.worker_apply_failed",
+                error=f"{type(exc).__name__}: {exc}"[:400],
+                events=len(applied),
+            )
+            dispatch.fail(reason="ingest_apply_failed")
+
+    def store_stats(self) -> dict | None:
+        """Event-log + watermark block for the ``/v1/metrics`` body."""
+        if self.event_log is None:
+            return None
+        stats = self.event_log.stats()
+        stats["watermarks"] = {
+            kind: int(getattr(p, "_applied_seq", 0))
+            for kind, p in self.predictors.items()
+        }
+        return stats
 
     # ------------------------------------------------------------- submit
     def submit(self, kind: str, payload: dict) -> Future:
@@ -1110,6 +1428,17 @@ class InferenceEngine:
             for kind, predictor in self.predictors.items()
         }
 
+    def _worker_apply(self, stored_events) -> bool:
+        """Runs inside a pool worker: fold ingested events into its state.
+
+        The worker's copy-on-write world/predictors diverge from the
+        parent here by design — each process applies the same events to
+        its own copies, which the parity tests pin as bit-identical.
+        """
+        for predictor in self.predictors.values():
+            predictor.apply_events(stored_events)
+        return True
+
     def _dispatch_failed(self, dispatch: _PoolDispatch) -> None:
         """A dispatch generation died; fall back to inline execution."""
         self._dispatch_degraded_total += 1
@@ -1228,6 +1557,7 @@ def engine_from_store(
     max_batch_size: int = 64,
     max_wait_ms: float = 2.0,
     workers: int | None = None,
+    with_events: bool = True,
 ) -> InferenceEngine:
     """Build an engine from registry bundles (what ``repro serve`` runs).
 
@@ -1236,6 +1566,11 @@ def engine_from_store(
     regenerated world so startup pays world generation once.  Each
     predictor remembers its registry source, so ``/v1/models/{name}/reload``
     can swap it later.
+
+    With ``with_events`` (the default) the durable event log living at
+    ``<store>/events`` is opened and replayed through every predictor, so
+    events ingested before a restart are already serving when this
+    returns.
     """
     registry = store if isinstance(store, ModelRegistry) else ModelRegistry(store)
     names = list(names) if names else registry.list_models()
@@ -1265,9 +1600,12 @@ def engine_from_store(
                 f"can only be served by one model (got {names})"
             )
         predictors[predictor.kind] = predictor
-    return InferenceEngine(
+    engine = InferenceEngine(
         predictors,
         max_batch_size=max_batch_size,
         max_wait_ms=max_wait_ms,
         workers=workers,
     )
+    if with_events:
+        engine.attach_store(EventLog(os.path.join(registry.root, "events")))
+    return engine

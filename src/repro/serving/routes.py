@@ -40,9 +40,11 @@ from repro.serving.registry import (
 )
 from repro.serving.schemas import (
     BatchRequest,
+    IngestRequest,
     ReloadRequest,
     request_schema_for,
 )
+from repro.store import StoreIOError
 
 __all__ = [
     "MAX_BODY_BYTES",
@@ -88,7 +90,7 @@ _PREDICTOR_REQUESTS = obs_metrics.REGISTRY.gauge(
 def route_label(path: str) -> str:
     """Template a request path into a bounded-cardinality metric label."""
     if path in ("/", "/healthz", "/metrics", "/v1/healthz", "/v1/metrics",
-                "/v1/models", "/v1/traces"):
+                "/v1/models", "/v1/traces", "/v1/ingest"):
         return path
     if path.startswith("/v1/predict/"):
         return "/v1/predict/{kind}"
@@ -232,6 +234,12 @@ class RouteCore:
                 request_schema_for(kind)
                 return Resolved("batch", method, label, kind=kind, traced=True,
                                 sheddable=True, needs_body=True)
+            if path == "/v1/ingest":
+                # Sheddable: an overloaded server refuses ingest before the
+                # body read, and the client retries safely (dedup makes a
+                # replayed POST idempotent).
+                return Resolved("ingest", method, label, traced=True,
+                                sheddable=True, needs_body=True)
             m = _MODEL_PATH_RE.match(path)
             if m and m.group(2) == "/reload":
                 return Resolved("reload", method, label, name=m.group(1))
@@ -304,6 +312,9 @@ class RouteCore:
                 # pre-v1 shape (per-predictor entries only).
                 body["http"] = {"responses": HTTP_REQUESTS.snapshot()}
                 body["dispatch"] = self.engine.dispatch_health()
+                store = self.engine.store_stats()
+                if store is not None:
+                    body["store"] = store
                 if self.admission is not None:
                     body["admission"] = self.admission.snapshot()
             return Reply(200, body, headers=r.headers)
@@ -335,6 +346,9 @@ class RouteCore:
             return Reply(200, self._versions_payload(r.name))
         if r.op == "reload":
             return Reply(200, self._handle_reload(r.name, payload))
+        if r.op == "ingest":
+            req = IngestRequest.validate(payload)
+            return Reply(200, self.engine.ingest(req.events))
         raise ServingError(f"no route {r.raw_path!r}", status=404,
                            code="unknown_route")
 
@@ -435,6 +449,10 @@ class RouteCore:
             exc = ServingError(str(exc), status=409, code="model_corrupt")
         elif isinstance(exc, RegistryError):
             exc = ServingError(str(exc), status=404, code="model_not_found")
+        elif isinstance(exc, StoreIOError):
+            # Append/fsync failure: nothing past the last acked event was
+            # accepted, and acked events are durable — safe to retry.
+            exc = ServingError(str(exc), status=503, code="store_io")
         if isinstance(exc, ServingError):
             if legacy:
                 body = {"error": str(exc), "status": exc.status}

@@ -31,6 +31,11 @@ __all__ = [
     "HateGenRequest",
     "BatchRequest",
     "ReloadRequest",
+    "IngestRequest",
+    "IngestResponse",
+    "validate_event_payload",
+    "EVENT_FIELDS",
+    "MAX_INGEST_EVENTS",
     "PredictResponse",
     "RetweeterResponse",
     "HateGenResponse",
@@ -364,6 +369,82 @@ class BatchRequest(Schema):
     )
 
 
+#: Per-call cap on ``/v1/ingest`` batch size (mirrors the batch route cap).
+MAX_INGEST_EVENTS = 1024
+
+#: Wire contract of one ingest event, per kind.  The same FieldSpec layer
+#: that checks predict payloads checks events — on the server before the
+#: append, and in the client before the POST.
+EVENT_FIELDS: dict[str, tuple[FieldSpec, ...]] = {
+    "tweet": (
+        FieldSpec("kind", str, required=True),
+        FieldSpec("tweet_id", int, required=True, ge=0),
+        FieldSpec("user_id", int, required=True, ge=0),
+        FieldSpec("hashtag", str, required=True),
+        FieldSpec("text", str, required=True),
+        FieldSpec("timestamp", float, required=True, ge=0),
+        FieldSpec("is_hate", bool, default=False),
+    ),
+    "retweet": (
+        FieldSpec("kind", str, required=True),
+        FieldSpec("tweet_id", int, required=True, ge=0),
+        FieldSpec("user_id", int, required=True, ge=0),
+        FieldSpec("timestamp", float, required=True, ge=0),
+    ),
+    "follow": (
+        FieldSpec("kind", str, required=True),
+        FieldSpec("followee", int, required=True, ge=0),
+        FieldSpec("follower", int, required=True, ge=0),
+    ),
+    "hashtag": (
+        FieldSpec("kind", str, required=True),
+        FieldSpec("tag", str, required=True),
+        FieldSpec("theme", str, default="none"),
+    ),
+}
+
+
+def validate_event_payload(item) -> dict:
+    """Schema-validate one ingest event dict; returns the coerced wire dict.
+
+    Dispatches on ``kind`` then runs the matching FieldSpec tuple, so a
+    typo'd field or a boolean user id fails with the same typed error
+    contract every other route speaks.
+    """
+    if not isinstance(item, dict):
+        raise ServingError(
+            f"event must be a JSON object, got {type(item).__name__}",
+            code="invalid_type",
+        )
+    kind = item.get("kind")
+    if kind not in EVENT_FIELDS:
+        raise ServingError(
+            f"unknown event kind {kind!r}; expected one of {sorted(EVENT_FIELDS)}",
+            code="unknown_event_kind",
+            field="kind",
+        )
+    return validate_payload(item, EVENT_FIELDS[kind], schema=f"{kind} event")
+
+
+@dataclass
+class IngestRequest(Schema):
+    """``POST /v1/ingest`` — a batch of events for the durable store.
+
+    Item-level validation (kind dispatch + per-kind fields) happens in
+    the engine so each bad item becomes a per-item error instead of
+    failing the batch.
+    """
+
+    events: list
+
+    __fields__ = (
+        FieldSpec(
+            "events", list, required=True, non_empty=True,
+            max_len=MAX_INGEST_EVENTS,
+        ),
+    )
+
+
 @dataclass
 class ReloadRequest(Schema):
     """``POST /v1/models/{name}/reload`` body (may be empty: latest version)."""
@@ -503,6 +584,50 @@ class BatchPredictResponse:
             n_ok=int(body.get("n_ok", sum(not isinstance(r, ErrorResponse) for r in results))),
             n_errors=int(body.get("n_errors", sum(isinstance(r, ErrorResponse) for r in results))),
         )
+
+
+@dataclass
+class IngestResponse:
+    """``POST /v1/ingest`` result: per-event acks in request order.
+
+    Each ``results`` entry is either an ack — ``{"seq", "hash",
+    "deduped", "kind"}`` — or a per-item error body (``{"error": {...},
+    "status": ...}``); a duplicate submission acks with the original
+    event's sequence number and ``deduped: true``.
+    """
+
+    results: list
+    accepted: int = 0
+    deduped: int = 0
+    n_errors: int = 0
+    last_seq: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "results": self.results,
+            "accepted": self.accepted,
+            "deduped": self.deduped,
+            "n_errors": self.n_errors,
+            "last_seq": self.last_seq,
+        }
+
+    @classmethod
+    def from_dict(cls, body: dict) -> "IngestResponse":
+        results = list(body.get("results", []))
+        return cls(
+            results=results,
+            accepted=int(body.get("accepted", 0)),
+            deduped=int(body.get("deduped", 0)),
+            n_errors=int(
+                body.get("n_errors", sum("error" in r for r in results))
+            ),
+            last_seq=int(body.get("last_seq", 0)),
+        )
+
+    @property
+    def seqs(self) -> list:
+        """Assigned sequence number per event (``None`` for failed items)."""
+        return [r.get("seq") for r in self.results]
 
 
 @dataclass

@@ -1,0 +1,159 @@
+"""Typed events, their wire codec, and the canonical content hash.
+
+Every event kind is a frozen dataclass with a ``kind`` tag.  The wire
+form is a flat JSON dict carrying ``kind`` plus the payload fields; the
+content hash is SHA-256 over the *canonical* wire encoding (sorted keys,
+no whitespace), so two submissions of the same logical event always
+collide in the dedup map regardless of field order or float formatting
+at the JSON layer — payload floats are canonicalised with ``repr`` via
+``json.dumps`` before hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+
+__all__ = [
+    "EVENT_KINDS",
+    "Event",
+    "TweetEvent",
+    "RetweetEvent",
+    "FollowEvent",
+    "HashtagEvent",
+    "StoredEvent",
+    "event_from_wire",
+    "event_hash",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base for all store events (never instantiated directly)."""
+
+    kind = ""
+
+    def to_wire(self) -> dict:
+        d = {"kind": self.kind}
+        for f in fields(self):
+            val = getattr(self, f.name)
+            if f.type == "float":
+                # Canonicalise so a directly constructed event with an
+                # int timestamp hashes like its wire round trip.
+                val = float(val)
+            d[f.name] = val
+        return d
+
+
+@dataclass(frozen=True)
+class TweetEvent(Event):
+    """A user posts a new (root) tweet, opening a cascade."""
+
+    kind = "tweet"
+
+    tweet_id: int
+    user_id: int
+    hashtag: str
+    text: str
+    timestamp: float
+    is_hate: bool = False
+
+
+@dataclass(frozen=True)
+class RetweetEvent(Event):
+    """A user retweets an existing root tweet (grows its cascade)."""
+
+    kind = "retweet"
+
+    tweet_id: int  #: root tweet of the cascade being retweeted
+    user_id: int   #: the retweeter
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class FollowEvent(Event):
+    """A new follow edge: information flows ``followee -> follower``."""
+
+    kind = "follow"
+
+    followee: int
+    follower: int
+
+
+@dataclass(frozen=True)
+class HashtagEvent(Event):
+    """Registers a hashtag so later tweets/queries may reference it.
+
+    Registration does *not* grow the endogenous feature dimension of an
+    already-fitted model — extractors pin their tag index at fit time —
+    it only makes the tag a valid value for subsequent events and
+    hategen queries.
+    """
+
+    kind = "hashtag"
+
+    tag: str
+    theme: str = "none"
+
+
+#: kind -> event class, in wire order.
+EVENT_KINDS: dict[str, type] = {
+    cls.kind: cls for cls in (TweetEvent, RetweetEvent, FollowEvent, HashtagEvent)
+}
+
+
+@dataclass(frozen=True)
+class StoredEvent:
+    """An event as recorded in the log: payload + assigned identity."""
+
+    seq: int
+    hash: str
+    event: Event
+
+    def to_wire(self) -> dict:
+        return {"seq": self.seq, "hash": self.hash, "event": self.event.to_wire()}
+
+
+def event_from_wire(wire: dict) -> Event:
+    """Decode one wire dict into its typed event (ValueError on bad)."""
+    if not isinstance(wire, dict):
+        raise ValueError("event must be an object")
+    kind = wire.get("kind")
+    cls = EVENT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown event kind {kind!r} (expected one of "
+            f"{sorted(EVENT_KINDS)})"
+        )
+    # Coerce/check field types up front so hashing is canonical across
+    # callers (e.g. a JSON integer timestamp hashes like the float).
+    kwargs = {}
+    for f in fields(cls):
+        if f.name not in wire:
+            continue
+        val = wire[f.name]
+        if f.type == "int":
+            if isinstance(val, bool) or not isinstance(val, int):
+                raise ValueError(f"{kind}.{f.name} must be an integer")
+        elif f.type == "float":
+            if isinstance(val, bool) or not isinstance(val, (int, float)):
+                raise ValueError(f"{kind}.{f.name} must be a number")
+            val = float(val)
+        elif f.type == "str":
+            if not isinstance(val, str):
+                raise ValueError(f"{kind}.{f.name} must be a string")
+        elif f.type == "bool":
+            if not isinstance(val, bool):
+                raise ValueError(f"{kind}.{f.name} must be a boolean")
+        kwargs[f.name] = val
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"bad {kind} event: {exc}") from exc
+
+
+def event_hash(event: Event) -> str:
+    """Canonical SHA-256 content hash of one event (hex digest)."""
+    blob = json.dumps(event.to_wire(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -117,8 +117,14 @@ class TestFrozenLifecycle:
         _, frozen = nets
         with pytest.raises(RuntimeError):
             frozen.add_user(N + 1)
-        with pytest.raises(RuntimeError):
-            frozen.add_follow(0, 1)
+        # add_follow is the one allowed frozen mutation (live-ingest
+        # overlay; parity pinned in test_overlay.py).  An edge that
+        # already exists is a no-op and adds nothing to the overlay.
+        existing = next(
+            (a, b) for a in range(N) for b in frozen.followers(a)
+        )
+        assert frozen.add_follow(*existing) is False
+        assert frozen.n_overlay_edges == 0
 
     def test_freeze_is_idempotent(self, nets):
         _, frozen = nets

@@ -1,0 +1,107 @@
+"""Frozen-network overlay parity: ingest-time follows == pre-freeze edges.
+
+Live ingest adds follow edges to an already-frozen CSR network through
+the overlay (``_extra_succ``/``_extra_pred``).  Every read surface must
+be indistinguishable from a network that had those edges before it was
+frozen — otherwise incremental invalidation cannot be bit-exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import InformationNetwork, community_follower_graph
+
+BASE_SEED = 21
+N_USERS = 60
+
+
+def _base_net(extra_edges=()):
+    net, _ = community_follower_graph(
+        n_users=N_USERS, n_communities=4, mean_follows=6,
+        random_state=BASE_SEED,
+    )
+    for followee, follower in extra_edges:
+        net.add_follow(followee, follower)
+    return net.freeze()
+
+
+def _fresh_edges(net, k=5):
+    """k (followee, follower) pairs absent from ``net``, deterministic."""
+    edges = []
+    rng = np.random.default_rng(7)
+    while len(edges) < k:
+        followee, follower = (int(v) for v in rng.integers(0, N_USERS, 2))
+        if followee == follower or net.follows(follower, followee):
+            continue
+        if (followee, follower) in edges:
+            continue
+        edges.append((followee, follower))
+    return edges
+
+
+@pytest.fixture(scope="module")
+def nets():
+    frozen = _base_net()
+    edges = _fresh_edges(frozen)
+    for followee, follower in edges:
+        assert frozen.add_follow(followee, follower)
+    golden = _base_net(edges)
+    return frozen, golden, edges
+
+
+def test_overlay_edge_count(nets):
+    overlay, golden, edges = nets
+    assert overlay.n_overlay_edges == len(edges)
+    assert golden.n_overlay_edges == 0
+    assert overlay.n_follows == golden.n_follows
+
+
+def test_follows_parity(nets):
+    overlay, golden, edges = nets
+    for followee, follower in edges:
+        assert overlay.follows(follower, followee)
+    for follower in range(N_USERS):
+        for followee in range(N_USERS):
+            assert overlay.follows(follower, followee) == golden.follows(
+                follower, followee
+            ), (follower, followee)
+
+
+def test_neighbor_sets_parity(nets):
+    overlay, golden, _ = nets
+    for u in range(N_USERS):
+        assert sorted(overlay.followers(u)) == sorted(golden.followers(u))
+        assert sorted(overlay.followees(u)) == sorted(golden.followees(u))
+        assert overlay.follower_count(u) == golden.follower_count(u)
+
+
+def test_follower_counts_vector_parity(nets):
+    overlay, golden, _ = nets
+    # Row order may differ between the two networks; compare by user id.
+    ov = {u: int(c) for u, c in zip(overlay.users(), overlay.follower_counts())}
+    go = {u: int(c) for u, c in zip(golden.users(), golden.follower_counts())}
+    assert ov == go
+
+
+def test_bfs_distance_parity(nets):
+    overlay, golden, edges = nets
+    sources = sorted({followee for followee, _ in edges} | {0, N_USERS - 1})
+    for s in sources:
+        arr_o = overlay.distances_array_from(s, cutoff=6)
+        arr_g = golden.distances_array_from(s, cutoff=6)
+        dist_o = {int(u): int(arr_o[overlay.row_index([u])[0]])
+                  for u in overlay.users()}
+        dist_g = {int(u): int(arr_g[golden.row_index([u])[0]])
+                  for u in golden.users()}
+        assert dist_o == dist_g, f"BFS from {s} diverges"
+        for t in range(N_USERS):
+            assert overlay.shortest_path_length(s, t, cutoff=6) == \
+                golden.shortest_path_length(s, t, cutoff=6)
+
+
+def test_overlay_add_is_idempotent(nets):
+    overlay, _, edges = nets
+    followee, follower = edges[0]
+    before = overlay.n_overlay_edges
+    assert not overlay.add_follow(followee, follower)  # already present
+    assert overlay.n_overlay_edges == before

@@ -1,0 +1,76 @@
+"""Event wire codec + canonical content hash."""
+
+import pytest
+
+from repro.store import (
+    EVENT_KINDS,
+    FollowEvent,
+    HashtagEvent,
+    RetweetEvent,
+    TweetEvent,
+    event_from_wire,
+    event_hash,
+)
+
+
+def test_wire_round_trip_every_kind():
+    events = [
+        TweetEvent(tweet_id=7, user_id=3, hashtag="#x", text="hi",
+                   timestamp=2.5, is_hate=True),
+        RetweetEvent(tweet_id=7, user_id=4, timestamp=3.0),
+        FollowEvent(followee=3, follower=4),
+        HashtagEvent(tag="#x", theme="politics"),
+    ]
+    for ev in events:
+        wire = ev.to_wire()
+        assert wire["kind"] == ev.kind
+        assert event_from_wire(wire) == ev
+
+
+def test_kind_registry_is_complete():
+    assert sorted(EVENT_KINDS) == ["follow", "hashtag", "retweet", "tweet"]
+
+
+def test_hash_is_field_order_independent():
+    a = event_from_wire({"kind": "follow", "followee": 1, "follower": 2})
+    b = event_from_wire({"follower": 2, "followee": 1, "kind": "follow"})
+    assert event_hash(a) == event_hash(b)
+
+
+def test_hash_canonicalises_int_vs_float_timestamp():
+    """A JSON integer timestamp must collide with the float form."""
+    a = event_from_wire({"kind": "retweet", "tweet_id": 1, "user_id": 2,
+                         "timestamp": 3})
+    b = RetweetEvent(tweet_id=1, user_id=2, timestamp=3.0)
+    assert a == b
+    assert event_hash(a) == event_hash(b)
+
+
+def test_distinct_events_hash_differently():
+    a = RetweetEvent(tweet_id=1, user_id=2, timestamp=3.0)
+    b = RetweetEvent(tweet_id=1, user_id=2, timestamp=3.5)
+    assert event_hash(a) != event_hash(b)
+
+
+def test_defaults_apply_on_decode():
+    tweet = event_from_wire({"kind": "tweet", "tweet_id": 1, "user_id": 2,
+                             "hashtag": "#x", "text": "t", "timestamp": 0})
+    assert tweet.is_hate is False
+    tag = event_from_wire({"kind": "hashtag", "tag": "#x"})
+    assert tag.theme == "none"
+
+
+@pytest.mark.parametrize("wire", [
+    "not a dict",
+    {"kind": "unfollow"},
+    {"kind": "retweet", "tweet_id": "one", "user_id": 2, "timestamp": 0},
+    {"kind": "retweet", "tweet_id": True, "user_id": 2, "timestamp": 0},
+    {"kind": "retweet", "tweet_id": 1, "user_id": 2, "timestamp": "now"},
+    {"kind": "hashtag", "tag": 7},
+    {"kind": "tweet", "tweet_id": 1, "user_id": 2, "hashtag": "#x",
+     "text": "t", "timestamp": 0, "is_hate": "yes"},
+    {"kind": "retweet", "tweet_id": 1},  # missing required fields
+])
+def test_bad_wire_raises_value_error(wire):
+    with pytest.raises(ValueError):
+        event_from_wire(wire)
